@@ -1,0 +1,46 @@
+"""Ablation benches: the §4.3/§4.4 design choices and §7 future work.
+
+* block-size tradeoff (Fig 3 / §4.3.1)
+* CRC32 vs modulo placement (§5.5 / §7)
+* synchronous vs threaded SMCache updates (Fig 6(c))
+* MCD failure transparency (§4.4)
+* IPoIB vs native RDMA for cache traffic (§7)
+"""
+
+from conftest import run_experiment
+
+
+def test_ablation_blocksize(benchmark, scale):
+    run_experiment(benchmark, "ablation-blocksize", scale)
+
+
+def test_ablation_hashing(benchmark, scale):
+    run_experiment(benchmark, "ablation-hashing", scale)
+
+
+def test_ablation_threading(benchmark, scale):
+    run_experiment(benchmark, "ablation-threading", scale)
+
+
+def test_ablation_failures(benchmark, scale):
+    run_experiment(benchmark, "ablation-failures", scale)
+
+
+def test_ablation_transport(benchmark, scale):
+    run_experiment(benchmark, "ablation-transport", scale)
+
+
+def test_ablation_client_cache(benchmark, scale):
+    run_experiment(benchmark, "ablation-client-cache", scale)
+
+
+def test_ablation_elasticity(benchmark, scale):
+    run_experiment(benchmark, "ablation-elasticity", scale)
+
+
+def test_motivation_smallfiles(benchmark, scale):
+    run_experiment(benchmark, "motivation-smallfiles", scale)
+
+
+def test_motivation_trace(benchmark, scale):
+    run_experiment(benchmark, "motivation-trace", scale)

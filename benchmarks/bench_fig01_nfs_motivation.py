@@ -1,0 +1,14 @@
+"""Fig 1(a)/(b): multi-client IOzone read bandwidth over NFS.
+
+Regenerates the motivation experiment: read bandwidth vs client count
+for NFS/RDMA, NFS/TCP-on-IPoIB and NFS/TCP-on-GigE with two server
+memory sizes.  The paper's headline: "The bandwidth available to the
+clients seems to be related to the amount of memory on the server and
+falls off as the server runs out of memory."
+"""
+
+from conftest import run_experiment
+
+
+def test_fig1_nfs_read_bandwidth(benchmark, scale):
+    run_experiment(benchmark, "fig1", scale)

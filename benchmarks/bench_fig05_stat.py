@@ -1,0 +1,13 @@
+"""Fig 5: stat time vs clients for NoCache / MCD(n) / Lustre-4DS.
+
+Paper headline: "At 64 clients, with 1 MCD, there is an 82% reduction
+in the time required to complete the stat operations as compared to
+without the cache ... using GlusterFS with 6 MCDs, the time ... is 86%
+lower than Lustre with 4 DSs."
+"""
+
+from conftest import run_experiment
+
+
+def test_fig5_stat_scaling(benchmark, scale):
+    run_experiment(benchmark, "fig5", scale)

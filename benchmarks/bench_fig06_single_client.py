@@ -1,0 +1,22 @@
+"""Fig 6(a)/(b)/(c): single-client read and write latency.
+
+(a) small records: IMCa block sizes 256/2K/8K vs NoCache vs Lustre
+    (45%/59% reductions at 1 byte; §5.3);
+(b) large records: NoCache overtakes small-block IMCa;
+(c) write latency: the synchronous read-back penalty and its removal
+    by the update thread.
+"""
+
+from conftest import run_experiment
+
+
+def test_fig6a_read_latency_small_records(benchmark, scale):
+    run_experiment(benchmark, "fig6a", scale)
+
+
+def test_fig6b_read_latency_large_records(benchmark, scale):
+    run_experiment(benchmark, "fig6b", scale)
+
+
+def test_fig6c_write_latency(benchmark, scale):
+    run_experiment(benchmark, "fig6c", scale)

@@ -1,0 +1,11 @@
+"""Fig 7(a)/(b): read latency at high client count, varying MCDs.
+
+Paper headline: "there is reduction of 82% in the latency when four
+MCDs are introduced over the NoCache case for a 1 byte Read."
+"""
+
+from conftest import run_experiment
+
+
+def test_fig7_multiclient_read_latency(benchmark, scale):
+    run_experiment(benchmark, "fig7", scale)

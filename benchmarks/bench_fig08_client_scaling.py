@@ -1,0 +1,12 @@
+"""Fig 8(a)-(d): read latency varying the number of clients, 1 MCD.
+
+Paper: "The Read latency at 32 clients is higher than with one client
+and increases with increase in record size", driven by growing MCD
+capacity misses.
+"""
+
+from conftest import run_experiment
+
+
+def test_fig8_client_scaling(benchmark, scale):
+    run_experiment(benchmark, "fig8", scale)

@@ -1,0 +1,12 @@
+"""Fig 9: IOzone read throughput with 1/2/4 MCDs (modulo placement).
+
+Paper headline: "a IOzone Read Throughput of upto 868 MB/s with 8
+IOzone threads and 4 MCDs ... almost twice the corresponding number
+without the cache (417 MB/s) and Lustre-1DS (Cold) (325 MB/s)."
+"""
+
+from conftest import run_experiment
+
+
+def test_fig9_iozone_throughput(benchmark, scale):
+    run_experiment(benchmark, "fig9", scale)

@@ -1,0 +1,12 @@
+"""Fig 10: read latency to a shared file (one writer, many readers).
+
+Paper headline: "At 32 nodes, there is a 45% reduction in latency with
+IMCa over the NoCache case ... IMCa provides benefit, that increases
+with an increase in the number of nodes."
+"""
+
+from conftest import run_experiment
+
+
+def test_fig10_shared_file_read_latency(benchmark, scale):
+    run_experiment(benchmark, "fig10", scale)

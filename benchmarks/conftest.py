@@ -1,0 +1,48 @@
+"""Shared plumbing for the figure benchmarks.
+
+Each ``bench_figXX`` file regenerates one paper figure through the
+experiment harness and reports the series via pytest-benchmark's
+``extra_info``.  Scale defaults to ``smoke`` so the whole suite runs in
+about a minute; set ``REPRO_BENCH_SCALE=default`` (or ``paper``) for
+publication-shaped curves::
+
+    REPRO_BENCH_SCALE=default pytest benchmarks/ --benchmark-only
+"""
+
+import os
+
+import pytest
+
+from repro.harness import get, render_series_table
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    value = os.environ.get("REPRO_BENCH_SCALE", "smoke")
+    if value not in ("smoke", "default", "paper"):
+        raise ValueError(f"bad REPRO_BENCH_SCALE {value!r}")
+    return value
+
+
+def run_experiment(benchmark, exp_id: str, scale: str):
+    """Run one experiment under pytest-benchmark and record its series."""
+    exp = get(exp_id)
+    result = benchmark.pedantic(exp.run, args=(scale,), rounds=1, iterations=1)
+    benchmark.extra_info["figure"] = exp.figure
+    benchmark.extra_info["scale"] = scale
+    benchmark.extra_info["checks"] = [
+        ("PASS" if c.passed else "FAIL", c.name, c.detail) for c in result.checks
+    ]
+    table = render_series_table(result.x_name, result.x_values, result.series)
+    print(f"\n== {exp.figure}: {exp.title} [{scale}] ==")
+    print(table)
+    for c in result.checks:
+        print(f"  [{'PASS' if c.passed else 'FAIL'}] {c.name} -- {c.detail}")
+    # Structural sanity must hold at any scale; the full claim set is
+    # evaluated (and expected green) at default/paper scale.
+    passed = sum(1 for c in result.checks if c.passed)
+    if scale == "smoke":
+        assert passed >= len(result.checks) / 2, result.summary()
+    else:
+        assert result.all_passed, result.summary()
+    return result

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Explore the IMCa block-size tradeoff (§4.3.1, Fig 3, Fig 6).
+
+"It should be kept small enough so that small files may be stored more
+efficiently.  It should also be kept large enough to avoid excessive
+fragmentation and reasonable network bandwidth utilization."
+
+For each candidate block size this script measures single-client read
+latency across record sizes and reports where each block size wins,
+plus the extra bytes moved for unaligned requests.
+
+Run:  python examples/block_size_tuning.py
+"""
+
+from repro import TestbedConfig, build_gluster_testbed
+from repro.core import BlockMapper, IMCaConfig
+from repro.harness import render_series_table
+from repro.util import KiB, fmt_bytes
+from repro.workloads import run_latency_bench
+
+BLOCK_SIZES = [256, 1 * KiB, 2 * KiB, 8 * KiB, 64 * KiB]
+RECORD_SIZES = [1, 64, 2 * KiB, 16 * KiB, 128 * KiB]
+
+
+def main() -> None:
+    series: dict[str, list[float]] = {}
+    for bs in BLOCK_SIZES:
+        tb = build_gluster_testbed(
+            TestbedConfig(num_clients=1, num_mcds=1, imca=IMCaConfig(block_size=bs))
+        )
+        res = run_latency_bench(tb.sim, tb.clients, RECORD_SIZES, records_per_size=48)
+        label = f"block={fmt_bytes(bs)}"
+        series[label] = [res.mean_read(r) for r in RECORD_SIZES]
+
+    print("mean read latency by record size (rows) and block size (columns):")
+    print(render_series_table("record", RECORD_SIZES, series))
+
+    print("\nbest block size per record size:")
+    labels = list(series)
+    for i, r in enumerate(RECORD_SIZES):
+        best = min(labels, key=lambda L: series[L][i])
+        print(f"  {fmt_bytes(r):>10}: {best}")
+
+    print("\nFig 3 effect: extra bytes fetched for an unaligned 100-byte read")
+    for bs in BLOCK_SIZES:
+        mapper = BlockMapper(bs)
+        extra = mapper.extra_bytes(offset=bs - 50, size=100)  # straddles a boundary
+        print(f"  block={fmt_bytes(bs):>10}: +{fmt_bytes(extra)} beyond the request")
+
+
+if __name__ == "__main__":
+    main()

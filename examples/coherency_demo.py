@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Why an intermediate cache instead of a client cache? (§1, §3)
+
+Two clients share one file: a writer keeps updating a record, a reader
+keeps polling it.  Three configurations race:
+
+1. GlusterFS + io-cache on the reader — a classic timeout-validated
+   client cache (what NFS does for attributes): FAST but serves STALE
+   data inside the validation window.
+2. GlusterFS NoCache — always fresh, always a server round trip.
+3. GlusterFS + IMCa — the paper's design: fresh data (writes are
+   serialised at the server, which pushes updates to the MCD bank
+   before acknowledging) at near-cache latency.
+
+Run:  python examples/coherency_demo.py
+"""
+
+from repro import TestbedConfig, build_gluster_testbed
+from repro.gluster.client import GlusterClient
+from repro.gluster.iocache import IoCacheXlator
+from repro.gluster.protocol import ClientProtocol
+from repro.gluster.xlator import Xlator
+from repro.net.fabric import Node
+from repro.net.rpc import Endpoint
+from repro.util import KiB, fmt_time
+
+ROUNDS = 40
+RECORD = 4 * KiB
+
+
+def race(writer, reader, sim):
+    """Writer updates; reader immediately reads.  Returns (stale, lat)."""
+    stale = 0
+    total = 0.0
+
+    def body():
+        nonlocal stale, total
+        fd_w = yield from writer.create("/race/f")
+        yield from writer.write(fd_w, 0, RECORD, b"\x00" * RECORD)
+        fd_r = yield from reader.open("/race/f")
+        for i in range(1, ROUNDS + 1):
+            payload = bytes([i % 256]) * RECORD
+            yield from writer.write(fd_w, 0, RECORD, payload)
+            t0 = sim.now
+            r = yield from reader.read(fd_r, 0, RECORD)
+            total += sim.now - t0
+            if r.data != payload:
+                stale += 1
+
+    proc = sim.process(body())
+    sim.run(until=proc)
+    return stale, total / ROUNDS
+
+
+def main() -> None:
+    rows = []
+
+    # 1. io-cache reader.
+    tb = build_gluster_testbed(TestbedConfig(num_clients=1))
+    node = Node(tb.sim, "ioc-reader")
+    stack = Xlator.build_stack(
+        [IoCacheXlator(tb.sim, cache_timeout=1.0),
+         ClientProtocol(Endpoint(tb.net, node), tb.server)]
+    )
+    reader = GlusterClient(tb.sim, node, stack)
+    rows.append(("io-cache client (1s timeout)", *race(tb.clients[0], reader, tb.sim)))
+
+    # 2. NoCache.
+    tb = build_gluster_testbed(TestbedConfig(num_clients=2))
+    rows.append(("NoCache", *race(tb.clients[0], tb.clients[1], tb.sim)))
+
+    # 3. IMCa.
+    tb = build_gluster_testbed(TestbedConfig(num_clients=2, num_mcds=2))
+    rows.append(("IMCa (2 MCDs)", *race(tb.clients[0], tb.clients[1], tb.sim)))
+
+    print(f"{ROUNDS} write->read rounds on one shared 4 KiB record:\n")
+    print(f"{'configuration':<30} {'stale reads':>12} {'mean read latency':>20}")
+    print("-" * 64)
+    for name, stale, lat in rows:
+        print(f"{name:<30} {f'{stale}/{ROUNDS}':>12} {fmt_time(lat):>20}")
+    print(
+        "\nThe client cache is fastest but wrong under sharing; IMCa stays"
+        "\ncorrect (server-serialised writes push to the MCDs before the"
+        "\nack) while avoiding most of the server path's cost."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Reproduce the shape of Fig 5: stat time vs number of clients.
+
+Sweeps client counts against GlusterFS NoCache, GlusterFS + IMCa with
+1 and 4 MCDs, and Lustre with 4 data servers, printing the paper's
+metric (max over nodes of the total stat time) as a table.
+
+Run:  python examples/stat_scaling.py [--files N] [--max-clients N]
+"""
+
+import argparse
+
+from repro import TestbedConfig, build_gluster_testbed, build_lustre_testbed
+from repro.harness import render_series_table
+from repro.workloads import run_stat_bench
+
+
+def sweep(clients_axis, files):
+    series = {"NoCache": [], "IMCa (1 MCD)": [], "IMCa (4 MCD)": [], "Lustre-4DS": []}
+    for n in clients_axis:
+        for label, build in [
+            ("NoCache", lambda: build_gluster_testbed(TestbedConfig(num_clients=n))),
+            (
+                "IMCa (1 MCD)",
+                lambda: build_gluster_testbed(TestbedConfig(num_clients=n, num_mcds=1)),
+            ),
+            (
+                "IMCa (4 MCD)",
+                lambda: build_gluster_testbed(TestbedConfig(num_clients=n, num_mcds=4)),
+            ),
+            (
+                "Lustre-4DS",
+                lambda: build_lustre_testbed(
+                    TestbedConfig(num_clients=n, num_data_servers=4)
+                ),
+            ),
+        ]:
+            tb = build()
+            res = run_stat_bench(tb.sim, tb.clients, num_files=files)
+            series[label].append(res.max_node_time)
+    return series
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--files", type=int, default=256, help="files in the stat set")
+    ap.add_argument("--max-clients", type=int, default=32)
+    args = ap.parse_args()
+
+    clients_axis = [1]
+    while clients_axis[-1] * 2 <= args.max_clients:
+        clients_axis.append(clients_axis[-1] * 2)
+
+    print(f"stat benchmark: {args.files} files, clients {clients_axis}")
+    series = sweep(clients_axis, args.files)
+    print(render_series_table("clients", clients_axis, series))
+
+    base = series["NoCache"][-1]
+    for label in ("IMCa (1 MCD)", "IMCa (4 MCD)"):
+        red = (base - series[label][-1]) / base * 100
+        print(
+            f"{label} reduces stat time by {red:.0f}% at {clients_axis[-1]} clients "
+            f"(paper: 82% with 1 MCD at 64 clients)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""repro — a full reproduction of *IMCa: A High Performance Caching
+Front-end for GlusterFS on InfiniBand* (Noronha & Panda, 2008).
+
+The package contains a deterministic discrete-event simulation of the
+paper's entire testbed — InfiniBand-class network fabric, disks and
+RAID, OS page cache, a memcached engine, a GlusterFS-like translator
+file system, Lustre-like and NFS-like baselines — with the IMCa caching
+tier (CMCache / MCD array / SMCache) as the core contribution, plus the
+paper's benchmarks and a harness that regenerates every figure.
+
+Quickstart::
+
+    from repro import build_gluster_testbed, TestbedConfig
+    tb = build_gluster_testbed(TestbedConfig(num_clients=4, num_mcds=2))
+
+See ``examples/quickstart.py`` for a complete runnable tour.
+"""
+
+__version__ = "1.0.0"
+
+# Public API re-exports are lazy (PEP 562) so that low-level subpackages
+# (repro.sim, repro.util, ...) can be imported without pulling in the whole
+# stack.
+_LAZY = {
+    "TestbedConfig": "repro.cluster",
+    "GlusterTestbed": "repro.cluster",
+    "LustreTestbed": "repro.cluster",
+    "NFSTestbed": "repro.cluster",
+    "build_gluster_testbed": "repro.cluster",
+    "build_lustre_testbed": "repro.cluster",
+    "build_nfs_testbed": "repro.cluster",
+}
+
+__all__ = ["__version__", *_LAZY]
+
+
+def __getattr__(name: str):
+    target = _LAZY.get(name)
+    if target is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(target), name)
+
+
+def __dir__():
+    return sorted(__all__)

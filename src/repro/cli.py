@@ -1,0 +1,128 @@
+"""Command-line interface: list and run the paper's experiments.
+
+Usage::
+
+    python -m repro list
+    python -m repro run fig5 --scale default
+    python -m repro run-all --scale smoke
+    python -m repro report --scale default --output EXPERIMENTS.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional, Sequence
+
+from repro.harness import all_experiments, get, render_series_table
+from repro.harness.experiment import SCALES
+
+
+def _print_result(result, elapsed: float, chart: bool = False) -> None:
+    print(render_series_table(result.x_name, result.x_values, result.series))
+    print()
+    if chart:
+        from repro.harness.chart import render_chart
+
+        numeric_x = all(isinstance(x, (int, float)) for x in result.x_values)
+        try:
+            print(
+                render_chart(
+                    result.x_values if numeric_x else list(range(len(result.x_values))),
+                    result.series,
+                    x_label=result.x_name,
+                    y_label="value",
+                    log_x=numeric_x and min(result.x_values) > 0,
+                )
+            )
+            print()
+        except ValueError as e:
+            print(f"(chart unavailable: {e})")
+    for note in result.notes:
+        print(f"note: {note}")
+    for c in result.checks:
+        print(f"  [{'PASS' if c.passed else 'FAIL'}] {c.name} -- {c.detail}")
+    ok = sum(1 for c in result.checks if c.passed)
+    print(f"\n{ok}/{len(result.checks)} checks passed ({elapsed:.1f}s wall)")
+
+
+def cmd_list(_args) -> int:
+    for exp in all_experiments():
+        print(f"{exp.id:<22} {exp.figure:<18} {exp.title}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    try:
+        exp = get(args.experiment)
+    except KeyError as e:
+        print(e, file=sys.stderr)
+        return 2
+    print(f"== {exp.figure}: {exp.title} [{args.scale}]")
+    print(exp.description)
+    print()
+    t0 = time.time()
+    result = exp.run(args.scale)
+    _print_result(result, time.time() - t0, chart=args.chart)
+    return 0 if result.all_passed else 1
+
+
+def cmd_run_all(args) -> int:
+    failures = 0
+    for exp in all_experiments():
+        t0 = time.time()
+        result = exp.run(args.scale)
+        ok = sum(1 for c in result.checks if c.passed)
+        status = "ok" if result.all_passed else "CHECK-FAILURES"
+        print(
+            f"{exp.id:<22} {ok}/{len(result.checks)} checks "
+            f"({time.time() - t0:.1f}s) {status}"
+        )
+        failures += not result.all_passed
+    return 0 if failures == 0 else 1
+
+
+def cmd_report(args) -> int:
+    from repro.harness.experiments_md import generate
+
+    text = generate(args.scale)
+    with open(args.output, "w") as fh:
+        fh.write(text + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="IMCa reproduction: run the paper's experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered experiments").set_defaults(
+        func=cmd_list
+    )
+
+    run = sub.add_parser("run", help="run one experiment")
+    run.add_argument("experiment", help="experiment id (see `list`)")
+    run.add_argument("--scale", choices=SCALES, default="smoke")
+    run.add_argument(
+        "--chart", action="store_true", help="render an ASCII chart of the series"
+    )
+    run.set_defaults(func=cmd_run)
+
+    run_all = sub.add_parser("run-all", help="run every experiment")
+    run_all.add_argument("--scale", choices=SCALES, default="smoke")
+    run_all.set_defaults(func=cmd_run_all)
+
+    report = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
+    report.add_argument("--scale", choices=SCALES, default="default")
+    report.add_argument("--output", default="EXPERIMENTS.md")
+    report.set_defaults(func=cmd_report)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)

@@ -1,0 +1,269 @@
+"""Testbed builders: assemble complete simulated clusters.
+
+Mirrors the paper's experimental setup (§5.1): a 64-node InfiniBand DDR
+cluster of 8-core nodes; the GlusterFS server with an 8-disk RAID;
+IPoIB transport everywhere; MCDs on independent nodes with up to 6 GB
+of memory; Lustre with a separate MDS and 1 or 4 data servers.
+
+Every experiment in the harness builds one of these testbeds from a
+:class:`TestbedConfig` and runs workload processes against its clients.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.core.cmcache import CMCacheXlator
+from repro.core.config import IMCaConfig
+from repro.core.smcache import SMCacheXlator
+from repro.gluster.client import GlusterClient
+from repro.gluster.distribute import DistributeXlator
+from repro.gluster.protocol import ClientProtocol
+from repro.gluster.server import GlusterServer
+from repro.gluster.xlator import Xlator
+from repro.localfs.fs import LocalFS
+from repro.lustre.client import LustreClient
+from repro.lustre.mds import MetadataServer
+from repro.lustre.ost import ObjectServer
+from repro.lustre.striping import StripeLayout
+from repro.memcached.client import MemcacheClient
+from repro.memcached.daemon import MemcachedDaemon
+from repro.memcached.hashing import selector as make_selector
+from repro.net.fabric import Network, Node
+from repro.net.profiles import profile
+from repro.net.rpc import Endpoint
+from repro.nfs.client import NfsClient
+from repro.nfs.server import NfsServer
+from repro.oscache.pagecache import PageCache
+from repro.sim.core import Simulator
+from repro.storage.raid import Raid0
+from repro.util.units import GiB, MiB
+
+
+@dataclass
+class TestbedConfig:
+    """Knobs shared by all three testbeds."""
+
+    num_clients: int = 1
+    transport: str = "ipoib"
+    #: Cores per node (§5.1: 8-core Clovertown).
+    cores: int = 8
+
+    # -- file server ------------------------------------------------------
+    #: Server page-cache budget (8 GB nodes; ~6 GB usable for cache).
+    server_cache_bytes: int = 6 * GiB
+    #: RAID members at the GlusterFS/NFS server (§5.1: 8 disks).
+    raid_disks: int = 8
+    #: glusterfsd io-thread count.
+    io_threads: int = 2
+    #: GlusterFS bricks (1 in the paper; >1 exercises distribute).
+    num_bricks: int = 1
+
+    # -- IMCa -----------------------------------------------------------------
+    #: Number of MemCached daemons (0 = the paper's "NoCache").
+    num_mcds: int = 0
+    #: Memory each MCD may use (§5.1: "upto 6GB").
+    mcd_memory: int = 6 * GiB
+    #: Transport for cache-bank traffic; None = same fabric as the file
+    #: system.  "ib-rdma" models the paper's §7 future-work idea of
+    #: moving MCD traffic to native RDMA.
+    mcd_transport: Optional[str] = None
+    imca: IMCaConfig = field(default_factory=IMCaConfig)
+
+    # -- Lustre ------------------------------------------------------------------
+    #: Data servers (1DS / 4DS in §5).
+    num_data_servers: int = 1
+    stripe_size: int = 1 * MiB
+    #: Per-client Lustre cache budget.
+    lustre_client_cache: int = 1 * GiB
+    ost_cache_bytes: int = 6 * GiB
+    ost_disks: int = 2
+
+    def __post_init__(self) -> None:
+        if self.num_clients < 1:
+            raise ValueError("need at least one client")
+        if self.num_mcds < 0:
+            raise ValueError("num_mcds must be >= 0")
+        if self.num_bricks < 1:
+            raise ValueError("num_bricks must be >= 1")
+
+
+def _make_fs(sim: Simulator, cfg: TestbedConfig, name: str, disks: int, cache_bytes: int) -> LocalFS:
+    device = Raid0(sim, disks=disks, name=f"{name}.raid")
+    cache = PageCache(cache_bytes)
+    return LocalFS(sim, device, cache, name=name)
+
+
+# --------------------------------------------------------------------------- #
+# GlusterFS (+ optional IMCa)
+# --------------------------------------------------------------------------- #
+@dataclass
+class GlusterTestbed:
+    """A built GlusterFS cluster, optionally fronted by IMCa."""
+
+    sim: Simulator
+    net: Network
+    config: TestbedConfig
+    servers: list[GlusterServer]
+    mcds: list[MemcachedDaemon]
+    clients: list[GlusterClient]
+    cmcaches: list[Optional[CMCacheXlator]]
+    smcaches: list[Optional[SMCacheXlator]]
+
+    @property
+    def server(self) -> GlusterServer:
+        return self.servers[0]
+
+    def mcd_stats(self) -> dict[str, int]:
+        """Aggregated engine statistics across the MCD array (untimed)."""
+        total: dict[str, int] = {}
+        for mcd in self.mcds:
+            for k, v in mcd.engine.stat_dict().items():
+                total[k] = total.get(k, 0) + v
+        return total
+
+    def cm_stats(self) -> dict[str, int]:
+        total: dict[str, int] = {}
+        for cm in self.cmcaches:
+            if cm is not None:
+                for k, v in cm.metrics.as_dict().items():
+                    total[k] = total.get(k, 0) + v
+        return total
+
+
+def build_gluster_testbed(cfg: Optional[TestbedConfig] = None) -> GlusterTestbed:
+    """Assemble GlusterFS [+ IMCa when ``cfg.num_mcds > 0``]."""
+    cfg = cfg or TestbedConfig()
+    sim = Simulator()
+    net = Network(sim, profile(cfg.transport))
+    # Cache-bank traffic may ride a separate transport (§7 future work).
+    cache_net = (
+        net
+        if cfg.mcd_transport is None
+        else Network(sim, profile(cfg.mcd_transport), name="cache-net")
+    )
+
+    # MCD array.
+    mcds = [
+        MemcachedDaemon(
+            sim, cache_net, Node(sim, f"mcd{i}", cores=cfg.cores), cfg.mcd_memory
+        )
+        for i in range(cfg.num_mcds)
+    ]
+    use_imca = bool(mcds)
+
+    # Brick servers (one in the paper's configuration).
+    servers: list[GlusterServer] = []
+    smcaches: list[Optional[SMCacheXlator]] = []
+    for b in range(cfg.num_bricks):
+        snode = Node(sim, f"gfs-server{b}" if cfg.num_bricks > 1 else "gfs-server", cores=cfg.cores)
+        fs = _make_fs(sim, cfg, f"brick{b}", cfg.raid_disks, cfg.server_cache_bytes)
+        server_xlators: list[Xlator] = []
+        smcache: Optional[SMCacheXlator] = None
+        if use_imca:
+            mc = MemcacheClient(
+                Endpoint(cache_net, snode), mcds, make_selector(cfg.imca.selector)
+            )
+            smcache = SMCacheXlator(sim, mc, cfg.imca)
+            server_xlators.append(smcache)
+        servers.append(
+            GlusterServer(sim, net, snode, fs, server_xlators, io_threads=cfg.io_threads)
+        )
+        smcaches.append(smcache)
+
+    # Clients.
+    clients: list[GlusterClient] = []
+    cmcaches: list[Optional[CMCacheXlator]] = []
+    for i in range(cfg.num_clients):
+        cnode = Node(sim, f"client{i}", cores=cfg.cores)
+        ep = Endpoint(net, cnode)
+        protocols = [ClientProtocol(ep, server) for server in servers]
+        bottom: Xlator = protocols[0] if len(protocols) == 1 else DistributeXlator(protocols)
+        stack: list[Xlator] = []
+        cmcache: Optional[CMCacheXlator] = None
+        if use_imca:
+            mc_ep = ep if cache_net is net else Endpoint(cache_net, cnode)
+            mc = MemcacheClient(mc_ep, mcds, make_selector(cfg.imca.selector))
+            cmcache = CMCacheXlator(mc, cfg.imca)
+            stack.append(cmcache)
+        stack.append(bottom)
+        clients.append(GlusterClient(sim, cnode, Xlator.build_stack(stack)))
+        cmcaches.append(cmcache)
+
+    return GlusterTestbed(sim, net, cfg, servers, mcds, clients, cmcaches, smcaches)
+
+
+# --------------------------------------------------------------------------- #
+# Lustre
+# --------------------------------------------------------------------------- #
+@dataclass
+class LustreTestbed:
+    """A built Lustre cluster (MDS + OSTs + clients)."""
+
+    sim: Simulator
+    net: Network
+    config: TestbedConfig
+    mds: MetadataServer
+    osts: list[ObjectServer]
+    clients: list[LustreClient]
+
+
+def build_lustre_testbed(cfg: Optional[TestbedConfig] = None) -> LustreTestbed:
+    cfg = cfg or TestbedConfig()
+    sim = Simulator()
+    net = Network(sim, profile(cfg.transport))
+
+    layout = StripeLayout(count=cfg.num_data_servers, stripe_size=cfg.stripe_size)
+    mds_node = Node(sim, "mds", cores=cfg.cores)
+    mds_fs = _make_fs(sim, cfg, "mdt", disks=2, cache_bytes=2 * GiB)
+    mds = MetadataServer(sim, net, mds_node, mds_fs, layout)
+
+    osts = []
+    for i in range(cfg.num_data_servers):
+        onode = Node(sim, f"ost{i}", cores=cfg.cores)
+        ofs = _make_fs(sim, cfg, f"ost{i}", disks=cfg.ost_disks, cache_bytes=cfg.ost_cache_bytes)
+        osts.append(ObjectServer(sim, net, onode, ofs, index=i))
+
+    clients = []
+    for i in range(cfg.num_clients):
+        cnode = Node(sim, f"client{i}", cores=cfg.cores)
+        ep = Endpoint(net, cnode)
+        clients.append(
+            LustreClient(sim, cnode, ep, mds, osts, cache_bytes=cfg.lustre_client_cache)
+        )
+    return LustreTestbed(sim, net, cfg, mds, osts, clients)
+
+
+# --------------------------------------------------------------------------- #
+# NFS
+# --------------------------------------------------------------------------- #
+@dataclass
+class NFSTestbed:
+    """A built single-server NFS cluster."""
+
+    sim: Simulator
+    net: Network
+    config: TestbedConfig
+    server: NfsServer
+    clients: list[NfsClient]
+
+
+def build_nfs_testbed(cfg: Optional[TestbedConfig] = None) -> NFSTestbed:
+    cfg = cfg or TestbedConfig()
+    sim = Simulator()
+    net = Network(sim, profile(cfg.transport))
+    snode = Node(sim, "nfs-server", cores=cfg.cores)
+    fs = _make_fs(sim, cfg, "export", cfg.raid_disks, cfg.server_cache_bytes)
+    server = NfsServer(sim, net, snode, fs)
+    clients = []
+    for i in range(cfg.num_clients):
+        cnode = Node(sim, f"client{i}", cores=cfg.cores)
+        ep = Endpoint(net, cnode)
+        clients.append(NfsClient(sim, cnode, ep, server))
+    return NFSTestbed(sim, net, cfg, server, clients)
+
+
+def scaled(cfg: TestbedConfig, **overrides) -> TestbedConfig:
+    """Convenience: copy a config with overrides (used by sweeps)."""
+    return replace(cfg, **overrides)

@@ -1,0 +1,28 @@
+"""IMCa — the InterMediate Caching architecture (the paper's core
+contribution, §4).
+
+Three components: :class:`CMCacheXlator` on each GlusterFS client,
+the MCD array (:mod:`repro.memcached`), and :class:`SMCacheXlator` on
+the GlusterFS server.  Use :func:`repro.cluster.build_gluster_testbed`
+to assemble a full system.
+"""
+
+from repro.core.blocks import BlockMapper, BlockValue, assemble_blocks, split_blocks
+from repro.core.cmcache import CMCacheXlator
+from repro.core.config import IMCaConfig
+from repro.core.keys import data_key, is_stat_key, parse_data_key, stat_key
+from repro.core.smcache import SMCacheXlator
+
+__all__ = [
+    "IMCaConfig",
+    "BlockMapper",
+    "BlockValue",
+    "split_blocks",
+    "assemble_blocks",
+    "CMCacheXlator",
+    "SMCacheXlator",
+    "stat_key",
+    "data_key",
+    "is_stat_key",
+    "parse_data_key",
+]

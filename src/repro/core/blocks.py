@@ -1,0 +1,166 @@
+"""Fixed-size cache blocks: alignment arithmetic and cached values.
+
+"IMCa uses a fixed block size to store file system data in the cache
+... IMCa may need to fetch or write additional blocks from/to the MCDs
+above and beyond what is requested ... if the beginning or end of the
+requested data element is not aligned with the boundary defined by the
+blocksize" (§4.3.1, Fig 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.localfs.types import ReadResult
+
+
+class BlockMapper:
+    """Pure arithmetic for one block size."""
+
+    __slots__ = ("block_size",)
+
+    def __init__(self, block_size: int) -> None:
+        if block_size < 1:
+            raise ValueError("block_size must be positive")
+        self.block_size = block_size
+
+    def block_index(self, offset: int) -> int:
+        return offset // self.block_size
+
+    def block_offset(self, index: int) -> int:
+        return index * self.block_size
+
+    def cover(self, offset: int, size: int) -> range:
+        """Block indices whose blocks intersect ``[offset, offset+size)``."""
+        if offset < 0 or size < 0:
+            raise ValueError("negative offset/size")
+        if size == 0:
+            return range(0, 0)
+        first = offset // self.block_size
+        last = (offset + size - 1) // self.block_size
+        return range(first, last + 1)
+
+    def align(self, offset: int, size: int) -> tuple[int, int]:
+        """Smallest block-aligned ``(offset, size)`` covering the range —
+        the extra data of Fig 3."""
+        blocks = self.cover(offset, size)
+        if not blocks:
+            return (offset - offset % self.block_size, 0)
+        start = blocks[0] * self.block_size
+        end = (blocks[-1] + 1) * self.block_size
+        return start, end - start
+
+    def extra_bytes(self, offset: int, size: int) -> int:
+        """How many bytes beyond the request the aligned fetch moves."""
+        _, aligned = self.align(offset, size)
+        return aligned - size
+
+
+@dataclass
+class BlockValue:
+    """What SMCache stores in an MCD under a data key.
+
+    Content identity is the sliced interval list (exact); literal bytes
+    ride along while the file is small.  ``length`` may be short at EOF.
+    """
+
+    path: str
+    block_offset: int
+    length: int
+    intervals: list[tuple[int, int, int]]
+    data: Optional[bytes] = None
+
+    @property
+    def end(self) -> int:
+        return self.block_offset + self.length
+
+
+def split_blocks(mapper: BlockMapper, result: ReadResult, path: str) -> list[BlockValue]:
+    """Cut an (aligned) server read into per-block cache values."""
+    out: list[BlockValue] = []
+    end = result.offset + result.size
+    for idx in mapper.cover(result.offset, result.size):
+        b_start = mapper.block_offset(idx)
+        b_end = min(b_start + mapper.block_size, end)
+        if b_end <= b_start:
+            continue
+        ivs = [
+            (max(s, b_start), min(e, b_end), v)
+            for s, e, v in result.intervals
+            if max(s, b_start) < min(e, b_end)
+        ]
+        data = None
+        if result.data is not None:
+            lo = b_start - result.offset
+            data = result.data[lo : lo + (b_end - b_start)]
+        out.append(BlockValue(path, b_start, b_end - b_start, ivs, data))
+    return out
+
+
+def assemble_blocks(
+    mapper: BlockMapper,
+    blocks: dict[int, BlockValue],
+    offset: int,
+    size: int,
+    file_size: Optional[int] = None,
+) -> Optional[ReadResult]:
+    """Rebuild a client read from cached blocks.
+
+    Returns None when the blocks cannot satisfy the request contiguously
+    from ``offset`` (treated as a miss by CMCache).
+
+    Without *file_size*, a *short* block (length < block size) is also
+    treated as a miss: it was the EOF block when cached, but the client
+    cannot know the file's current size — a later write may have
+    extended the file past it without touching its bytes (so SMCache
+    never re-pushed it), and serving it would truncate the read or hide
+    holes.
+
+    With *file_size* (taken from the file's coherent ``:stat`` entry,
+    fetched in the same multi-get), the EOF position is known: a short
+    block is served iff its length runs exactly to EOF, requests are
+    clamped at EOF, and reads entirely past EOF return an empty result.
+    """
+    if file_size is not None:
+        if offset >= file_size:
+            return ReadResult(offset=offset, size=0)
+        size = min(size, file_size - offset)
+    intervals: list[tuple[int, int, int]] = []
+    data_parts: list[bytes] = []
+    have_data = True
+    pos = offset
+    end = offset + size
+    for idx in mapper.cover(offset, size):
+        bv = blocks.get(mapper.block_offset(idx))
+        if bv is None:
+            return None
+        if bv.length < mapper.block_size:
+            if file_size is None:
+                return None  # cannot prove this is still the EOF block
+            expected = min(mapper.block_size, file_size - bv.block_offset)
+            if bv.length != expected:
+                return None  # stale short block: file grew past it
+        take_start = max(pos, bv.block_offset)
+        if take_start != pos:
+            return None  # gap: block starts past where we need bytes
+        take_end = min(end, bv.end)
+        if take_end > take_start:
+            for s, e, v in bv.intervals:
+                s2, e2 = max(s, take_start), min(e, take_end)
+                if s2 < e2:
+                    if intervals and intervals[-1][2] == v and intervals[-1][1] == s2:
+                        intervals[-1] = (intervals[-1][0], e2, v)
+                    else:
+                        intervals.append((s2, e2, v))
+            if bv.data is not None:
+                lo = take_start - bv.block_offset
+                data_parts.append(bv.data[lo : lo + (take_end - take_start)])
+            else:
+                have_data = False
+            pos = take_end
+    actual = pos - offset
+    data = b"".join(data_parts) if (have_data and actual) else None
+    if data is not None and len(data) != actual:
+        data = None
+    return ReadResult(offset=offset, size=actual, intervals=intervals, data=data)

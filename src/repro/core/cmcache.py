@@ -1,0 +1,131 @@
+"""CMCache — the Client Memory Cache translator (§4.1, §4.2, Fig 4(b)).
+
+Sits at the top of the GlusterFS client stack.  Intercepts ``stat`` and
+``Read`` and attempts to satisfy them directly from the MCD array;
+everything else (and every miss) propagates to the server.  ``Write``
+is deliberately not intercepted — writes must be persistent (§4.3.2).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.core.blocks import BlockMapper, BlockValue, assemble_blocks
+from repro.core.config import IMCaConfig
+from repro.core.keys import data_key, stat_key
+from repro.gluster.xlator import Xlator
+from repro.localfs.types import ReadResult, StatBuf
+from repro.memcached.client import MemcacheClient
+from repro.util.stats import Counter
+
+
+class CMCacheXlator(Xlator):
+    """Client-side IMCa translator."""
+
+    def __init__(self, mc: MemcacheClient, config: Optional[IMCaConfig] = None) -> None:
+        super().__init__("cmcache")
+        self.mc = mc
+        self.config = config or IMCaConfig()
+        self.mapper = BlockMapper(self.config.block_size)
+        #: The open-file database: absolute path -> open count (§4.3.2
+        #: "the absolute path of the file and the file descriptor is
+        #: stored in a database").
+        self.open_db: dict[str, int] = {}
+        self.metrics = Counter()
+
+    # -- bookkeeping -------------------------------------------------------
+    def _note_open(self, path: str) -> None:
+        self.open_db[path] = self.open_db.get(path, 0) + 1
+
+    def _note_close(self, path: str) -> None:
+        n = self.open_db.get(path, 0) - 1
+        if n <= 0:
+            self.open_db.pop(path, None)
+        else:
+            self.open_db[path] = n
+
+    # -- intercepted fops -----------------------------------------------------
+    def stat(self, path: str) -> Generator:
+        """Try the MCD array first; fall back to the server (§4.2)."""
+        key = stat_key(path) if self.config.cache_stat else None
+        if key is not None:
+            cached = yield from self.mc.get(key)
+            if cached is not None and isinstance(cached.value, StatBuf):
+                self.metrics.inc("stat_hits")
+                return cached.value.copy()
+            self.metrics.inc("stat_misses")
+        result = yield from self._down().stat(path)
+        return result
+
+    def read(self, path: str, offset: int, size: int) -> Generator:
+        """Fig 4(b): fetch covering blocks; any miss forwards the whole
+        read (the paper's "cost of a miss is more expensive" path).
+
+        The file's ``:stat`` entry rides in the same multi-get: SMCache
+        refreshes it on every write, so its size lets the client trust
+        short (EOF) blocks and clamp reads at EOF — without it, any
+        request touching a short block must conservatively miss.
+        """
+        if not self.config.cache_data or size <= 0:
+            result = yield from self._down().read(path, offset, size)
+            return result
+        indices = list(self.mapper.cover(offset, size))
+        keys: list[str] = []
+        hints: list[Optional[int]] = []
+        for idx in indices:
+            key = data_key(path, self.mapper.block_offset(idx))
+            if key is None:
+                # Path too long to cache: bypass entirely.
+                self.metrics.inc("uncacheable")
+                result = yield from self._down().read(path, offset, size)
+                return result
+            keys.append(key)
+            hints.append(idx)
+        skey = stat_key(path) if self.config.cache_stat else None
+        if skey is not None:
+            keys.append(skey)
+            hints.append(None)
+        self.metrics.inc("blocks_requested", len(indices))
+        found = yield from self.mc.get_multi(keys, hints)
+
+        file_size: Optional[int] = None
+        if skey is not None:
+            cached_stat = found.pop(skey, None)
+            if cached_stat is not None and isinstance(cached_stat.value, StatBuf):
+                file_size = cached_stat.value.size
+
+        blocks = {
+            bv.block_offset: bv
+            for bv in (item.value for item in found.values())
+            if isinstance(bv, BlockValue)
+        }
+        # With a known size, blocks entirely past EOF are not needed.
+        needed = indices
+        if file_size is not None:
+            needed = [i for i in indices if self.mapper.block_offset(i) < file_size]
+        if all(self.mapper.block_offset(i) in blocks for i in needed):
+            assembled = assemble_blocks(
+                self.mapper, blocks, offset, size, file_size=file_size
+            )
+            if assembled is not None:
+                self.metrics.inc("read_hits")
+                return assembled
+        self.metrics.inc("read_misses")
+        result = yield from self._down().read(path, offset, size)
+        return result
+
+    # -- pass-through with bookkeeping ---------------------------------------------
+    def open(self, path: str) -> Generator:
+        result = yield from self._down().open(path)
+        self._note_open(path)
+        return result
+
+    def create(self, path: str) -> Generator:
+        result = yield from self._down().create(path)
+        self._note_open(path)
+        return result
+
+    def flush(self, path: str) -> Generator:
+        result = yield from self._down().flush(path)
+        self._note_close(path)
+        return result

@@ -1,0 +1,67 @@
+"""IMCa configuration knobs.
+
+Defaults follow the paper: 2 KiB blocks ("We use a block size of 2K for
+the remaining experiments", §5.3), CRC32 key->MCD distribution (§5.1),
+synchronous SMCache updates (threaded mode is the §5.3 write-latency
+optimisation), purge-on-open and discard-on-close (§4.3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.memcached.slabs import PAGE_SIZE
+from repro.util.units import KiB
+
+
+@dataclass
+class IMCaConfig:
+    """Behavioural switches for the CMCache/SMCache pair."""
+
+    #: Fixed cache block size (§4.3.1).  Bounded above by memcached's
+    #: 1 MiB value limit.
+    block_size: int = 2 * KiB
+
+    #: Offload SMCache's MCD updates (and write read-back) to the update
+    #: thread instead of the request's critical path (§4.3.2, Fig 6(c)).
+    threaded_updates: bool = False
+
+    #: How many update threads drain the queue in threaded mode.
+    update_threads: int = 2
+
+    #: Serve stat from the MCDs (§4.2).
+    cache_stat: bool = True
+
+    #: Serve reads from the MCDs (§4.3).
+    cache_data: bool = True
+
+    #: Key->MCD distribution: "crc32" (libmemcache default), "modulo"
+    #: (round-robin block striping, §5.5) or "ketama" (consistent
+    #: hashing, the §7 future-work direction).
+    selector: str = "crc32"
+
+    #: Purge a file's cached blocks when the server sees an Open (§4.3.2).
+    purge_on_open: bool = True
+
+    #: Discard a file's cached blocks when the server sees a Close (§4.3.2).
+    purge_on_close: bool = True
+
+    #: Refresh the ``:stat`` entry after writes so pollers (the §4.2
+    #: producer/consumer pattern) observe fresh mtimes.
+    update_stat_on_write: bool = True
+
+    #: TTLs for cached entries; 0 = rely purely on LRU (memcached's
+    #: lazy-expiration default).
+    stat_ttl: float = 0.0
+    block_ttl: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.block_size < 1:
+            raise ValueError("block_size must be positive")
+        if self.block_size > PAGE_SIZE:
+            raise ValueError(
+                f"block_size {self.block_size} exceeds memcached's "
+                f"{PAGE_SIZE}-byte value ceiling (§4.3.1)"
+            )
+        if self.selector not in ("crc32", "modulo", "ketama"):
+            raise ValueError(f"unknown selector {self.selector!r}")

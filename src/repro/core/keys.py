@@ -1,0 +1,39 @@
+"""IMCa's memcached key schema (§4.2, §4.3.2).
+
+* stat entries: absolute pathname with ``:stat`` appended;
+* data blocks: absolute pathname with the block's byte offset appended.
+
+memcached caps keys at 250 bytes; paths too long to form valid keys are
+simply not cached (CMCache forwards, SMCache skips the push) — the
+transparent degradation §4.4 requires.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.memcached.engine import MAX_KEY_LEN
+
+STAT_SUFFIX = ":stat"
+
+
+def stat_key(path: str) -> Optional[str]:
+    """``/abs/path:stat`` or None when it would exceed the key limit."""
+    key = path + STAT_SUFFIX
+    return key if len(key) <= MAX_KEY_LEN else None
+
+
+def data_key(path: str, block_offset: int) -> Optional[str]:
+    """``/abs/path:<offset>`` or None when it would exceed the limit."""
+    key = f"{path}:{block_offset}"
+    return key if len(key) <= MAX_KEY_LEN else None
+
+
+def is_stat_key(key: str) -> bool:
+    return key.endswith(STAT_SUFFIX)
+
+
+def parse_data_key(key: str) -> tuple[str, int]:
+    """Inverse of :func:`data_key` (diagnostics/tests)."""
+    path, _, off = key.rpartition(":")
+    return path, int(off)

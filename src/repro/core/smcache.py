@@ -1,0 +1,218 @@
+"""SMCache — the Server Memory Cache translator (§4.1, Fig 4(a)/(c)).
+
+Sits above the posix brick on the GlusterFS server.  The request path
+may transform operations (reads are extended to block boundaries); the
+completion path — the code after each ``yield from self._down()...``,
+i.e. the callback-handler hooks of §4.1 — feeds results to the MCDs:
+
+* ``open``:   purge the file's cached blocks, push its stat (§4.2/§4.3.2)
+* ``read``:   push the covering blocks after the FS read completes
+* ``write``:  after the persistent write, read back the block-aligned
+  region and push it ("neither CMCache nor SMCache can directly send
+  the Write data to the MCDs", §4.3.2)
+* ``unlink``: remove the file's entries ("avoid false positives", §4.2)
+* ``close``:  discard the file's data blocks
+
+With ``threaded_updates`` the pushes (and the write read-back) run on
+an update thread off the critical path — the Fig 6(c) optimisation.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Generator, Optional
+
+from repro.core.blocks import BlockMapper, split_blocks
+from repro.core.config import IMCaConfig
+from repro.core.keys import data_key, stat_key
+from repro.gluster.xlator import Xlator
+from repro.localfs.types import ReadResult, StatBuf, slice_result
+from repro.memcached.client import MemcacheClient
+from repro.sim.store import Store
+from repro.util.stats import Counter
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Simulator
+
+
+class SMCacheXlator(Xlator):
+    """Server-side IMCa translator."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        mc: MemcacheClient,
+        config: Optional[IMCaConfig] = None,
+    ) -> None:
+        super().__init__("smcache")
+        self.sim = sim
+        self.mc = mc
+        self.config = config or IMCaConfig()
+        self.mapper = BlockMapper(self.config.block_size)
+        #: path -> block offsets this server has pushed (purge index).
+        self._pushed: dict[str, set[int]] = {}
+        self.metrics = Counter()
+        self._queue: Optional[Store] = None
+        if self.config.threaded_updates:
+            self._queue = Store(sim)
+            for i in range(max(1, self.config.update_threads)):
+                sim.process(self._update_worker(), name=f"smcache-updater{i}")
+
+    # -- update thread ---------------------------------------------------------
+    def _update_worker(self) -> Generator:
+        """The "additional thread" of §4.3.2: drains queued MCD updates."""
+        assert self._queue is not None
+        while True:
+            task: Callable[[], Generator] = yield self._queue.get()
+            self.metrics.inc("async_updates")
+            yield from task()
+
+    def _run_update(self, task: Callable[[], Generator]) -> Generator:
+        """Run *task* inline (sync mode) or hand it to the update thread."""
+        if self._queue is not None:
+            yield self._queue.put(task)
+        else:
+            yield from task()
+
+    # -- MCD plumbing -------------------------------------------------------------
+    def _push_stat(self, path: str, stat: StatBuf) -> Generator:
+        key = stat_key(path)
+        if key is None or not self.config.cache_stat:
+            return
+        self.metrics.inc("stat_pushes")
+        yield from self.mc.set(
+            key, stat.copy(), nbytes=StatBuf.WIRE_SIZE, ttl=self.config.stat_ttl
+        )
+
+    def _push_blocks(self, path: str, result: ReadResult) -> Generator:
+        if not self.config.cache_data or result.size == 0:
+            return
+        pushed = self._pushed.setdefault(path, set())
+        todo: list[tuple[str, object, int]] = []
+        for bv in split_blocks(self.mapper, result, path):
+            key = data_key(path, bv.block_offset)
+            if key is None:
+                self.metrics.inc("uncacheable")
+                continue
+            self.metrics.inc("block_pushes")
+            todo.append((key, bv, self.mapper.block_index(bv.block_offset)))
+        if not todo:
+            return
+        if len(todo) == 1:
+            key, bv, hint = todo[0]
+            ok = yield from self.mc.set(
+                key, bv, nbytes=bv.length, ttl=self.config.block_ttl, hint=hint
+            )
+            if ok:
+                pushed.add(bv.block_offset)
+            return
+        # Several blocks: the daemon pipelines its MCD connections, so
+        # the sets proceed concurrently (wall time ~ slowest, not sum).
+        def one(key: str, bv, hint: int) -> Generator:
+            ok = yield from self.mc.set(
+                key, bv, nbytes=bv.length, ttl=self.config.block_ttl, hint=hint
+            )
+            if ok:
+                pushed.add(bv.block_offset)
+
+        procs = [
+            self.sim.process(one(key, bv, hint), name="smcache-push")
+            for key, bv, hint in todo
+        ]
+        yield self.sim.all_of(procs)
+
+    def _purge_data(self, path: str) -> Generator:
+        offsets = self._pushed.pop(path, None)
+        if not offsets:
+            return
+        keys, hints = [], []
+        for off in sorted(offsets):
+            key = data_key(path, off)
+            if key is not None:
+                keys.append(key)
+                hints.append(self.mapper.block_index(off))
+        if keys:
+            self.metrics.inc("purges")
+            self.metrics.inc("purged_blocks", len(keys))
+            yield from self.mc.delete_multi(keys, hints)
+
+    def _purge_stat(self, path: str) -> Generator:
+        key = stat_key(path)
+        if key is not None:
+            yield from self.mc.delete(key)
+
+    # -- fops ---------------------------------------------------------------------
+    def open(self, path: str) -> Generator:
+        result: StatBuf = yield from self._down().open(path)
+        if self.config.purge_on_open:
+            yield from self._purge_data(path)
+        yield from self._push_stat(path, result)
+        return result
+
+    def create(self, path: str) -> Generator:
+        result: StatBuf = yield from self._down().create(path)
+        yield from self._push_stat(path, result)
+        return result
+
+    def stat(self, path: str) -> Generator:
+        """A stat that reached the server was a CMCache miss: push the
+        fresh structure so the next one hits."""
+        result: StatBuf = yield from self._down().stat(path)
+        yield from self._run_update(lambda: self._push_stat(path, result))
+        return result
+
+    def read(self, path: str, offset: int, size: int) -> Generator:
+        if not self.config.cache_data or size <= 0:
+            result = yield from self._down().read(path, offset, size)
+            return result
+        # Extend to block boundaries (Fig 4(a)): "the Read operation may
+        # potentially require the server to read additional data".
+        aoff, asize = self.mapper.align(offset, size)
+        self.metrics.inc("read_extra_bytes", asize - size)
+        aligned: ReadResult = yield from self._down().read(path, aoff, asize)
+        yield from self._run_update(lambda: self._push_blocks(path, aligned))
+        return slice_result(aligned, offset, size)
+
+    def write(self, path: str, offset: int, size: int, data=None) -> Generator:
+        """Fig 4(c): persist first, then read back the covering blocks
+        and update the MCDs."""
+        version = yield from self._down().write(path, offset, size, data)
+
+        if self.config.cache_data and size > 0:
+            aoff, asize = self.mapper.align(offset, size)
+
+            def update() -> Generator:
+                readback: ReadResult = yield from self._down().read(path, aoff, asize)
+                self.metrics.inc("write_readbacks")
+                yield from self._push_blocks(path, readback)
+                if self.config.update_stat_on_write:
+                    fresh: StatBuf = yield from self._down().stat(path)
+                    yield from self._push_stat(path, fresh)
+
+            yield from self._run_update(update)
+        elif self.config.update_stat_on_write and self.config.cache_stat:
+
+            def stat_only() -> Generator:
+                fresh: StatBuf = yield from self._down().stat(path)
+                yield from self._push_stat(path, fresh)
+
+            yield from self._run_update(stat_only)
+        return version
+
+    def truncate(self, path: str, length: int) -> Generator:
+        result = yield from self._down().truncate(path, length)
+        # Cached blocks above (and straddling) the cut are now wrong.
+        yield from self._purge_data(path)
+        yield from self._push_stat(path, result)
+        return result
+
+    def unlink(self, path: str) -> Generator:
+        result = yield from self._down().unlink(path)
+        yield from self._purge_data(path)
+        yield from self._purge_stat(path)
+        return result
+
+    def flush(self, path: str) -> Generator:
+        result = yield from self._down().flush(path)
+        if self.config.purge_on_close:
+            yield from self._purge_data(path)
+        return result

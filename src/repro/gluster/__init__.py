@@ -1,0 +1,51 @@
+"""A GlusterFS-like clustered file system (§2.1 of the paper).
+
+Translator (xlator) architecture with client and server stacks:
+
+* client: FUSE entry -> [CMCache] -> [read-ahead/write-behind] ->
+  [distribute] -> protocol/client
+* server: protocol service -> [SMCache] -> storage/posix -> LocalFS
+
+The IMCa translators live in :mod:`repro.core` and plug into these
+stacks exactly as §4.1 describes.
+"""
+
+from repro.gluster.client import BadFd, GlusterClient
+from repro.gluster.costs import (
+    DATA_OP_OVERHEAD,
+    FUSE_OP_CPU,
+    POSIX_OP_CPU,
+    SERVER_IO_THREADS,
+    SERVER_OP_CPU,
+    STAT_WIRE,
+)
+from repro.gluster.distribute import DistributeXlator
+from repro.gluster.iocache import IoCacheXlator
+from repro.gluster.iostats import IoStatsXlator
+from repro.gluster.protocol import ClientProtocol
+from repro.gluster.readahead import ReadAheadXlator
+from repro.gluster.server import GlusterServer, PosixXlator, SERVICE
+from repro.gluster.writebehind import WriteBehindXlator
+from repro.gluster.xlator import FOPS, Xlator
+
+__all__ = [
+    "Xlator",
+    "FOPS",
+    "GlusterClient",
+    "GlusterServer",
+    "PosixXlator",
+    "ClientProtocol",
+    "DistributeXlator",
+    "IoCacheXlator",
+    "IoStatsXlator",
+    "ReadAheadXlator",
+    "WriteBehindXlator",
+    "BadFd",
+    "SERVICE",
+    "FUSE_OP_CPU",
+    "SERVER_OP_CPU",
+    "POSIX_OP_CPU",
+    "SERVER_IO_THREADS",
+    "STAT_WIRE",
+    "DATA_OP_OVERHEAD",
+]

@@ -1,0 +1,32 @@
+"""CPU cost constants for the GlusterFS-like stack.
+
+GlusterFS (1.3-era, as in the paper) runs mostly in userspace behind
+FUSE: every client operation crosses VFS -> FUSE kernel module ->
+userspace daemon, and every server operation pays protocol decode +
+translator dispatch + a real syscall into the brick's local FS.  These
+crossings are the "other copying overheads such as those across the
+VFS layer and other file system related overheads" that §3 notes RDMA
+cannot eliminate — and they are what an MCD op avoids.
+"""
+
+from repro.util.units import USEC
+
+#: Client-side cost per operation: VFS + FUSE crossings + client xlators.
+FUSE_OP_CPU = 18 * USEC
+
+#: Server-side protocol decode + translator dispatch per operation
+#: (1.3-era glusterfsd: protocol unmarshal, inode table walk, xlator
+#: dispatch — substantially heavier than a memcached hash lookup).
+SERVER_OP_CPU = 40 * USEC
+
+#: Server-side posix-brick syscall overhead per operation.
+POSIX_OP_CPU = 20 * USEC
+
+#: glusterfsd request-processing concurrency (io-threads translator).
+SERVER_IO_THREADS = 2
+
+#: Wire size of a stat reply payload (struct stat64 marshalled).
+STAT_WIRE = 144
+
+#: Fixed non-payload bytes of read/write requests beyond the RPC header.
+DATA_OP_OVERHEAD = 64

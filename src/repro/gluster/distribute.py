@@ -1,0 +1,73 @@
+"""cluster/distribute: namespace distribution across bricks.
+
+"GlusterFS in its default configuration does not stripe the data, but
+instead distributes the namespace across all the servers" (§2.1).
+Whole files are placed on one brick chosen by a hash of the path; every
+fop routes to the owning brick's protocol/client.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.gluster.protocol import ClientProtocol
+from repro.gluster.xlator import Xlator
+from repro.util.crc32 import crc32
+
+
+class DistributeXlator(Xlator):
+    """Client-side fan-out over several brick connections."""
+
+    def __init__(self, subvolumes: list[ClientProtocol]) -> None:
+        super().__init__("distribute")
+        if not subvolumes:
+            raise ValueError("distribute needs at least one subvolume")
+        self.subvolumes = subvolumes
+
+    def brick_for(self, path: str) -> ClientProtocol:
+        return self.subvolumes[crc32(path) % len(self.subvolumes)]
+
+    def _route(self, fop: str, path: str, *rest) -> Generator:
+        method = getattr(self.brick_for(path), fop)
+        result = yield from method(path, *rest)
+        return result
+
+    def lookup(self, path):
+        result = yield from self._route("lookup", path)
+        return result
+
+    def create(self, path):
+        result = yield from self._route("create", path)
+        return result
+
+    def open(self, path):
+        result = yield from self._route("open", path)
+        return result
+
+    def read(self, path, offset, size):
+        result = yield from self._route("read", path, offset, size)
+        return result
+
+    def write(self, path, offset, size, data=None):
+        result = yield from self._route("write", path, offset, size, data)
+        return result
+
+    def stat(self, path):
+        result = yield from self._route("stat", path)
+        return result
+
+    def truncate(self, path, length):
+        result = yield from self._route("truncate", path, length)
+        return result
+
+    def unlink(self, path):
+        result = yield from self._route("unlink", path)
+        return result
+
+    def flush(self, path):
+        result = yield from self._route("flush", path)
+        return result
+
+    def fsync(self, path):
+        result = yield from self._route("fsync", path)
+        return result

@@ -1,0 +1,80 @@
+"""performance/read-ahead translator (client side).
+
+"Translators exist for Read Ahead and Write Behind" (§2.1).  Not part
+of the paper's default (NoCache) configuration, but implemented for the
+ablation benches: on a sequential read pattern the translator fetches a
+whole window and serves subsequent reads from its buffer, trading
+coherency (the buffer can go stale under sharing — the very weakness
+IMCa's server-coherent cache bank avoids) for latency.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.gluster.xlator import Xlator
+from repro.localfs.types import ReadResult, slice_result
+from repro.util.stats import Counter
+from repro.util.units import KiB
+
+
+class ReadAheadXlator(Xlator):
+    """Per-file single-window read-ahead buffer."""
+
+    def __init__(self, window: int = 128 * KiB) -> None:
+        super().__init__("read-ahead")
+        if window < 4 * KiB:
+            raise ValueError("window too small")
+        self.window = window
+        #: path -> buffered ReadResult (covers [r.offset, r.offset+r.size)).
+        self._buf: dict[str, ReadResult] = {}
+        #: path -> offset where the next sequential read would start.
+        self._expect: dict[str, int] = {}
+        self.stats = Counter()
+
+    def _invalidate(self, path: str) -> None:
+        self._buf.pop(path, None)
+        self._expect.pop(path, None)
+
+    def read(self, path: str, offset: int, size: int) -> Generator:
+        buf: Optional[ReadResult] = self._buf.get(path)
+        if buf is not None and buf.offset <= offset and offset + size <= buf.offset + buf.size:
+            self.stats.inc("ra_hits")
+            self._expect[path] = offset + size
+            return slice_result(buf, offset, size)
+        sequential = self._expect.get(path) == offset
+        self._expect[path] = offset + size
+        if sequential and size < self.window:
+            # Fetch a full window; keep the remainder buffered.
+            self.stats.inc("ra_fetches")
+            big = yield from self._down().read(path, offset, self.window)
+            self._buf[path] = big
+            return slice_result(big, offset, size)
+        self.stats.inc("ra_bypass")
+        result = yield from self._down().read(path, offset, size)
+        return result
+
+    def write(self, path: str, offset: int, size: int, data=None) -> Generator:
+        self._invalidate(path)
+        version = yield from self._down().write(path, offset, size, data)
+        return version
+
+    def truncate(self, path: str, length: int) -> Generator:
+        self._invalidate(path)
+        result = yield from self._down().truncate(path, length)
+        return result
+
+    def unlink(self, path: str) -> Generator:
+        self._invalidate(path)
+        result = yield from self._down().unlink(path)
+        return result
+
+    def flush(self, path: str) -> Generator:
+        self._invalidate(path)
+        result = yield from self._down().flush(path)
+        return result
+
+    def open(self, path: str) -> Generator:
+        self._invalidate(path)
+        result = yield from self._down().open(path)
+        return result

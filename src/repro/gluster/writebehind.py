@@ -1,0 +1,101 @@
+"""performance/write-behind translator (client side).
+
+Aggregates small contiguous writes and winds one merged write when the
+buffer fills, a non-contiguous write arrives, or any operation needs
+the data visible (read/stat/flush/...).  Acknowledges writes before
+they are durable — the standard write-behind safety trade-off, and why
+IMCa instead keeps writes synchronous at the server ("Writes are always
+persistent in IMCa", §4.4).
+
+Buffered writes return version ``0`` (not yet assigned by the server).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+from repro.gluster.xlator import Xlator
+from repro.util.stats import Counter
+from repro.util.units import KiB
+
+
+@dataclass
+class _Pending:
+    offset: int
+    size: int = 0
+    chunks: list = field(default_factory=list)  # data or None fragments
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.size
+
+
+class WriteBehindXlator(Xlator):
+    """Per-file aggregation of contiguous writes."""
+
+    def __init__(self, window: int = 128 * KiB) -> None:
+        super().__init__("write-behind")
+        if window < 4 * KiB:
+            raise ValueError("window too small")
+        self.window = window
+        self._pending: dict[str, _Pending] = {}
+        self.stats = Counter()
+
+    def _flush_pending(self, path: str) -> Generator:
+        p = self._pending.pop(path, None)
+        if p is None or p.size == 0:
+            return
+        data = None
+        if all(c is not None for c in p.chunks):
+            data = b"".join(p.chunks)
+        self.stats.inc("wb_flushes")
+        yield from self._down().write(path, p.offset, p.size, data)
+
+    def write(self, path: str, offset: int, size: int, data=None) -> Generator:
+        p = self._pending.get(path)
+        if p is not None and offset != p.end:
+            # Non-contiguous: push what we have first.
+            yield from self._flush_pending(path)
+            p = None
+        if p is None:
+            p = self._pending[path] = _Pending(offset=offset)
+        p.chunks.append(data)
+        p.size += size
+        self.stats.inc("wb_buffered")
+        if p.size >= self.window:
+            yield from self._flush_pending(path)
+        return 0  # version unknown until the aggregate write lands
+
+    def _barrier(self, path: str) -> Generator:
+        yield from self._flush_pending(path)
+
+    def read(self, path: str, offset: int, size: int) -> Generator:
+        yield from self._barrier(path)
+        result = yield from self._down().read(path, offset, size)
+        return result
+
+    def stat(self, path: str) -> Generator:
+        yield from self._barrier(path)
+        result = yield from self._down().stat(path)
+        return result
+
+    def truncate(self, path: str, length: int) -> Generator:
+        yield from self._barrier(path)
+        result = yield from self._down().truncate(path, length)
+        return result
+
+    def unlink(self, path: str) -> Generator:
+        yield from self._barrier(path)
+        result = yield from self._down().unlink(path)
+        return result
+
+    def flush(self, path: str) -> Generator:
+        yield from self._barrier(path)
+        result = yield from self._down().flush(path)
+        return result
+
+    def fsync(self, path: str) -> Generator:
+        yield from self._barrier(path)
+        result = yield from self._down().fsync(path)
+        return result

@@ -1,0 +1,112 @@
+"""The translator (xlator) framework.
+
+"Internally, GlusterFS is based on the concept of translators.
+Translators may be applied at either the client or the server" (§2.1).
+A translator implements file operations and winds them to its child;
+results unwind back through it, giving it a hook on both the request
+path and the completion path — IMCa's CMCache and SMCache are exactly
+such translators (§4.1).
+
+In C GlusterFS this is the asynchronous STACK_WIND / STACK_UNWIND
+callback machinery; here each fop is a generator, so code *after*
+``yield from self.child.fop(...)`` is precisely the unwind-path
+callback hook (where SMCache intercepts results, §4.1).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.localfs.types import ReadResult, StatBuf
+
+#: The fop names every translator understands.
+FOPS = (
+    "lookup",
+    "create",
+    "open",
+    "read",
+    "write",
+    "stat",
+    "truncate",
+    "unlink",
+    "flush",
+    "fsync",
+)
+
+
+class Xlator:
+    """Base translator: passes every fop through to its child.
+
+    Subclasses override the fops they intercept and call
+    ``yield from self.child.<fop>(...)`` to wind downwards.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.child: Optional["Xlator"] = None
+
+    # -- graph construction -------------------------------------------------
+    @staticmethod
+    def build_stack(xlators: list["Xlator"]) -> "Xlator":
+        """Chain translators top-down; returns the top of the stack."""
+        if not xlators:
+            raise ValueError("empty translator stack")
+        for parent, child in zip(xlators, xlators[1:]):
+            parent.child = child
+        return xlators[0]
+
+    def _down(self) -> "Xlator":
+        if self.child is None:
+            raise RuntimeError(f"xlator {self.name!r} has no child to wind to")
+        return self.child
+
+    # -- fops (all generators) -------------------------------------------------
+    def lookup(self, path: str) -> Generator:
+        result: StatBuf = yield from self._down().lookup(path)
+        return result
+
+    def create(self, path: str) -> Generator:
+        result: StatBuf = yield from self._down().create(path)
+        return result
+
+    def open(self, path: str) -> Generator:
+        result: StatBuf = yield from self._down().open(path)
+        return result
+
+    def read(self, path: str, offset: int, size: int) -> Generator:
+        result: ReadResult = yield from self._down().read(path, offset, size)
+        return result
+
+    def write(self, path: str, offset: int, size: int, data=None) -> Generator:
+        version: int = yield from self._down().write(path, offset, size, data)
+        return version
+
+    def stat(self, path: str) -> Generator:
+        result: StatBuf = yield from self._down().stat(path)
+        return result
+
+    def truncate(self, path: str, length: int) -> Generator:
+        result: StatBuf = yield from self._down().truncate(path, length)
+        return result
+
+    def unlink(self, path: str) -> Generator:
+        result = yield from self._down().unlink(path)
+        return result
+
+    def flush(self, path: str) -> Generator:
+        """Close-time flush; the final fop a file sees from a client."""
+        result = yield from self._down().flush(path)
+        return result
+
+    def fsync(self, path: str) -> Generator:
+        """Durability barrier: returns when write-back reaches disk."""
+        result = yield from self._down().fsync(path)
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover
+        chain = [self.name]
+        node = self.child
+        while node is not None:
+            chain.append(node.name)
+            node = node.child
+        return f"<xlator stack {' -> '.join(chain)}>"

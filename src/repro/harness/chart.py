@@ -1,0 +1,111 @@
+"""ASCII charts for experiment series (terminal "figures").
+
+Renders multi-series data onto a character grid with optional log
+scales — enough to eyeball the paper's curve shapes (crossovers,
+saturation, cliffs) straight from the CLI::
+
+    python -m repro run fig5 --scale default --chart
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+#: Per-series glyphs, in assignment order.
+GLYPHS = "*o+x#@%&"
+
+
+def _transform(values: Sequence[float], log: bool) -> list[float]:
+    out = []
+    for v in values:
+        if v is None:
+            out.append(math.nan)
+        elif log:
+            out.append(math.log10(v) if v > 0 else math.nan)
+        else:
+            out.append(float(v))
+    return out
+
+
+def _fmt_tick(value: float, log: bool) -> str:
+    v = 10 ** value if log else value
+    if v == 0:
+        return "0"
+    magnitude = abs(v)
+    if magnitude < 1e-3 or magnitude >= 1e5:
+        return f"{v:.1e}"
+    return f"{v:.4g}"
+
+
+def render_chart(
+    x_values: Sequence[float],
+    series: dict[str, Sequence[float]],
+    *,
+    width: int = 64,
+    height: int = 18,
+    log_x: bool = False,
+    log_y: bool = True,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Plot *series* (name -> y values, aligned with x_values)."""
+    if not series:
+        raise ValueError("no series to plot")
+    if width < 16 or height < 6:
+        raise ValueError("chart too small")
+    xs = _transform(x_values, log_x)
+    all_ys: list[float] = []
+    t_series = {}
+    for name, ys in series.items():
+        if len(ys) != len(x_values):
+            raise ValueError(f"series {name!r} length mismatch")
+        t = _transform(ys, log_y)
+        t_series[name] = t
+        all_ys.extend(v for v in t if not math.isnan(v))
+    finite_x = [v for v in xs if not math.isnan(v)]
+    if not finite_x or not all_ys:
+        raise ValueError("nothing plottable")
+
+    x_lo, x_hi = min(finite_x), max(finite_x)
+    y_lo, y_hi = min(all_ys), max(all_ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def place(xv: float, yv: float, glyph: str) -> None:
+        col = round((xv - x_lo) / (x_hi - x_lo) * (width - 1))
+        row = round((yv - y_lo) / (y_hi - y_lo) * (height - 1))
+        grid[height - 1 - row][col] = glyph
+
+    for i, (name, ys) in enumerate(t_series.items()):
+        glyph = GLYPHS[i % len(GLYPHS)]
+        for xv, yv in zip(xs, ys):
+            if not (math.isnan(xv) or math.isnan(yv)):
+                place(xv, yv, glyph)
+
+    top_tick = _fmt_tick(y_hi, log_y)
+    bottom_tick = _fmt_tick(y_lo, log_y)
+    margin = max(len(top_tick), len(bottom_tick), len(y_label)) + 1
+    lines = [f"{y_label}{' ' * (margin - len(y_label))}" + ("(log)" if log_y else "")]
+    for r, row in enumerate(grid):
+        if r == 0:
+            prefix = top_tick.rjust(margin - 1) + "|"
+        elif r == height - 1:
+            prefix = bottom_tick.rjust(margin - 1) + "|"
+        else:
+            prefix = " " * (margin - 1) + "|"
+        lines.append(prefix + "".join(row))
+    lines.append(" " * (margin - 1) + "+" + "-" * width)
+    left = _fmt_tick(x_lo, log_x)
+    right = _fmt_tick(x_hi, log_x)
+    axis = left + " " * (width - len(left) - len(right)) + right
+    lines.append(" " * margin + axis + ("  (log)" if log_x else "") + f"  [{x_label}]")
+    legend = "  ".join(
+        f"{GLYPHS[i % len(GLYPHS)]}={name}" for i, name in enumerate(t_series)
+    )
+    lines.append("legend: " + legend)
+    return "\n".join(lines)

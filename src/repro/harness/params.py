@@ -1,0 +1,178 @@
+"""Per-scale experiment parameters.
+
+``smoke`` keeps each experiment in a few seconds of wall time (CI and
+pytest-benchmark), ``default`` produces clean figure shapes in tens of
+seconds, and ``paper`` pushes towards the paper's sizes (long runs;
+file counts remain scaled — 64 simulated clients each statting 262144
+files is billions of heap events in pure Python, and the contention
+shapes do not depend on the absolute file count).
+
+Working-set-sensitive parameters (server memory in Fig 1, MCD memory in
+Fig 7/8) are scaled *together* with file sizes so cliffs and capacity
+misses appear at the same relative positions as in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.util.units import GiB, KiB, MiB
+
+PARAMS: dict[str, dict[str, dict]] = {
+    # ---- Fig 1: NFS motivation --------------------------------------------
+    "fig1": {
+        "smoke": dict(
+            clients=[1, 2, 4],
+            transports=["ib-rdma", "ipoib", "gige"],
+            memories={"smallmem": 24 * MiB, "bigmem": 48 * MiB},
+            file_size=8 * MiB,
+            record_size=256 * KiB,
+            raid_disks=2,
+        ),
+        "default": dict(
+            clients=[1, 2, 4, 8],
+            transports=["ib-rdma", "ipoib", "gige"],
+            memories={"smallmem": 48 * MiB, "bigmem": 96 * MiB},
+            file_size=16 * MiB,
+            record_size=256 * KiB,
+            raid_disks=2,
+        ),
+        "paper": dict(
+            clients=[1, 2, 4, 8, 16],
+            transports=["ib-rdma", "ipoib", "gige"],
+            memories={"smallmem": 256 * MiB, "bigmem": 512 * MiB},
+            file_size=64 * MiB,
+            record_size=1 * MiB,
+            raid_disks=2,
+        ),
+    },
+    # ---- Fig 5: stat scaling ------------------------------------------------
+    "fig5": {
+        "smoke": dict(clients=[1, 4, 8], files=64, mcd_counts=[1, 2], lustre_ds=4),
+        "default": dict(
+            clients=[1, 2, 4, 8, 16, 32, 64],
+            files=384,
+            mcd_counts=[1, 2, 4, 6],
+            lustre_ds=4,
+        ),
+        "paper": dict(
+            clients=[1, 2, 4, 8, 16, 32, 64],
+            files=4096,
+            mcd_counts=[1, 2, 4, 6],
+            lustre_ds=4,
+        ),
+    },
+    # ---- Fig 6: single-client latency --------------------------------------------
+    "fig6": {
+        "smoke": dict(
+            sizes_small=[1, 64, 2 * KiB],
+            sizes_large=[16 * KiB, 128 * KiB],
+            records=16,
+            block_sizes=[256, 2 * KiB, 8 * KiB],
+            write_sizes=[1, 256, 2 * KiB, 16 * KiB],
+        ),
+        "default": dict(
+            sizes_small=[1, 4, 16, 64, 256, 1 * KiB, 4 * KiB],
+            sizes_large=[8 * KiB, 32 * KiB, 128 * KiB, 512 * KiB, 1 * MiB],
+            records=96,
+            block_sizes=[256, 2 * KiB, 8 * KiB],
+            write_sizes=[1, 16, 256, 2 * KiB, 16 * KiB, 128 * KiB],
+        ),
+        "paper": dict(
+            sizes_small=[1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1 * KiB, 2 * KiB, 4 * KiB],
+            sizes_large=[8 * KiB, 16 * KiB, 32 * KiB, 64 * KiB, 128 * KiB, 256 * KiB, 512 * KiB, 1 * MiB],
+            records=512,
+            block_sizes=[256, 2 * KiB, 8 * KiB],
+            write_sizes=[1, 16, 256, 2 * KiB, 16 * KiB, 128 * KiB, 1 * MiB],
+        ),
+    },
+    # ---- Fig 7: 32-client latency, varying MCDs ---------------------------------------
+    "fig7": {
+        "smoke": dict(
+            num_clients=8,
+            sizes=[1, 256, 8 * KiB],
+            records=12,
+            mcd_counts=[1, 4],
+            mcd_memory=16 * MiB,
+            lustre_ds=4,
+        ),
+        "default": dict(
+            num_clients=16,
+            sizes=[1, 16, 256, 2 * KiB, 8 * KiB, 64 * KiB],
+            records=48,
+            mcd_counts=[1, 2, 4],
+            mcd_memory=64 * MiB,
+            lustre_ds=4,
+        ),
+        "paper": dict(
+            num_clients=32,
+            sizes=[1, 4, 16, 64, 256, 1 * KiB, 2 * KiB, 8 * KiB, 16 * KiB, 64 * KiB],
+            records=256,
+            mcd_counts=[1, 2, 4],
+            mcd_memory=256 * MiB,
+            lustre_ds=4,
+        ),
+    },
+    # ---- Fig 8: client scaling at 1 MCD --------------------------------------------------
+    "fig8": {
+        "smoke": dict(
+            clients=[1, 4, 8],
+            sizes=[1, 2 * KiB],
+            records=12,
+            mcd_memory=8 * MiB,
+            lustre_ds=4,
+        ),
+        "default": dict(
+            clients=[1, 2, 4, 8, 16],
+            sizes=[1, 256, 2 * KiB, 16 * KiB],
+            records=32,
+            mcd_memory=16 * MiB,
+            lustre_ds=4,
+        ),
+        "paper": dict(
+            clients=[1, 2, 4, 8, 16, 32],
+            sizes=[1, 256, 2 * KiB, 16 * KiB, 64 * KiB],
+            records=128,
+            mcd_memory=64 * MiB,
+            lustre_ds=4,
+        ),
+    },
+    # ---- Fig 9: IOzone throughput ------------------------------------------------------------
+    "fig9": {
+        "smoke": dict(
+            threads=[1, 4],
+            mcd_counts=[0, 2],
+            file_size=2 * MiB,
+            record_size=256 * KiB,
+        ),
+        "default": dict(
+            threads=[1, 2, 4, 8],
+            mcd_counts=[0, 1, 2, 4],
+            file_size=8 * MiB,
+            record_size=256 * KiB,
+        ),
+        "paper": dict(
+            threads=[1, 2, 4, 8],
+            mcd_counts=[0, 1, 2, 4],
+            file_size=64 * MiB,
+            record_size=1 * MiB,
+        ),
+    },
+    # ---- Fig 10: shared file -------------------------------------------------------------------
+    "fig10": {
+        "smoke": dict(nodes=[2, 4, 8], record_size=2 * KiB, records=24),
+        "default": dict(nodes=[2, 4, 8, 16, 32], record_size=2 * KiB, records=64),
+        "paper": dict(nodes=[2, 4, 8, 16, 32], record_size=2 * KiB, records=256),
+    },
+}
+
+
+def params_for(experiment: str, scale: str) -> dict:
+    try:
+        by_scale = PARAMS[experiment]
+    except KeyError:
+        raise KeyError(f"no parameters for experiment {experiment!r}") from None
+    try:
+        return dict(by_scale[scale])
+    except KeyError:
+        raise KeyError(
+            f"unknown scale {scale!r} for {experiment}; have {sorted(by_scale)}"
+        ) from None

@@ -1,0 +1,74 @@
+"""Plain-text rendering for experiment results: tables and series."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from repro.util.units import fmt_bytes, fmt_rate, fmt_time
+
+
+def render_table(
+    rows: Sequence[dict],
+    columns: Sequence[tuple[str, str, Callable[[Any], str] | None]],
+) -> str:
+    """Render rows as an aligned ASCII table.
+
+    *columns* is ``[(key, header, formatter), ...]``; a ``None``
+    formatter stringifies.
+    """
+    def fmt(value: Any, formatter) -> str:
+        if value is None:
+            return "-"
+        return formatter(value) if formatter else str(value)
+
+    headers = [h for _, h, _ in columns]
+    body = [[fmt(row.get(k), f) for k, _, f in columns] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in body)) if body else len(headers[i])
+        for i in range(len(columns))
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for r in body:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def render_series_table(
+    x_name: str,
+    x_values: Sequence[Any],
+    series: dict[str, Sequence[float]],
+    value_fmt: Callable[[float], str] = fmt_time,
+) -> str:
+    """Render one row per x value, one column per series (figure style)."""
+    rows = []
+    for i, x in enumerate(x_values):
+        row = {"x": x}
+        for name, ys in series.items():
+            row[name] = ys[i] if i < len(ys) and ys[i] is not None else None
+        rows.append(row)
+    columns: list[tuple[str, str, Callable | None]] = [("x", x_name, str)]
+    for name in series:
+        columns.append((name, name, value_fmt))
+    return render_table(rows, columns)
+
+
+def fmt_time_col(x: float) -> str:
+    return fmt_time(x)
+
+
+def fmt_rate_col(x: float) -> str:
+    return fmt_rate(x)
+
+
+def fmt_bytes_col(x: float) -> str:
+    return fmt_bytes(x)
+
+
+def pct_change(base: float, new: float) -> float:
+    """Reduction of *new* vs *base* in percent (positive = improvement)."""
+    if base == 0:
+        return 0.0
+    return (base - new) / base * 100.0

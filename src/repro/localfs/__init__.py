@@ -1,0 +1,18 @@
+"""Local file system model (the substrate under every server).
+
+Provides timed POSIX-ish operations over the disk model and page
+cache, with exact content identity via interval version maps.
+"""
+
+from repro.localfs.fs import CHUNK_SIZE, FsError, LocalFS, META_IO_SIZE
+from repro.localfs.types import Inode, ReadResult, StatBuf
+
+__all__ = [
+    "LocalFS",
+    "FsError",
+    "StatBuf",
+    "ReadResult",
+    "Inode",
+    "CHUNK_SIZE",
+    "META_IO_SIZE",
+]

@@ -1,0 +1,25 @@
+"""A Lustre-like parallel file system baseline (§5.1: "the default
+configuration of Lustre 1.6.4.3 with a TCP transport over IPoIB").
+
+MDS with DLM lock-manager coherency, striped OSTs ("data servers"),
+and a lock-protected client cache with warm/cold configurations.
+"""
+
+from repro.lustre.client import LustreClient
+from repro.lustre.costs import FETCH_CHUNK
+from repro.lustre.ldlm import LockManager, PR, PW, compatible
+from repro.lustre.mds import MetadataServer
+from repro.lustre.ost import ObjectServer
+from repro.lustre.striping import StripeLayout
+
+__all__ = [
+    "LustreClient",
+    "MetadataServer",
+    "ObjectServer",
+    "LockManager",
+    "StripeLayout",
+    "PR",
+    "PW",
+    "compatible",
+    "FETCH_CHUNK",
+]

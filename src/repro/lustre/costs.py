@@ -1,0 +1,39 @@
+"""Cost constants for the Lustre-like baseline.
+
+Lustre's client is in-kernel (no FUSE crossing), its servers run
+dedicated kernel service threads, and its coherency comes from a
+distributed lock manager with "the metadata server acting as a lock
+manager.  Writes are flushed before locks are released" (§1).
+"""
+
+from repro.util.units import KiB, USEC
+
+#: Client-side VFS entry cost per op (in-kernel client: cheaper than FUSE).
+CLIENT_OP_CPU = 6 * USEC
+
+#: MDS request service cost (getattr, open, lock enqueue...).  Every
+#: getattr also takes an inodebits DLM lock at the MDS, which is folded
+#: into this per-op cost — Lustre-1.6 MDS stat storms were notoriously
+#: lock-bound.
+MDS_OP_CPU = 32 * USEC
+
+#: OST request service cost (object read/write, glimpse).
+OST_OP_CPU = 18 * USEC
+
+#: Service thread pools (kernel ptlrpc threads).
+MDS_THREADS = 4
+OST_THREADS = 8
+
+#: Lock-manager bookkeeping per enqueue/cancel on the MDS.
+LOCK_MGR_CPU = 6 * USEC
+
+#: Client cache granularity (Linux page size, as in the real client).
+#: Missing pages are fetched as whole contiguous runs, so streaming
+#: reads still move large RPCs while sub-page records pay one page.
+FETCH_CHUNK = 4 * KiB
+
+#: Local page-cache copy bandwidth at the client (bytes/s).
+CLIENT_COPY_BW = 4 * (1 << 30)
+
+#: Wire overhead of lustre RPCs beyond payload.
+RPC_OVERHEAD = 80

@@ -1,0 +1,102 @@
+"""The Lustre metadata server (MDS): namespace + lock manager.
+
+Serves getattr/create/open/unlink plus lock traffic.  File *data* lives
+on the OSTs; the MDS answer to a stat carries the namespace attributes
+and the stripe layout, and the client completes the size with a glimpse
+at the OST holding the last stripe — which is why Lustre stat is a
+multi-RPC operation and IMCa's single cached get beats it (§5.2).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+from repro.localfs.fs import LocalFS
+from repro.localfs.types import StatBuf
+from repro.lustre.costs import LOCK_MGR_CPU, MDS_OP_CPU, MDS_THREADS, RPC_OVERHEAD
+from repro.lustre.ldlm import LockManager
+from repro.lustre.striping import StripeLayout
+from repro.net.fabric import Network, Node
+from repro.net.rpc import Endpoint, RpcCall
+from repro.sim.station import FifoStation
+from repro.util.stats import Counter
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Simulator
+
+SERVICE = "mds"
+
+
+class MetadataServer:
+    """MDS node: namespace on a local FS (the MDT) + the DLM."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        net: Network,
+        node: Node,
+        fs: LocalFS,
+        layout: StripeLayout,
+    ) -> None:
+        self.sim = sim
+        self.node = node
+        self.fs = fs
+        self.layout = layout
+        self.endpoint = Endpoint(net, node)
+        self.threads = FifoStation(sim, MDS_THREADS, f"{node.name}.mds")
+        self.ldlm = LockManager(sim)
+        #: holder id -> client node (for blocking callbacks).
+        self._holders: dict[str, Node] = {}
+        self.stats = Counter()
+        self.endpoint.register(SERVICE, self._handle)
+        self.ldlm.set_revoke_callback(self._revoke)
+
+    def register_client(self, holder: str, node: Node) -> None:
+        self._holders[holder] = node
+
+    def _revoke(self, holder: str, path: str) -> Generator:
+        """Blocking callback: tell *holder* to drop its lock on *path*."""
+        node = self._holders.get(holder)
+        if node is None or not node.alive:
+            return
+        self.stats.inc("blocking_callbacks")
+        yield from self.endpoint.call(
+            node, "ldlm", ("revoke", path), req_size=len(path) + RPC_OVERHEAD
+        )
+
+    def _handle(self, call: RpcCall) -> Generator:
+        op, args = call.args
+        self.stats.inc(f"op_{op}")
+        yield self.threads.run(MDS_OP_CPU)
+        if op == "getattr":
+            (path,) = args
+            stat = yield from self.fs.stat(path)
+            return (stat, self.layout), StatBuf.WIRE_SIZE + 32
+        if op == "create":
+            (path,) = args
+            stat = yield from self.fs.create(path)
+            return (stat, self.layout), StatBuf.WIRE_SIZE + 32
+        if op == "open":
+            (path,) = args
+            stat = yield from self.fs.lookup(path)
+            return (stat, self.layout), StatBuf.WIRE_SIZE + 32
+        if op == "unlink":
+            (path,) = args
+            yield from self.fs.unlink(path)
+            return None, 16
+        if op == "enqueue":
+            holder, path, mode = args
+            yield self.threads.run(LOCK_MGR_CPU)
+            yield from self.ldlm.enqueue(holder, path, mode)
+            return True, 16
+        if op == "release":
+            holder, path = args
+            yield self.threads.run(LOCK_MGR_CPU)
+            self.ldlm.release(holder, path)
+            return True, 16
+        if op == "release_all":
+            (holder,) = args
+            yield self.threads.run(LOCK_MGR_CPU)
+            n = self.ldlm.release_all(holder)
+            return n, 16
+        raise ValueError(f"unknown MDS op {op!r}")

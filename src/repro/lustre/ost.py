@@ -1,0 +1,77 @@
+"""Object storage servers (OSTs / the paper's "data servers").
+
+Each OST exposes ranged object read/write/glimpse over its own local
+file system.  Objects are created on demand at first write; a file's
+object on OST ``k`` is named by the file path + stripe index so tests
+can inspect placement.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+from repro.localfs.fs import LocalFS
+from repro.localfs.types import ReadResult, StatBuf
+from repro.lustre.costs import OST_OP_CPU, OST_THREADS, RPC_OVERHEAD
+from repro.net.fabric import Network, Node
+from repro.net.rpc import Endpoint, RpcCall
+from repro.sim.station import FifoStation
+from repro.util.stats import Counter
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Simulator
+
+SERVICE = "ost"
+
+
+class ObjectServer:
+    """One OST."""
+
+    def __init__(self, sim: "Simulator", net: Network, node: Node, fs: LocalFS, index: int):
+        self.sim = sim
+        self.node = node
+        self.fs = fs
+        self.index = index
+        self.endpoint = Endpoint(net, node)
+        self.threads = FifoStation(sim, OST_THREADS, f"{node.name}.ost")
+        self.stats = Counter()
+        self.endpoint.register(SERVICE, self._handle)
+
+    def object_path(self, file_path: str) -> str:
+        return f"/objects/{self.index}{file_path}"
+
+    def _ensure_object(self, obj: str) -> Generator:
+        if not self.fs.exists(obj):
+            yield from self.fs.create(obj)
+
+    def _handle(self, call: RpcCall) -> Generator:
+        op, args = call.args
+        self.stats.inc(f"op_{op}")
+        yield self.threads.run(OST_OP_CPU)
+        if op == "read":
+            file_path, obj_off, size = args
+            obj = self.object_path(file_path)
+            if not self.fs.exists(obj):
+                return ReadResult(offset=obj_off, size=0), RPC_OVERHEAD
+            result = yield from self.fs.read(obj, obj_off, size)
+            return result, RPC_OVERHEAD + result.size
+        if op == "write":
+            file_path, obj_off, size, data = args
+            obj = self.object_path(file_path)
+            yield from self._ensure_object(obj)
+            version = yield from self.fs.write(obj, obj_off, size, data)
+            return version, 16
+        if op == "glimpse":
+            (file_path,) = args
+            obj = self.object_path(file_path)
+            if not self.fs.exists(obj):
+                return None, 32
+            stat: StatBuf = yield from self.fs.stat(obj)
+            return stat, StatBuf.WIRE_SIZE
+        if op == "destroy":
+            (file_path,) = args
+            obj = self.object_path(file_path)
+            if self.fs.exists(obj):
+                yield from self.fs.unlink(obj)
+            return None, 16
+        raise ValueError(f"unknown OST op {op!r}")

@@ -1,0 +1,62 @@
+"""File-to-OST striping arithmetic."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.crc32 import crc32
+from repro.util.units import MiB
+
+
+@dataclass(frozen=True)
+class StripeLayout:
+    """Round-robin striping of a file over ``count`` OSTs.
+
+    As in Lustre, each file's stripe set starts at a per-file OST (here
+    a hash of the path) so object load — including glimpse traffic for
+    many small files — spreads over the data servers.
+    """
+
+    count: int
+    stripe_size: int = 1 * MiB
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError("stripe count must be >= 1")
+        if self.stripe_size < 4096:
+            raise ValueError("stripe_size must be >= 4096")
+
+    def start_ost(self, path: str) -> int:
+        """The OST holding the file's first stripe."""
+        return crc32(path) % self.count
+
+    def locate(self, offset: int, path: str = "") -> tuple[int, int]:
+        """File offset -> (ost index, object offset)."""
+        stripe = offset // self.stripe_size
+        within = offset - stripe * self.stripe_size
+        ost = (stripe + self.start_ost(path)) % self.count
+        obj_off = (stripe // self.count) * self.stripe_size + within
+        return ost, obj_off
+
+    def split(self, offset: int, size: int, path: str = "") -> list[tuple[int, int, int, int]]:
+        """File range -> [(ost, object offset, file offset, length)] runs,
+        merged when contiguous on the same object."""
+        runs: list[tuple[int, int, int, int]] = []
+        pos, end = offset, offset + size
+        while pos < end:
+            ost, obj_off = self.locate(pos, path)
+            boundary = (pos // self.stripe_size + 1) * self.stripe_size
+            take = min(boundary, end) - pos
+            if runs and runs[-1][0] == ost and runs[-1][1] + runs[-1][3] == obj_off:
+                o, oo, fo, ln = runs[-1]
+                runs[-1] = (o, oo, fo, ln + take)
+            else:
+                runs.append((ost, obj_off, pos, take))
+            pos += take
+        return runs
+
+    def last_ost(self, size: int, path: str = "") -> int:
+        """OST holding the byte at EOF-1 (the glimpse target)."""
+        if size <= 0:
+            return self.start_ost(path)
+        return self.locate(size - 1, path)[0]

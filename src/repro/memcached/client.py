@@ -1,0 +1,254 @@
+"""libmemcache-style client: server selection, multi-get, failure
+transparency.
+
+The client owns the key→server mapping (CRC32 by default, modulo for
+the §5.5 striping experiment) and degrades gracefully when daemons die:
+a failed server makes gets miss and stores no-ops, never an error —
+"IMCa can transparently account for failures in MCDs" (§4.4).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from repro.memcached.daemon import McValue, MemcachedDaemon, SERVICE, request_size
+from repro.memcached.hashing import Crc32Selector, ServerSelector
+from repro.net.fabric import Node
+from repro.net.rpc import Endpoint, RpcUnavailable
+from repro.util.stats import Counter
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Simulator
+
+
+class MemcacheClient:
+    """A client node's view of the MCD array."""
+
+    def __init__(
+        self,
+        endpoint: Endpoint,
+        servers: list[MemcachedDaemon],
+        selector: Optional[ServerSelector] = None,
+    ) -> None:
+        if not servers:
+            raise ValueError("need at least one memcached server")
+        self.endpoint = endpoint
+        self.servers = list(servers)
+        self.selector = selector or Crc32Selector()
+        self.stats = Counter()
+
+    # -- plumbing ------------------------------------------------------------
+    def add_server(self, server: MemcachedDaemon) -> None:
+        """Grow the cache bank (§4.4: "Additional caching nodes can be
+        easily added").  Keys re-map according to the selector — modulo
+        N remaps almost everything; ketama only ~1/(N+1)."""
+        self.servers.append(server)
+
+    def server_for(self, key: str, hint: Optional[int] = None) -> MemcachedDaemon:
+        idx = self.selector.select(key, len(self.servers), hint)
+        return self.servers[idx]
+
+    def _call(self, server: MemcachedDaemon, op: str, payload: Any) -> Generator:
+        reply = yield from self.endpoint.call(
+            server.node, SERVICE, (op, payload), req_size=request_size(op, payload)
+        )
+        return reply
+
+    # -- retrieval -------------------------------------------------------------
+    def get(self, key: str, hint: Optional[int] = None) -> Generator:
+        """Fetch one value; returns :class:`McValue` or None on miss.
+
+        A dead server counts as a miss (plus an ``errors`` stat)."""
+        server = self.server_for(key, hint)
+        try:
+            reply = yield from self._call(server, "get_multi", [key])
+        except RpcUnavailable:
+            self.stats.inc("errors")
+            self.stats.inc("misses")
+            return None
+        value = reply.get(key)
+        self.stats.inc("hits" if value is not None else "misses")
+        return value
+
+    def get_multi(
+        self, keys: list[str], hints: Optional[list[Optional[int]]] = None
+    ) -> Generator:
+        """Fetch many keys, batched one request per server.
+
+        Returns ``{key: McValue}`` containing only the hits.  Batches to
+        distinct servers are issued back-to-back (pipelined on the
+        client NIC) and all responses are awaited.
+        """
+        if hints is None:
+            hints = [None] * len(keys)
+        by_server: dict[int, list[str]] = {}
+        for key, hint in zip(keys, hints):
+            idx = self.selector.select(key, len(self.servers), hint)
+            by_server.setdefault(idx, []).append(key)
+        out: dict[str, McValue] = {}
+        sim = self.endpoint.net.sim
+        pending = []
+        for idx, batch in by_server.items():
+            pending.append(sim.process(self._get_batch(idx, batch), name="mc-multiget"))
+        results = yield sim.all_of(pending)
+        for partial in results.values():
+            out.update(partial)
+        hits = len(out)
+        self.stats.inc("hits", hits)
+        self.stats.inc("misses", len(keys) - hits)
+        return out
+
+    def _get_batch(self, idx: int, keys: list[str]) -> Generator:
+        try:
+            reply = yield from self._call(self.servers[idx], "get_multi", keys)
+        except RpcUnavailable:
+            self.stats.inc("errors")
+            return {}
+        return reply
+
+    # -- storage ---------------------------------------------------------------
+    def set(
+        self,
+        key: str,
+        value: Any,
+        nbytes: int,
+        flags: int = 0,
+        ttl: float = 0,
+        hint: Optional[int] = None,
+    ) -> Generator:
+        """Store; False when the server is down or rejected the item."""
+        server = self.server_for(key, hint)
+        try:
+            ok = yield from self._call(server, "set", (key, value, nbytes, flags, ttl))
+        except RpcUnavailable:
+            self.stats.inc("errors")
+            return False
+        self.stats.inc("sets")
+        return ok
+
+    def add(self, key: str, value: Any, nbytes: int, flags: int = 0, ttl: float = 0,
+            hint: Optional[int] = None) -> Generator:
+        """Store only if absent."""
+        ok = yield from self._storage("add", key, value, nbytes, flags, ttl, hint)
+        return ok
+
+    def replace(self, key: str, value: Any, nbytes: int, flags: int = 0, ttl: float = 0,
+                hint: Optional[int] = None) -> Generator:
+        """Store only if present."""
+        ok = yield from self._storage("replace", key, value, nbytes, flags, ttl, hint)
+        return ok
+
+    def _storage(self, op: str, key: str, value: Any, nbytes: int, flags: int,
+                 ttl: float, hint: Optional[int]) -> Generator:
+        server = self.server_for(key, hint)
+        try:
+            ok = yield from self._call(server, op, (key, value, nbytes, flags, ttl))
+        except RpcUnavailable:
+            self.stats.inc("errors")
+            return False
+        self.stats.inc("sets")
+        return ok
+
+    def cas(self, key: str, value: Any, nbytes: int, cas: int, flags: int = 0,
+            ttl: float = 0, hint: Optional[int] = None) -> Generator:
+        """Compare-and-swap; returns 'STORED' / 'EXISTS' / 'NOT_FOUND',
+        or 'NOT_FOUND' when the server is down."""
+        server = self.server_for(key, hint)
+        try:
+            verdict = yield from self._call(server, "cas", (key, value, nbytes, cas, flags, ttl))
+        except RpcUnavailable:
+            self.stats.inc("errors")
+            return "NOT_FOUND"
+        return verdict
+
+    def append(self, key: str, value: Any, nbytes: int, hint: Optional[int] = None) -> Generator:
+        ok = yield from self._concat("append", key, value, nbytes, hint)
+        return ok
+
+    def prepend(self, key: str, value: Any, nbytes: int, hint: Optional[int] = None) -> Generator:
+        ok = yield from self._concat("prepend", key, value, nbytes, hint)
+        return ok
+
+    def _concat(self, op: str, key: str, value: Any, nbytes: int,
+                hint: Optional[int]) -> Generator:
+        server = self.server_for(key, hint)
+        try:
+            ok = yield from self._call(server, op, (key, value, nbytes))
+        except RpcUnavailable:
+            self.stats.inc("errors")
+            return False
+        return ok
+
+    def incr(self, key: str, delta: int = 1, hint: Optional[int] = None) -> Generator:
+        """Numeric increment; None on miss or dead server."""
+        server = self.server_for(key, hint)
+        try:
+            value = yield from self._call(server, "incr", (key, delta))
+        except RpcUnavailable:
+            self.stats.inc("errors")
+            return None
+        return value
+
+    def decr(self, key: str, delta: int = 1, hint: Optional[int] = None) -> Generator:
+        server = self.server_for(key, hint)
+        try:
+            value = yield from self._call(server, "decr", (key, delta))
+        except RpcUnavailable:
+            self.stats.inc("errors")
+            return None
+        return value
+
+    def touch(self, key: str, ttl: float, hint: Optional[int] = None) -> Generator:
+        server = self.server_for(key, hint)
+        try:
+            ok = yield from self._call(server, "touch", (key, ttl))
+        except RpcUnavailable:
+            self.stats.inc("errors")
+            return False
+        return ok
+
+    def delete(self, key: str, hint: Optional[int] = None) -> Generator:
+        server = self.server_for(key, hint)
+        try:
+            ok = yield from self._call(server, "delete", key)
+        except RpcUnavailable:
+            self.stats.inc("errors")
+            return False
+        self.stats.inc("deletes")
+        return ok
+
+    def delete_multi(self, keys: list[str], hints: Optional[list[Optional[int]]] = None) -> Generator:
+        """Best-effort bulk delete, batched one RPC per server (used by
+        SMCache purges, which may cover every block of a file)."""
+        if hints is None:
+            hints = [None] * len(keys)
+        by_server: dict[int, list[str]] = {}
+        for key, hint in zip(keys, hints):
+            idx = self.selector.select(key, len(self.servers), hint)
+            by_server.setdefault(idx, []).append(key)
+        deleted = 0
+        for idx, batch in by_server.items():
+            try:
+                deleted += yield from self._call(self.servers[idx], "delete_multi", batch)
+            except RpcUnavailable:
+                self.stats.inc("errors")
+        self.stats.inc("deletes", deleted)
+        return deleted
+
+    def flush_all(self) -> Generator:
+        for server in self.servers:
+            try:
+                yield from self._call(server, "flush_all", None)
+            except RpcUnavailable:
+                self.stats.inc("errors")
+
+    def stats_all(self) -> Generator:
+        """Collect engine stats from every live server."""
+        out = []
+        for server in self.servers:
+            try:
+                d = yield from self._call(server, "stats", None)
+            except RpcUnavailable:
+                d = None
+            out.append(d)
+        return out

@@ -1,0 +1,293 @@
+"""The memcached item store: hash table + per-class LRU + lazy expiry.
+
+Implements the command set the paper names (§2.2: "set, replace,
+delete, prepend and append", plus get/gets/cas/add/incr/decr/
+flush_all/stats) over the slab allocator.  Eviction is per slab class
+from the LRU tail; expiration is lazy ("objects are evicted when the
+cache is full ... or a request to fetch a data element ... and the time
+for the object in the cache has expired").
+
+Values are opaque Python objects with an explicit ``nbytes`` so the
+IMCa layer can cache lightweight block descriptors while memory
+accounting behaves as if the literal bytes were stored.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.memcached.slabs import SlabAllocator, SlabClass
+from repro.util.stats import Counter
+
+#: Real memcached's limits: 250-byte keys, 1 MiB values (§2.2 rounds the
+#: key limit to "256 bytes"; the actual constant is 250).
+MAX_KEY_LEN = 250
+#: Per-item metadata overhead charged to the slab chunk (struct item,
+#: key bytes, CAS, flags) — memcached's is ~48-80 bytes plus key.
+ITEM_OVERHEAD = 56
+
+
+class McError(Exception):
+    """CLIENT_ERROR-style protocol violation (bad key, oversized value)."""
+
+
+@dataclass
+class Item:
+    """One stored object."""
+
+    key: str
+    value: Any
+    nbytes: int
+    flags: int
+    exptime: float  # absolute expiry time; 0 = never
+    cas: int
+    slab: SlabClass
+
+
+class MemcachedEngine:
+    """A single daemon's item store."""
+
+    def __init__(
+        self,
+        mem_limit: int,
+        clock: Callable[[], float],
+        growth_factor: float = 1.25,
+    ) -> None:
+        self.slabs = SlabAllocator(mem_limit, growth_factor=growth_factor)
+        self.clock = clock
+        self._items: dict[str, Item] = {}
+        #: Per-slab-class LRU: OrderedDict key -> Item, MRU at the end.
+        self._lru: dict[int, OrderedDict[str, Item]] = {}
+        self._cas = 0
+        self.stats = Counter()
+
+    # -- helpers -----------------------------------------------------------
+    def _check_key(self, key: str) -> None:
+        if not key or len(key) > MAX_KEY_LEN:
+            raise McError(f"bad key length {len(key)}")
+        if any(c.isspace() for c in key):
+            raise McError("key contains whitespace")
+
+    def _total_size(self, key: str, nbytes: int) -> int:
+        return ITEM_OVERHEAD + len(key) + nbytes
+
+    def _unlink(self, item: Item) -> None:
+        del self._items[item.key]
+        del self._lru[item.slab.index][item.key]
+        self.slabs.free(item.slab)
+        self.stats.inc("curr_items", -1)
+        self.stats.inc("bytes", -item.nbytes)
+
+    def _expired(self, item: Item) -> bool:
+        return item.exptime != 0 and self.clock() >= item.exptime
+
+    def _evict_one(self, cls: SlabClass) -> bool:
+        """Drop the LRU item of *cls*; False if the class is empty."""
+        lru = self._lru.get(cls.index)
+        if not lru:
+            return False
+        _, victim = next(iter(lru.items()))
+        self._unlink(victim)
+        self.stats.inc("evictions")
+        return True
+
+    def _allocate(self, key: str, nbytes: int) -> Optional[SlabClass]:
+        size = self._total_size(key, nbytes)
+        cls = self.slabs.class_for(size)
+        if cls is None:
+            raise McError(f"object too large for cache ({nbytes} bytes)")
+        while True:
+            got = self.slabs.alloc(size)
+            if got is not None:
+                return got
+            # Out of memory: lazily evict from this size class.  When the
+            # class owns no items (all pages belong to other classes),
+            # memcached answers SERVER_ERROR; we report a failed store.
+            if not self._evict_one(cls):
+                self.stats.inc("out_of_memory")
+                return None
+
+    def _link(self, key: str, value: Any, nbytes: int, flags: int, ttl: float) -> Optional[Item]:
+        cls = self._allocate(key, nbytes)
+        if cls is None:
+            return None
+        self._cas += 1
+        exptime = self.clock() + ttl if ttl > 0 else 0.0
+        item = Item(key, value, nbytes, flags, exptime, self._cas, cls)
+        self._items[key] = item
+        self._lru.setdefault(cls.index, OrderedDict())[key] = item
+        self.stats.inc("curr_items")
+        self.stats.inc("total_items")
+        self.stats.inc("bytes", nbytes)
+        return item
+
+    def _live_item(self, key: str) -> Optional[Item]:
+        item = self._items.get(key)
+        if item is None:
+            return None
+        if self._expired(item):
+            self._unlink(item)
+            self.stats.inc("expired")
+            return None
+        return item
+
+    def _touch_lru(self, item: Item) -> None:
+        self._lru[item.slab.index].move_to_end(item.key)
+
+    # -- storage commands ----------------------------------------------------
+    def set(self, key: str, value: Any, nbytes: int, flags: int = 0, ttl: float = 0) -> bool:
+        """Store unconditionally.  Returns True (STORED)."""
+        self._check_key(key)
+        if nbytes < 0:
+            raise McError("negative value size")
+        old = self._items.get(key)
+        if old is not None:
+            self._unlink(old)
+        self.stats.inc("cmd_set")
+        return self._link(key, value, nbytes, flags, ttl) is not None
+
+    def add(self, key: str, value: Any, nbytes: int, flags: int = 0, ttl: float = 0) -> bool:
+        """Store only if absent (NOT_STORED -> False)."""
+        self._check_key(key)
+        if self._live_item(key) is not None:
+            return False
+        return self.set(key, value, nbytes, flags, ttl)
+
+    def replace(self, key: str, value: Any, nbytes: int, flags: int = 0, ttl: float = 0) -> bool:
+        """Store only if present."""
+        self._check_key(key)
+        if self._live_item(key) is None:
+            return False
+        return self.set(key, value, nbytes, flags, ttl)
+
+    def cas(self, key: str, value: Any, nbytes: int, cas: int, flags: int = 0, ttl: float = 0) -> str:
+        """Compare-and-swap: 'STORED', 'EXISTS' (cas mismatch) or 'NOT_FOUND'."""
+        self._check_key(key)
+        item = self._live_item(key)
+        if item is None:
+            return "NOT_FOUND"
+        if item.cas != cas:
+            return "EXISTS"
+        self.set(key, value, nbytes, flags, ttl)
+        return "STORED"
+
+    def _concat(self, key: str, value: Any, nbytes: int, *, append: bool) -> bool:
+        self._check_key(key)
+        item = self._live_item(key)
+        if item is None:
+            return False
+        if isinstance(item.value, (bytes, bytearray)) and isinstance(value, (bytes, bytearray)):
+            new_value: Any = (
+                bytes(item.value) + bytes(value) if append else bytes(value) + bytes(item.value)
+            )
+        else:
+            # Opaque payloads: keep a tuple chain in concat order.
+            base = item.value if isinstance(item.value, tuple) else (item.value,)
+            extra = (value,)
+            new_value = base + extra if append else extra + base
+        new_bytes = item.nbytes + nbytes
+        flags = item.flags
+        ttl = 0.0 if item.exptime == 0 else item.exptime - self.clock()
+        self._unlink(item)
+        return self._link(key, new_value, new_bytes, flags, ttl) is not None
+
+    def append(self, key: str, value: Any, nbytes: int) -> bool:
+        return self._concat(key, value, nbytes, append=True)
+
+    def prepend(self, key: str, value: Any, nbytes: int) -> bool:
+        return self._concat(key, value, nbytes, append=False)
+
+    # -- retrieval -------------------------------------------------------------
+    def get(self, key: str) -> Optional[Item]:
+        """Fetch one item (promotes in LRU); None on miss."""
+        self._check_key(key)
+        self.stats.inc("cmd_get")
+        item = self._live_item(key)
+        if item is None:
+            self.stats.inc("get_misses")
+            return None
+        self._touch_lru(item)
+        self.stats.inc("get_hits")
+        return item
+
+    def get_multi(self, keys: list[str]) -> dict[str, Item]:
+        """Fetch many keys; only hits appear in the result."""
+        out: dict[str, Item] = {}
+        for key in keys:
+            item = self.get(key)
+            if item is not None:
+                out[key] = item
+        return out
+
+    # -- mutation ----------------------------------------------------------------
+    def delete(self, key: str) -> bool:
+        self._check_key(key)
+        self.stats.inc("cmd_delete")
+        item = self._live_item(key)
+        if item is None:
+            return False
+        self._unlink(item)
+        return True
+
+    def touch(self, key: str, ttl: float) -> bool:
+        item = self._live_item(key)
+        if item is None:
+            return False
+        item.exptime = self.clock() + ttl if ttl > 0 else 0.0
+        self._touch_lru(item)
+        return True
+
+    def incr(self, key: str, delta: int = 1) -> Optional[int]:
+        """Numeric increment; None if missing, McError if non-numeric."""
+        item = self._live_item(key)
+        if item is None:
+            return None
+        try:
+            current = int(item.value)
+        except (TypeError, ValueError):
+            raise McError("cannot increment non-numeric value") from None
+        new = max(0, current + delta)
+        item.value = new
+        self._cas += 1
+        item.cas = self._cas
+        self._touch_lru(item)
+        return new
+
+    def decr(self, key: str, delta: int = 1) -> Optional[int]:
+        return self.incr(key, -delta)
+
+    def flush_all(self) -> None:
+        """Drop everything."""
+        for key in list(self._items):
+            self._unlink(self._items[key])
+        self.stats.inc("cmd_flush")
+
+    # -- introspection ---------------------------------------------------------------
+    @property
+    def curr_items(self) -> int:
+        return self.stats.get("curr_items")
+
+    def stat_dict(self) -> dict[str, int]:
+        d = self.stats.as_dict()
+        d.setdefault("get_hits", 0)
+        d.setdefault("get_misses", 0)
+        d.setdefault("evictions", 0)
+        d["bytes_allocated"] = self.slabs.bytes_allocated
+        d["limit_maxbytes"] = self.slabs.mem_limit
+        return d
+
+    def check_invariants(self) -> None:
+        """Engine-wide consistency (used by property tests)."""
+        per_class_counts: dict[int, int] = {}
+        for key, item in self._items.items():
+            assert item.key == key
+            per_class_counts[item.slab.index] = per_class_counts.get(item.slab.index, 0) + 1
+            assert key in self._lru[item.slab.index]
+        for cls in self.slabs.classes:
+            n = per_class_counts.get(cls.index, 0)
+            assert cls.used_chunks == n, f"class {cls.index}: {cls.used_chunks} != {n}"
+            assert cls.used_chunks + cls.free_chunks == cls.pages * cls.chunks_per_page
+        assert self.slabs.bytes_allocated <= self.slabs.mem_limit
+        assert self.curr_items == len(self._items)

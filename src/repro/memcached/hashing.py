@@ -1,0 +1,108 @@
+"""Key -> server distribution functions.
+
+IMCa's default is libmemcache's CRC32 hash (§4.2, §5.1); the IOzone
+throughput experiment (§5.5) replaces it with "a static modulo function
+(round-robin) for distributing the data across the cache servers".
+The paper's future work (§7) calls for "different hashing algorithms",
+so the selector is pluggable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol
+
+from repro.util.crc32 import crc32, memcache_hash
+
+
+class ServerSelector(Protocol):
+    """Maps a key (plus an optional ordinal hint) to a server index."""
+
+    name: str
+
+    def select(self, key: str, nservers: int, hint: Optional[int] = None) -> int:
+        ...  # pragma: no cover
+
+
+class Crc32Selector:
+    """libmemcache default: fold CRC32 to 15 bits, modulo server count."""
+
+    name = "crc32"
+
+    def select(self, key: str, nservers: int, hint: Optional[int] = None) -> int:
+        return memcache_hash(key) % nservers
+
+
+class ModuloSelector:
+    """Round-robin by block ordinal (the §5.5 striping distribution).
+
+    Callers pass the block index as *hint*; keys without a hint fall
+    back to CRC32 so metadata (``:stat``) entries still distribute.
+    """
+
+    name = "modulo"
+
+    def select(self, key: str, nservers: int, hint: Optional[int] = None) -> int:
+        if hint is None:
+            return memcache_hash(key) % nservers
+        return hint % nservers
+
+
+class KetamaSelector:
+    """Consistent hashing on a virtual-node ring (the §7 future-work
+    "different hashing algorithms" direction).
+
+    With modulo-style selection, growing the MCD array from N to N+1
+    remaps ~N/(N+1) of all keys — a cluster-wide cold restart.  Ketama
+    places each server at ``vnodes`` points of a 2^32 ring; adding a
+    server moves only ~1/(N+1) of the keys.
+    """
+
+    name = "ketama"
+
+    def __init__(self, vnodes: int = 160) -> None:
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = vnodes
+        self._rings: dict[int, tuple[list[int], list[int]]] = {}
+
+    def _ring(self, nservers: int) -> tuple[list[int], list[int]]:
+        ring = self._rings.get(nservers)
+        if ring is None:
+            import hashlib
+
+            points: list[tuple[int, int]] = []
+            # As in the original ketama: each (server, replica) MD5
+            # digest yields four 32-bit ring points — CRC32 alone
+            # disperses too poorly for an even ring.
+            for server in range(nservers):
+                for v in range((self.vnodes + 3) // 4):
+                    digest = hashlib.md5(f"server-{server}:vnode-{v}".encode()).digest()
+                    for part in range(4):
+                        chunk = digest[part * 4 : part * 4 + 4]
+                        points.append((int.from_bytes(chunk, "little"), server))
+            points.sort()
+            ring = ([h for h, _ in points], [s for _, s in points])
+            self._rings[nservers] = ring
+        return ring
+
+    def select(self, key: str, nservers: int, hint: Optional[int] = None) -> int:
+        if nservers == 1:
+            return 0
+        hashes, owners = self._ring(nservers)
+        h = crc32(key)
+        from bisect import bisect_right
+
+        idx = bisect_right(hashes, h)
+        if idx == len(hashes):
+            idx = 0
+        return owners[idx]
+
+
+SELECTORS = {"crc32": Crc32Selector, "modulo": ModuloSelector, "ketama": KetamaSelector}
+
+
+def selector(name: str) -> ServerSelector:
+    try:
+        return SELECTORS[name]()
+    except KeyError:
+        raise KeyError(f"unknown selector {name!r}; available: {sorted(SELECTORS)}") from None

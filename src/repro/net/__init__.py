@@ -1,0 +1,26 @@
+"""Network substrate: transports, fabric, RPC.
+
+Models the paper's communication stack — InfiniBand DDR with native
+RDMA, TCP over IPoIB (the transport GlusterFS, IMCa and Lustre use in
+§5), and Gigabit Ethernet (Fig 1) — as chained FIFO stations.
+"""
+
+from repro.net.fabric import Network, NetworkError, Node
+from repro.net.profiles import GIGE, IB_RDMA, IPOIB, PROFILES, TransportProfile, profile
+from repro.net.rpc import HEADER_SIZE, Endpoint, RpcCall, RpcUnavailable
+
+__all__ = [
+    "Network",
+    "NetworkError",
+    "Node",
+    "TransportProfile",
+    "profile",
+    "PROFILES",
+    "IB_RDMA",
+    "IPOIB",
+    "GIGE",
+    "Endpoint",
+    "RpcCall",
+    "RpcUnavailable",
+    "HEADER_SIZE",
+]

@@ -1,0 +1,133 @@
+"""Cluster nodes and the network fabric.
+
+A :class:`Node` owns a host CPU station (``cores`` service threads).
+A :class:`Network` attaches a pair of NIC serialiser stations (tx/rx)
+to each node and moves messages through five FIFO stations::
+
+    sender CPU -> sender NIC tx -> wire latency -> receiver NIC rx -> receiver CPU
+
+Each hop is an analytic :class:`~repro.sim.station.FifoStation`
+reservation chained through the message's in-flight time, so a complete
+one-way transfer costs a *single* heap event.  Contention (many clients
+hammering one server NIC) emerges from the rx station's queue.
+
+The fabric models a full-bisection switch (true of the paper's single
+IB switch): only end-host NICs and CPUs are capacity-limited.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.sim.events import Timeout
+from repro.sim.station import FifoStation
+from repro.util.stats import Counter
+
+from repro.net.profiles import TransportProfile
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Simulator
+
+
+class NetworkError(Exception):
+    """A transfer addressed a dead or unknown node."""
+
+
+class Node:
+    """A cluster host: named, with a multi-core CPU station."""
+
+    def __init__(self, sim: "Simulator", name: str, cores: int = 8) -> None:
+        self.sim = sim
+        self.name = name
+        self.cpu = FifoStation(sim, servers=cores, name=f"{name}.cpu")
+        self.alive = True
+        #: Service registry used by the RPC layer (service name -> handler).
+        self.services: dict[str, object] = {}
+
+    def fail(self) -> None:
+        """Mark the node dead; future transfers to it raise/err."""
+        self.alive = False
+
+    def recover(self) -> None:
+        self.alive = True
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Node {self.name} {'up' if self.alive else 'DOWN'}>"
+
+
+class _Nic:
+    """tx/rx serialiser pair for one node on one network."""
+
+    __slots__ = ("tx", "rx")
+
+    def __init__(self, sim: "Simulator", name: str) -> None:
+        self.tx = FifoStation(sim, 1, f"{name}.tx")
+        self.rx = FifoStation(sim, 1, f"{name}.rx")
+
+
+class Network:
+    """A switched network running one transport profile."""
+
+    def __init__(self, sim: "Simulator", transport: TransportProfile, name: str = "net"):
+        self.sim = sim
+        self.transport = transport
+        self.name = name
+        self._nics: dict[str, _Nic] = {}
+        self.stats = Counter()
+
+    # -- membership ------------------------------------------------------
+    def attach(self, node: Node) -> None:
+        """Give *node* a NIC on this network."""
+        if node.name in self._nics:
+            raise ValueError(f"{node.name} already attached to {self.name}")
+        self._nics[node.name] = _Nic(self.sim, f"{self.name}.{node.name}")
+
+    def attached(self, node: Node) -> bool:
+        return node.name in self._nics
+
+    def nic(self, node: Node) -> _Nic:
+        try:
+            return self._nics[node.name]
+        except KeyError:
+            raise NetworkError(f"{node.name} not attached to {self.name}") from None
+
+    # -- data movement ---------------------------------------------------
+    def delivery_time(self, src: Node, dst: Node, size: int) -> float:
+        """Reserve all stations for one message; return absolute delivery
+        time.  Raises :class:`NetworkError` if either endpoint is dead."""
+        if not src.alive:
+            raise NetworkError(f"source {src.name} is down")
+        if not dst.alive:
+            raise NetworkError(f"destination {dst.name} is down")
+        p = self.transport
+        src_nic = self.nic(src)
+        dst_nic = self.nic(dst)
+
+        ser = p.serialization(size)
+        t = self.sim.now
+        # Sender host CPU (protocol + copy for non-RDMA transports).
+        _, t = src.cpu.reserve(p.host_cost(size, send=True), arrival=t)
+        # Sender NIC serialisation.
+        tx_start, tx_end = src_nic.tx.reserve(ser, arrival=t)
+        # Cut-through: the receiver NIC starts taking bytes one wire
+        # latency after the first byte leaves, and finishes no earlier
+        # than one wire latency after the last byte leaves.
+        _, rx_end = dst_nic.rx.reserve(ser, arrival=tx_start + p.wire_latency)
+        t = max(tx_end + p.wire_latency, rx_end)
+        # Receiver host CPU.
+        _, t = dst.cpu.reserve(p.host_cost(size, send=False), arrival=t)
+
+        self.stats.inc("messages")
+        self.stats.inc("bytes", size)
+        return t
+
+    def transfer(self, src: Node, dst: Node, size: int) -> Timeout:
+        """One-way message: event fires when the last byte lands in the
+        receiver's memory.  ``yield net.transfer(a, b, nbytes)``."""
+        if size < 0:
+            raise ValueError("negative message size")
+        t = self.delivery_time(src, dst, size)
+        return Timeout(self.sim, t - self.sim.now)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Network {self.name} ({self.transport.name}) nodes={len(self._nics)}>"

@@ -1,0 +1,108 @@
+"""A minimal request/response RPC layer over the fabric.
+
+Services are generator *handlers* registered on a node::
+
+    def stat_handler(call):           # runs in the caller's process
+        yield server.cpu.run(decode_cost)
+        ...
+        return reply_payload, reply_size
+
+    endpoint.register("stat", stat_handler)
+
+Calls are made with ``yield from`` so no extra Process objects are
+created per RPC (there can be tens of millions)::
+
+    reply = yield from client_ep.call(server_node, "stat", args, req_size)
+
+Timing: the request message traverses the network (five stations), the
+handler body charges whatever server-side stations it needs, and the
+response traverses the network back.  Server concurrency is bounded by
+the server's CPU/disk stations, not by process multiplicity, which is
+exactly how an event-loop daemon like glusterfsd or memcached behaves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generator
+
+from repro.net.fabric import Network, NetworkError, Node
+from repro.util.stats import Counter
+
+
+class RpcUnavailable(Exception):
+    """The destination node is dead or the service is not registered."""
+
+
+@dataclass
+class RpcCall:
+    """Handler-visible view of one in-flight call."""
+
+    src: Node
+    dst: Node
+    service: str
+    args: Any
+    req_size: int
+
+
+#: Handler type: generator receiving the call, returning (payload, size).
+RpcHandler = Callable[[RpcCall], Generator[Any, Any, tuple[Any, int]]]
+
+#: Fixed wire overhead of an RPC header (XDR-ish framing).
+HEADER_SIZE = 96
+
+
+class Endpoint:
+    """RPC endpoint binding one node to one network."""
+
+    def __init__(self, net: Network, node: Node) -> None:
+        if not net.attached(node):
+            net.attach(node)
+        self.net = net
+        self.node = node
+        self.stats = Counter()
+
+    def register(self, service: str, handler: RpcHandler) -> None:
+        if service in self.node.services:
+            raise ValueError(f"service {service!r} already registered on {self.node.name}")
+        self.node.services[service] = handler
+
+    def unregister(self, service: str) -> None:
+        self.node.services.pop(service, None)
+
+    def call(
+        self,
+        dst: Node,
+        service: str,
+        args: Any = None,
+        req_size: int = 0,
+    ) -> Generator[Any, Any, Any]:
+        """Invoke *service* on *dst*; yields from the caller's process.
+
+        Returns the handler's reply payload.  Raises
+        :class:`RpcUnavailable` if the destination is dead at request or
+        response time (the caller decides whether that is fatal — IMCa
+        treats a dead MCD as a cache miss).
+        """
+        if dst.alive and service not in dst.services:
+            raise RpcUnavailable(f"no service {service!r} on {dst.name}")
+        self.stats.inc("calls")
+        try:
+            yield self.net.transfer(self.node, dst, HEADER_SIZE + req_size)
+        except NetworkError as e:
+            self.stats.inc("errors")
+            raise RpcUnavailable(str(e)) from None
+        if not dst.alive:
+            # Died while the request was in flight.
+            self.stats.inc("errors")
+            raise RpcUnavailable(f"{dst.name} died during call")
+
+        handler = dst.services[service]
+        reply, resp_size = yield from handler(RpcCall(self.node, dst, service, args, req_size))
+
+        try:
+            yield self.net.transfer(dst, self.node, HEADER_SIZE + int(resp_size))
+        except NetworkError as e:
+            self.stats.inc("errors")
+            raise RpcUnavailable(str(e)) from None
+        return reply

@@ -1,0 +1,14 @@
+"""An NFSv3-like single-server baseline (the Fig 1 motivation system).
+
+Models NFS/RDMA, NFS/TCP-over-IPoIB and NFS/TCP-over-GigE mounts by
+running the same protocol over different transport profiles.  The
+server's page cache capacity is the experiment's key variable: "The
+bandwidth available to the clients seems to be related to the amount of
+memory on the server and falls off as the server runs out of memory and
+is forced to fetch data from the disk" (§3).
+"""
+
+from repro.nfs.client import NfsClient
+from repro.nfs.server import NfsServer
+
+__all__ = ["NfsClient", "NfsServer"]

@@ -1,0 +1,150 @@
+"""The NFS client: rsize/wsize-chunked RPCs with an attribute cache.
+
+Data is not cached (the Fig 1 experiment measures server-limited read
+bandwidth), but attributes are, with the classic NFS timeout scheme:
+"NFS does not offer strict cache coherency and uses coarse timeouts to
+deal with the issue" (§1).  ``getattr`` results are reused for
+``ac_timeout`` seconds, so repeated stats are free — and stale when
+another client writes within the window.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+from repro.localfs.types import ReadResult, StatBuf, slice_result
+from repro.nfs.server import NfsServer, SERVICE
+from repro.net.fabric import Node
+from repro.net.rpc import Endpoint
+from repro.util.stats import Counter
+from repro.util.units import KiB, USEC
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Simulator
+
+#: In-kernel client entry cost per op.
+CLIENT_OP_CPU = 6 * USEC
+#: NFSv3-era transfer sizes.
+DEFAULT_RSIZE = 32 * KiB
+DEFAULT_WSIZE = 32 * KiB
+#: Attribute cache timeout (Linux acregmin default: 3s).
+DEFAULT_AC_TIMEOUT = 3.0
+
+
+class NfsClient:
+    """One NFS mount."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        node: Node,
+        endpoint: Endpoint,
+        server: NfsServer,
+        rsize: int = DEFAULT_RSIZE,
+        wsize: int = DEFAULT_WSIZE,
+        ac_timeout: float = DEFAULT_AC_TIMEOUT,
+    ) -> None:
+        self.sim = sim
+        self.node = node
+        self.endpoint = endpoint
+        self.server = server
+        self.rsize = rsize
+        self.wsize = wsize
+        self.ac_timeout = ac_timeout
+        #: path -> (StatBuf, cached-at time).
+        self._attr_cache: dict[str, tuple[StatBuf, float]] = {}
+        self._fds: dict[int, str] = {}
+        self._next_fd = 3
+        self.stats = Counter()
+
+    def _call(self, op: str, args: tuple, req_size: int) -> Generator:
+        reply = yield from self.endpoint.call(self.server.node, SERVICE, (op, args), req_size)
+        return reply
+
+    def _vfs(self) -> Generator:
+        yield self.node.cpu.run(CLIENT_OP_CPU)
+
+    def _new_fd(self, path: str) -> int:
+        fd = self._next_fd
+        self._next_fd += 1
+        self._fds[fd] = path
+        return fd
+
+    def path_of(self, fd: int) -> str:
+        return self._fds[fd]
+
+    def create(self, path: str) -> Generator:
+        yield from self._vfs()
+        yield from self._call("create", (path,), 96 + len(path))
+        return self._new_fd(path)
+
+    def open(self, path: str) -> Generator:
+        yield from self._vfs()
+        yield from self._call("lookup", (path,), 96 + len(path))
+        return self._new_fd(path)
+
+    def _cache_attrs(self, path: str, stat: StatBuf) -> None:
+        if self.ac_timeout > 0:
+            self._attr_cache[path] = (stat.copy(), self.sim.now)
+
+    def stat(self, path: str) -> Generator:
+        yield from self._vfs()
+        cached = self._attr_cache.get(path)
+        if cached is not None and self.sim.now - cached[1] < self.ac_timeout:
+            self.stats.inc("attr_hits")
+            return cached[0].copy()
+        self.stats.inc("attr_misses")
+        result: StatBuf = yield from self._call("getattr", (path,), 96 + len(path))
+        self._cache_attrs(path, result)
+        return result
+
+    def read(self, fd: int, offset: int, size: int) -> Generator:
+        """Chunked ranged read; returns an assembled ReadResult."""
+        path = self.path_of(fd)
+        yield from self._vfs()
+        self.stats.inc("reads")
+        parts: list[ReadResult] = []
+        pos, end = offset, offset + size
+        while pos < end:
+            take = min(self.rsize, end - pos)
+            r: ReadResult = yield from self._call("read", (path, pos, take), 96 + len(path))
+            parts.append(r)
+            pos += r.size
+            if r.size < take:
+                break  # EOF
+        intervals = [iv for p in parts for iv in p.intervals]
+        data = None
+        if parts and all(p.data is not None for p in parts):
+            data = b"".join(p.data for p in parts)  # type: ignore[misc]
+        actual = sum(p.size for p in parts)
+        return ReadResult(offset=offset, size=actual, intervals=intervals, data=data)
+
+    def write(self, fd: int, offset: int, size: int, data=None) -> Generator:
+        """Chunked write-through; returns the last chunk's version."""
+        path = self.path_of(fd)
+        yield from self._vfs()
+        self.stats.inc("writes")
+        version = 0
+        pos, end = offset, offset + size
+        while pos < end:
+            take = min(self.wsize, end - pos)
+            payload = None
+            if data is not None:
+                lo = pos - offset
+                payload = data[lo : lo + take]
+            version = yield from self._call(
+                "write", (path, pos, take, payload), 96 + len(path) + take
+            )
+            pos += take
+        # Our own write invalidates our cached attributes (mtime moved).
+        self._attr_cache.pop(path, None)
+        return version
+
+    def unlink(self, path: str) -> Generator:
+        yield from self._vfs()
+        self._attr_cache.pop(path, None)
+        yield from self._call("remove", (path,), 96 + len(path))
+
+    def close(self, fd: int) -> Generator:
+        yield from self._vfs()
+        self._fds.pop(fd, None)

@@ -1,0 +1,68 @@
+"""The NFS server: nfsd thread pool over a local FS."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+from repro.localfs.fs import LocalFS
+from repro.localfs.types import ReadResult, StatBuf
+from repro.net.fabric import Network, Node
+from repro.net.rpc import Endpoint, RpcCall
+from repro.sim.station import FifoStation
+from repro.util.stats import Counter
+from repro.util.units import USEC
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Simulator
+
+SERVICE = "nfs"
+
+#: Per-request service cost (XDR decode + VFS + export checks).
+NFSD_OP_CPU = 15 * USEC
+#: Kernel nfsd thread count (the classic default is 8).
+NFSD_THREADS = 8
+#: Fixed reply overhead beyond payload.
+REPLY_OVERHEAD = 96
+
+
+class NfsServer:
+    """Single-node NFS exporter."""
+
+    def __init__(self, sim: "Simulator", net: Network, node: Node, fs: LocalFS):
+        self.sim = sim
+        self.node = node
+        self.fs = fs
+        self.endpoint = Endpoint(net, node)
+        self.threads = FifoStation(sim, NFSD_THREADS, f"{node.name}.nfsd")
+        self.stats = Counter()
+        self.endpoint.register(SERVICE, self._handle)
+
+    def _handle(self, call: RpcCall) -> Generator:
+        op, args = call.args
+        self.stats.inc(f"op_{op}")
+        yield self.threads.run(NFSD_OP_CPU)
+        if op == "read":
+            path, offset, size = args
+            result = yield from self.fs.read(path, offset, size)
+            return result, REPLY_OVERHEAD + result.size
+        if op == "write":
+            path, offset, size, data = args
+            version = yield from self.fs.write(path, offset, size, data)
+            return version, REPLY_OVERHEAD
+        if op == "getattr":
+            (path,) = args
+            stat = yield from self.fs.stat(path)
+            return stat, StatBuf.WIRE_SIZE
+        if op == "create":
+            (path,) = args
+            stat = yield from self.fs.create(path)
+            return stat, StatBuf.WIRE_SIZE
+        if op == "lookup":
+            (path,) = args
+            stat = yield from self.fs.lookup(path)
+            return stat, StatBuf.WIRE_SIZE
+        if op == "remove":
+            (path,) = args
+            yield from self.fs.unlink(path)
+            return None, REPLY_OVERHEAD
+        raise ValueError(f"unknown NFS op {op!r}")

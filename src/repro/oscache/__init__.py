@@ -1,0 +1,12 @@
+"""OS-level caches: the server page cache and a generic LRU.
+
+Fig 1's motivation ("bandwidth ... falls off as the server runs out of
+memory and is forced to fetch data from the disk") is a pure page-cache
+working-set effect; :class:`PageCache` models presence/eviction of 4 KiB
+pages under a byte budget.
+"""
+
+from repro.oscache.lru import LruCache
+from repro.oscache.pagecache import PageCache
+
+__all__ = ["PageCache", "LruCache"]

@@ -1,0 +1,135 @@
+"""The discrete-event simulator core: clock, heap, and run loop."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Iterable
+
+from repro.sim.errors import EmptySchedule, StopSimulation
+from repro.sim.events import (
+    AllOf,
+    AnyOf,
+    Event,
+    NORMAL,
+    PENDING,
+    Timeout,
+)
+from repro.sim.process import Process, ProcessGenerator
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Time is a float in seconds, starting at ``initial_time``.  Events at
+    equal timestamps are ordered by priority then FIFO by scheduling
+    sequence, so runs are exactly reproducible.
+
+    Examples
+    --------
+    >>> sim = Simulator()
+    >>> def hello(sim):
+    ...     yield sim.timeout(1.0)
+    ...     return sim.now
+    >>> proc = sim.process(hello(sim))
+    >>> sim.run()
+    >>> proc.value
+    1.0
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active_process: Process | None = None
+
+    # -- public clock/state ----------------------------------------------
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def active_process(self) -> Process | None:
+        return self._active_process
+
+    # -- event factories --------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator, name: str | None = None) -> Process:
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling --------------------------------------------------------
+    def _schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, priority, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event (``inf`` if none)."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event (advance the clock to it)."""
+        try:
+            when, _, _, event = heapq.heappop(self._heap)
+        except IndexError:
+            raise EmptySchedule("no more events") from None
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            # Nobody handled the failure: surface it.
+            exc = event._value
+            raise exc
+
+    def run(self, until: float | Event | None = None) -> Any:
+        """Run until the heap empties, *until* time passes, or *until*
+        event fires.  Returns the until-event's value when given one.
+        """
+        stop_event: Event | None = None
+        if until is None:
+            pass
+        elif isinstance(until, Event):
+            stop_event = until
+            if stop_event.callbacks is None:  # already processed
+                return stop_event._value
+            stop_event.callbacks.append(self._stop_on)
+        else:
+            at = float(until)
+            if at < self._now:
+                raise ValueError(f"until={at} is in the past (now={self._now})")
+            stop_event = Event(self)
+            stop_event._ok = True
+            stop_event._value = None
+            # Urgent so the clock stops *before* normal events at `at`.
+            self._seq += 1
+            heapq.heappush(self._heap, (at, -1, self._seq, stop_event))
+            stop_event.callbacks.append(self._stop_on)
+
+        try:
+            while self._heap:
+                self.step()
+        except StopSimulation as stop:
+            return stop.value
+
+        if until is not None and isinstance(until, Event) and until._value is PENDING:
+            raise EmptySchedule(
+                "simulation ran out of events before the until-event fired"
+            )
+        return None
+
+    @staticmethod
+    def _stop_on(event: Event) -> None:
+        raise StopSimulation(event._value)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Simulator t={self._now:.9f} pending={len(self._heap)}>"

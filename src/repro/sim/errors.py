@@ -1,0 +1,34 @@
+"""Exception types raised by the discrete-event engine."""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for engine-level errors (misuse of the API)."""
+
+
+class EmptySchedule(SimulationError):
+    """`run()` was asked to advance but no events remain."""
+
+
+class StopSimulation(Exception):
+    """Raised internally to halt :meth:`Simulator.run` at an event."""
+
+    def __init__(self, value: object = None) -> None:
+        super().__init__(value)
+        self.value = value
+
+
+class Interrupt(Exception):
+    """Thrown *into* a process by :meth:`Process.interrupt`.
+
+    The interrupting party supplies ``cause``; the interrupted process
+    receives this exception at its current ``yield``.
+    """
+
+    def __init__(self, cause: object = None) -> None:
+        super().__init__(cause)
+
+    @property
+    def cause(self) -> object:
+        return self.args[0]

@@ -1,0 +1,81 @@
+"""Measurement probes: timers, trace logs, time-series samplers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.util.stats import Counter, OnlineStats
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Simulator
+
+
+@dataclass
+class TraceRecord:
+    """One trace event: (time, source, tag, payload)."""
+
+    time: float
+    source: str
+    tag: str
+    payload: Any = None
+
+
+class Tracer:
+    """Optional event-trace collector.
+
+    Disabled by default (tracing millions of DES events is expensive);
+    enable for debugging or fine-grained analysis.
+    """
+
+    def __init__(self, sim: "Simulator", enabled: bool = False, limit: int = 1_000_000):
+        self.sim = sim
+        self.enabled = enabled
+        self.limit = limit
+        self.records: list[TraceRecord] = []
+
+    def log(self, source: str, tag: str, payload: Any = None) -> None:
+        if not self.enabled or len(self.records) >= self.limit:
+            return
+        self.records.append(TraceRecord(self.sim.now, source, tag, payload))
+
+    def filter(self, source: str | None = None, tag: str | None = None):
+        return [
+            r
+            for r in self.records
+            if (source is None or r.source == source) and (tag is None or r.tag == tag)
+        ]
+
+
+class Metrics:
+    """Per-component metrics registry: counters + latency stats by name."""
+
+    def __init__(self) -> None:
+        self.counters = Counter()
+        self.timers: dict[str, OnlineStats] = {}
+        self.series: dict[str, list[tuple[float, float]]] = {}
+
+    def count(self, name: str, by: int = 1) -> None:
+        self.counters.inc(name, by)
+
+    def observe(self, name: str, value: float) -> None:
+        stats = self.timers.get(name)
+        if stats is None:
+            stats = self.timers[name] = OnlineStats()
+        stats.add(value)
+
+    def sample(self, name: str, t: float, value: float) -> None:
+        self.series.setdefault(name, []).append((t, value))
+
+    def timer(self, name: str) -> OnlineStats:
+        stats = self.timers.get(name)
+        if stats is None:
+            stats = self.timers[name] = OnlineStats()
+        return stats
+
+    def merge(self, other: "Metrics") -> None:
+        self.counters.merge(other.counters)
+        for name, stats in other.timers.items():
+            self.timer(name).merge(stats)
+        for name, pts in other.series.items():
+            self.series.setdefault(name, []).extend(pts)

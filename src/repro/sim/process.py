@@ -1,0 +1,135 @@
+"""Generator-based simulation processes.
+
+A process is a Python generator that ``yield``\\ s :class:`Event` objects;
+the engine resumes it with the event's value (or throws the event's
+exception) when the event is processed.  The :class:`Process` wrapper is
+itself an event that fires when the generator returns, so processes can
+wait on each other.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator
+
+from repro.sim.errors import Interrupt, SimulationError
+from repro.sim.events import Event, PENDING, URGENT
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Simulator
+
+ProcessGenerator = Generator[Event, Any, Any]
+
+
+class Initialize(Event):
+    """Urgent event that starts a freshly created process."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", process: "Process") -> None:
+        super().__init__(sim)
+        self._ok = True
+        self._value = None
+        self.callbacks.append(process._resume)
+        sim._schedule(self, URGENT)
+
+
+class Process(Event):
+    """A running simulation process; also an event (fires on return)."""
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(
+        self, sim: "Simulator", generator: ProcessGenerator, name: str | None = None
+    ) -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise SimulationError(f"{generator!r} is not a generator")
+        super().__init__(sim)
+        self._generator = generator
+        self._target: Event | None = Initialize(sim, self)
+        self.name = name or getattr(generator, "__name__", "process")
+
+    @property
+    def is_alive(self) -> bool:
+        return self._value is PENDING
+
+    @property
+    def target(self) -> Event | None:
+        """The event this process currently waits on (None if running)."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its current yield.
+
+        A dead process cannot be interrupted; interrupting the currently
+        active process is an error (a process cannot interrupt itself
+        synchronously).
+        """
+        if not self.is_alive:
+            raise RuntimeError(f"{self.name} has terminated; cannot interrupt")
+        if self is self.sim.active_process:
+            raise RuntimeError("a process cannot interrupt itself")
+        event = Event(self.sim)
+        event._ok = False
+        event._value = Interrupt(cause)
+        event._defused = True
+        event.callbacks.append(self._deliver_interrupt)
+        self.sim._schedule(event, URGENT)
+
+    def _deliver_interrupt(self, event: Event) -> None:
+        if not self.is_alive:
+            return  # terminated before the interrupt was delivered
+        # Detach from the event we were waiting on, then resume with the
+        # failure.  The original event may still fire later; the process
+        # simply no longer listens to it.
+        if (
+            self._target is not None
+            and self._target.callbacks is not None
+            and self._resume in self._target.callbacks
+        ):
+            self._target.callbacks.remove(self._resume)
+        self._resume(event)
+
+    def _resume(self, event: Event) -> None:
+        sim = self.sim
+        sim._active_process = self
+        try:
+            while True:
+                try:
+                    if event._ok:
+                        next_event = self._generator.send(event._value)
+                    else:
+                        # The process handles (or not) the failure itself.
+                        event._defused = True
+                        next_event = self._generator.throw(event._value)
+                except StopIteration as stop:
+                    self.succeed(stop.value)
+                    break
+                except BaseException as exc:
+                    self.fail(exc)
+                    break
+
+                if not isinstance(next_event, Event):
+                    exc = SimulationError(
+                        f"process {self.name!r} yielded a non-event: {next_event!r}"
+                    )
+                    try:
+                        self._generator.throw(exc)
+                    except StopIteration as stop:
+                        self.succeed(stop.value)
+                    except BaseException as e:
+                        self.fail(e)
+                    break
+
+                if next_event.callbacks is not None:
+                    # Pending or triggered-but-unprocessed: wait for it.
+                    next_event.callbacks.append(self._resume)
+                    self._target = next_event
+                    break
+                # Already processed: continue immediately with its value.
+                event = next_event
+        finally:
+            sim._active_process = None
+
+    def __repr__(self) -> str:  # pragma: no cover
+        state = "alive" if self.is_alive else "dead"
+        return f"<Process {self.name} ({state})>"

@@ -1,0 +1,208 @@
+"""Shared-resource primitives: Resource, PriorityResource, Container.
+
+A :class:`Resource` models a server with fixed capacity (a disk arm, a
+CPU, a NIC serialiser): processes ``yield resource.request()`` to acquire
+a slot and call ``resource.release(req)`` (or use the request as a
+context manager) to free it.  Waiters are granted FIFO, or by priority
+for :class:`PriorityResource`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING, Any
+
+from repro.sim.events import Event
+from repro.util.stats import OnlineStats
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Simulator
+
+
+class Request(Event):
+    """Acquisition event for a :class:`Resource` slot."""
+
+    __slots__ = ("resource", "priority", "_key")
+
+    def __init__(self, resource: "Resource", priority: float = 0.0) -> None:
+        super().__init__(resource.sim)
+        self.resource = resource
+        self.priority = priority
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.resource.release(self)
+
+    def cancel(self) -> None:
+        """Withdraw a not-yet-granted request from the wait queue."""
+        self.resource._cancel(self)
+
+
+class Resource:
+    """A capacity-limited resource with a FIFO wait queue.
+
+    Tracks queue-length and utilisation statistics so experiments can
+    report server contention directly.
+    """
+
+    def __init__(self, sim: "Simulator", capacity: int = 1, name: str = "") -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self.users: list[Request] = []
+        self.queue: list[Request] = []
+        self.wait_stats = OnlineStats()
+        self._busy_time = 0.0
+        self._last_change = sim.now
+        self._request_times: dict[int, float] = {}
+
+    # -- accounting -----------------------------------------------------
+    def _account(self) -> None:
+        now = self.sim.now
+        self._busy_time += len(self.users) * (now - self._last_change)
+        self._last_change = now
+
+    def utilization(self, since: float = 0.0) -> float:
+        """Mean fraction of capacity in use since *since*."""
+        self._account()
+        elapsed = self.sim.now - since
+        if elapsed <= 0:
+            return 0.0
+        return self._busy_time / (elapsed * self.capacity)
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self.users)
+
+    # -- acquire / release ----------------------------------------------
+    def request(self, priority: float = 0.0) -> Request:
+        req = Request(self, priority)
+        self._request_times[id(req)] = self.sim.now
+        if len(self.users) < self.capacity:
+            self._grant(req)
+        else:
+            self._enqueue(req)
+        return req
+
+    def _enqueue(self, req: Request) -> None:
+        self.queue.append(req)
+
+    def _dequeue(self) -> Request | None:
+        return self.queue.pop(0) if self.queue else None
+
+    def _grant(self, req: Request) -> None:
+        self._account()
+        self.users.append(req)
+        started = self._request_times.pop(id(req), self.sim.now)
+        self.wait_stats.add(self.sim.now - started)
+        req.succeed(req)
+
+    def release(self, req: Request) -> None:
+        """Free a held slot and grant the next waiter, if any."""
+        if req not in self.users:
+            raise RuntimeError("release() of a request that holds no slot")
+        self._account()
+        self.users.remove(req)
+        nxt = self._dequeue()
+        if nxt is not None:
+            self._grant(nxt)
+
+    def _cancel(self, req: Request) -> None:
+        if req in self.queue:
+            self.queue.remove(req)
+            self._request_times.pop(id(req), None)
+
+
+class PriorityResource(Resource):
+    """Resource whose waiters are granted lowest-priority-value first."""
+
+    def __init__(self, sim: "Simulator", capacity: int = 1, name: str = "") -> None:
+        super().__init__(sim, capacity, name)
+        self._pq: list[tuple[float, int, Request]] = []
+        self._pq_seq = 0
+
+    def _enqueue(self, req: Request) -> None:
+        self._pq_seq += 1
+        heapq.heappush(self._pq, (req.priority, self._pq_seq, req))
+        self.queue.append(req)
+
+    def _dequeue(self) -> Request | None:
+        while self._pq:
+            _, _, req = heapq.heappop(self._pq)
+            if req in self.queue:
+                self.queue.remove(req)
+                return req
+        return None
+
+    def _cancel(self, req: Request) -> None:
+        if req in self.queue:
+            self.queue.remove(req)
+            self._request_times.pop(id(req), None)
+
+
+class Container:
+    """A homogeneous bulk store (level between 0 and capacity).
+
+    ``put``/``get`` block (as events) until the operation can complete.
+    Used for modelling byte budgets and credit schemes.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        capacity: float = float("inf"),
+        init: float = 0.0,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0 <= init <= capacity:
+            raise ValueError("init must be within [0, capacity]")
+        self.sim = sim
+        self.capacity = capacity
+        self._level = init
+        self._getters: list[tuple[float, Event]] = []
+        self._putters: list[tuple[float, Event]] = []
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    def put(self, amount: float) -> Event:
+        if amount < 0:
+            raise ValueError("amount must be >= 0")
+        ev = Event(self.sim)
+        self._putters.append((amount, ev))
+        self._settle()
+        return ev
+
+    def get(self, amount: float) -> Event:
+        if amount < 0:
+            raise ValueError("amount must be >= 0")
+        ev = Event(self.sim)
+        self._getters.append((amount, ev))
+        self._settle()
+        return ev
+
+    def _settle(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            if self._putters:
+                amount, ev = self._putters[0]
+                if self._level + amount <= self.capacity:
+                    self._level += amount
+                    self._putters.pop(0)
+                    ev.succeed(amount)
+                    progress = True
+            if self._getters:
+                amount, ev = self._getters[0]
+                if self._level >= amount:
+                    self._level -= amount
+                    self._getters.pop(0)
+                    ev.succeed(amount)
+                    progress = True

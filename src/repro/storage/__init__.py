@@ -1,0 +1,13 @@
+"""Storage substrate: rotating-disk model and RAID-0 aggregation.
+
+The paper's GlusterFS server hosts all files on "a RAID array of
+8-HighPoint disks" (§5.1); the disk/network speed gap is the central
+motivation (§3).  :class:`Disk` models seek + rotation + streaming
+transfer with head-position tracking; :class:`Raid0` stripes accesses
+across member disks.
+"""
+
+from repro.storage.disk import Disk, DiskProfile, SATA_2007
+from repro.storage.raid import Raid0
+
+__all__ = ["Disk", "DiskProfile", "SATA_2007", "Raid0"]

@@ -1,0 +1,35 @@
+"""Utility substrate shared by every other subpackage.
+
+This package deliberately has no dependencies on the rest of :mod:`repro`
+so that any module may import it freely.
+"""
+
+from repro.util.crc32 import crc32
+from repro.util.units import (
+    KiB,
+    MiB,
+    GiB,
+    USEC,
+    MSEC,
+    fmt_bytes,
+    fmt_time,
+    fmt_rate,
+    parse_size,
+)
+from repro.util.stats import OnlineStats, Histogram, Counter
+
+__all__ = [
+    "crc32",
+    "KiB",
+    "MiB",
+    "GiB",
+    "USEC",
+    "MSEC",
+    "fmt_bytes",
+    "fmt_time",
+    "fmt_rate",
+    "parse_size",
+    "OnlineStats",
+    "Histogram",
+    "Counter",
+]

@@ -1,0 +1,144 @@
+"""Online statistics, histograms and named counters.
+
+Workloads record per-operation latencies; these classes accumulate them
+without retaining every sample (the paper's benchmarks average 1024
+operations per record size — at paper scale a naive list would hold tens
+of millions of floats).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+class OnlineStats:
+    """Welford's online mean/variance with min/max tracking."""
+
+    __slots__ = ("n", "_mean", "_m2", "min", "max", "total")
+
+    def __init__(self) -> None:
+        self.n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.total = 0.0
+
+    def add(self, x: float) -> None:
+        self.n += 1
+        self.total += x
+        delta = x - self._mean
+        self._mean += delta / self.n
+        self._m2 += delta * (x - self._mean)
+        if x < self.min:
+            self.min = x
+        if x > self.max:
+            self.max = x
+
+    def merge(self, other: "OnlineStats") -> None:
+        """Fold *other* into *self* (parallel variance merge)."""
+        if other.n == 0:
+            return
+        if self.n == 0:
+            self.n = other.n
+            self._mean = other._mean
+            self._m2 = other._m2
+            self.min = other.min
+            self.max = other.max
+            self.total = other.total
+            return
+        n = self.n + other.n
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * self.n * other.n / n
+        self._mean += delta * other.n / n
+        self.n = n
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.n else 0.0
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / (self.n - 1) if self.n > 1 else 0.0
+
+    @property
+    def stdev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"OnlineStats(n={self.n}, mean={self.mean:.3g}, stdev={self.stdev:.3g})"
+
+
+class Histogram:
+    """Log-scaled latency histogram.
+
+    Buckets are powers of ``base`` starting at ``lo``; everything below
+    ``lo`` lands in bucket 0 and everything above the top bucket in the
+    last.  Exposes approximate percentiles.
+    """
+
+    def __init__(self, lo: float = 1e-7, hi: float = 10.0, base: float = 2.0) -> None:
+        if not (lo > 0 and hi > lo and base > 1):
+            raise ValueError("require lo > 0, hi > lo, base > 1")
+        self.lo = lo
+        self.base = base
+        self._log_lo = math.log(lo, base)
+        nbuckets = int(math.ceil(math.log(hi / lo, base))) + 2
+        self.counts = [0] * nbuckets
+        self.stats = OnlineStats()
+
+    def _bucket(self, x: float) -> int:
+        if x <= self.lo:
+            return 0
+        idx = int(math.log(x, self.base) - self._log_lo) + 1
+        return min(idx, len(self.counts) - 1)
+
+    def add(self, x: float) -> None:
+        self.counts[self._bucket(x)] += 1
+        self.stats.add(x)
+
+    @property
+    def n(self) -> int:
+        return self.stats.n
+
+    def percentile(self, p: float) -> float:
+        """Approximate p-th percentile (0 < p <= 100): upper edge of the
+        bucket containing that rank."""
+        if not 0 < p <= 100:
+            raise ValueError("p must be in (0, 100]")
+        if self.n == 0:
+            return 0.0
+        rank = math.ceil(self.n * p / 100.0)
+        seen = 0
+        for i, c in enumerate(self.counts):
+            seen += c
+            if seen >= rank:
+                return self.lo * self.base ** i
+        return self.lo * self.base ** (len(self.counts) - 1)
+
+
+@dataclass
+class Counter:
+    """A named bag of integer counters (hits, misses, evictions, ...)."""
+
+    values: dict[str, int] = field(default_factory=dict)
+
+    def inc(self, name: str, by: int = 1) -> None:
+        self.values[name] = self.values.get(name, 0) + by
+
+    def get(self, name: str, default: int = 0) -> int:
+        return self.values.get(name, default)
+
+    def merge(self, other: "Counter") -> None:
+        for k, v in other.values.items():
+            self.inc(k, v)
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self.values)
+
+    def __getitem__(self, name: str) -> int:
+        return self.get(name)

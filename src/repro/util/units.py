@@ -1,0 +1,95 @@
+"""Size and time units, formatting, and parsing.
+
+Simulated time is a ``float`` in **seconds** everywhere in the codebase;
+sizes are ``int`` **bytes**.  These helpers keep literals readable
+(``4 * KiB``, ``35 * USEC``) and reports human-friendly.
+"""
+
+from __future__ import annotations
+
+import re
+
+#: Binary size units (bytes).
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+
+#: Time units (seconds).
+USEC = 1e-6
+MSEC = 1e-3
+
+_SIZE_RE = re.compile(r"^\s*([0-9]+(?:\.[0-9]+)?)\s*([kmgt]i?b?|b)?\s*$", re.I)
+
+_SIZE_MULT = {
+    None: 1,
+    "b": 1,
+    "k": KiB,
+    "kb": KiB,
+    "kib": KiB,
+    "m": MiB,
+    "mb": MiB,
+    "mib": MiB,
+    "g": GiB,
+    "gb": GiB,
+    "gib": GiB,
+    "t": 1024 * GiB,
+    "tb": 1024 * GiB,
+    "tib": 1024 * GiB,
+}
+
+
+def parse_size(text: str | int) -> int:
+    """Parse ``"2K"``, ``"1.5MiB"``, ``"64"`` ... into bytes.
+
+    Integers pass through unchanged.  Raises :class:`ValueError` on
+    malformed input.
+    """
+    if isinstance(text, int):
+        return text
+    m = _SIZE_RE.match(text)
+    if not m:
+        raise ValueError(f"unparseable size: {text!r}")
+    number, unit = m.groups()
+    mult = _SIZE_MULT[unit.lower() if unit else None]
+    value = float(number) * mult
+    if value != int(value):
+        raise ValueError(f"size {text!r} is not a whole number of bytes")
+    return int(value)
+
+
+def fmt_bytes(n: float) -> str:
+    """Format a byte count: ``fmt_bytes(3 * MiB) == '3.0 MiB'``."""
+    n = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(n) < 1024.0 or unit == "TiB":
+            if unit == "B":
+                return f"{int(n)} B"
+            return f"{n:.1f} {unit}"
+        n /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def fmt_time(seconds: float) -> str:
+    """Format a duration with an appropriate unit (ns/us/ms/s)."""
+    a = abs(seconds)
+    if a == 0:
+        return "0 s"
+    if a < 1e-6:
+        return f"{seconds * 1e9:.1f} ns"
+    if a < 1e-3:
+        return f"{seconds * 1e6:.1f} us"
+    if a < 1.0:
+        return f"{seconds * 1e3:.2f} ms"
+    return f"{seconds:.3f} s"
+
+
+def fmt_rate(bytes_per_sec: float) -> str:
+    """Format a bandwidth, e.g. ``'417.3 MB/s'`` (decimal MB, like IOzone)."""
+    a = abs(bytes_per_sec)
+    if a < 1e3:
+        return f"{bytes_per_sec:.1f} B/s"
+    if a < 1e6:
+        return f"{bytes_per_sec / 1e3:.1f} KB/s"
+    if a < 1e9:
+        return f"{bytes_per_sec / 1e6:.1f} MB/s"
+    return f"{bytes_per_sec / 1e9:.2f} GB/s"

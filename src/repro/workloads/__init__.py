@@ -1,0 +1,48 @@
+"""The paper's benchmarks, reimplemented faithfully (§5).
+
+* :mod:`repro.workloads.statbench` — the stat benchmark (§5.2, Fig 5)
+* :mod:`repro.workloads.latency` — the (multi-client / shared-file)
+  latency benchmark (§5.3, §5.4, §5.6; Figs 6-8, 10)
+* :mod:`repro.workloads.iozone` — IOzone-like throughput (Fig 1, Fig 9)
+"""
+
+from repro.workloads.base import ClientOps, PhaseResult, drive, run_clients
+from repro.workloads.iozone import IOzoneResult, run_iozone
+from repro.workloads.latency import (
+    LatencyResult,
+    PAPER_RECORDS,
+    power_of_two_sizes,
+    run_latency_bench,
+)
+from repro.workloads.smallfiles import SmallFilesResult, run_small_files
+from repro.workloads.statbench import StatBenchResult, create_files, run_stat_bench
+from repro.workloads.trace import (
+    TraceConfig,
+    TraceOp,
+    TraceResult,
+    generate_trace,
+    replay_trace,
+)
+
+__all__ = [
+    "ClientOps",
+    "PhaseResult",
+    "drive",
+    "run_clients",
+    "run_stat_bench",
+    "create_files",
+    "StatBenchResult",
+    "run_latency_bench",
+    "power_of_two_sizes",
+    "PAPER_RECORDS",
+    "LatencyResult",
+    "run_iozone",
+    "IOzoneResult",
+    "run_small_files",
+    "SmallFilesResult",
+    "TraceConfig",
+    "TraceOp",
+    "TraceResult",
+    "generate_trace",
+    "replay_trace",
+]

@@ -1,0 +1,77 @@
+"""Workload plumbing shared by the paper's benchmarks.
+
+All three client types (GlusterFS, Lustre, NFS) expose the same
+POSIX-ish generator API (``create/open/read/write/stat/close/unlink``),
+so workloads are written once and run against any testbed.  Multi-client
+workloads follow the paper's structure: "starts with a barrier among
+all the processes ... each record size ... is separated by a barrier"
+(§5.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Protocol, Sequence
+
+from repro.sim.core import Simulator
+from repro.sim.sync import Barrier
+from repro.util.stats import OnlineStats
+
+
+class ClientOps(Protocol):
+    """The client operations a workload may drive."""
+
+    def create(self, path: str) -> Generator: ...
+    def open(self, path: str) -> Generator: ...
+    def read(self, fd: int, offset: int, size: int) -> Generator: ...
+    def write(self, fd: int, offset: int, size: int, data=None) -> Generator: ...
+    def stat(self, path: str) -> Generator: ...
+    def close(self, fd: int) -> Generator: ...
+    def unlink(self, path: str) -> Generator: ...
+
+
+@dataclass
+class PhaseResult:
+    """Aggregated measurements for one (phase, record size) cell."""
+
+    record_size: int
+    phase: str
+    #: Per-operation latency statistics pooled over all clients.
+    latency: OnlineStats = field(default_factory=OnlineStats)
+    #: Wall-clock span of the phase (barrier to barrier).
+    wall_time: float = 0.0
+    #: Total payload bytes moved during the phase.
+    bytes_moved: int = 0
+
+    @property
+    def throughput(self) -> float:
+        """Aggregate bytes/second over the phase wall time."""
+        return self.bytes_moved / self.wall_time if self.wall_time > 0 else 0.0
+
+
+def run_clients(
+    sim: Simulator,
+    clients: Sequence[Any],
+    body: Callable[[Any, int, Barrier], Generator],
+) -> float:
+    """Run ``body(client, rank, barrier)`` as one process per client;
+    returns the wall time from the moment all processes were released.
+
+    The caller is responsible for any *untimed* setup before this.
+    """
+    barrier = Barrier(sim, len(clients))
+    start_time = sim.now
+    procs = [
+        sim.process(body(client, rank, barrier), name=f"wl-rank{rank}")
+        for rank, client in enumerate(clients)
+    ]
+    done = sim.all_of(procs)
+    sim.run(until=done)
+    return sim.now - start_time
+
+
+def drive(sim: Simulator, gen: Generator) -> Any:
+    """Run one generator to completion on an otherwise idle simulator."""
+    p = sim.process(gen)
+    sim.run(until=p)
+    return p.value

@@ -1,0 +1,85 @@
+"""An IOzone-like multi-client throughput benchmark (Fig 1, §5.5).
+
+Each IOzone "thread" (one per client node, as in ``iozone -t N``) writes
+its own file sequentially at a given record size, then re-reads it from
+the beginning.  The benchmark reports aggregate read throughput: total
+bytes / read-phase wall time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, Sequence
+
+from repro.sim.core import Simulator
+from repro.sim.sync import Barrier
+
+
+@dataclass
+class IOzoneResult:
+    file_size: int
+    record_size: int
+    num_threads: int
+    write_wall: float = 0.0
+    read_wall: float = 0.0
+
+    @property
+    def write_throughput(self) -> float:
+        total = self.file_size * self.num_threads
+        return total / self.write_wall if self.write_wall else 0.0
+
+    @property
+    def read_throughput(self) -> float:
+        total = self.file_size * self.num_threads
+        return total / self.read_wall if self.read_wall else 0.0
+
+
+def run_iozone(
+    sim: Simulator,
+    clients: Sequence[Any],
+    file_size: int,
+    record_size: int,
+    *,
+    base_path: str = "/iozone",
+    drop_caches_before_read: bool = False,
+) -> IOzoneResult:
+    result = IOzoneResult(
+        file_size=file_size, record_size=record_size, num_threads=len(clients)
+    )
+    barrier = Barrier(sim, len(clients))
+    marks: dict[str, float] = {}
+
+    def thread(client: Any, rank: int) -> Generator:
+        path = f"{base_path}/t{rank}"
+        fd = yield from client.create(path)
+        records = file_size // record_size
+
+        yield barrier.wait()
+        if rank == 0:
+            marks["w0"] = sim.now
+        for i in range(records):
+            yield from client.write(fd, i * record_size, record_size)
+        yield barrier.wait()
+        if rank == 0:
+            marks["w1"] = sim.now
+
+        if drop_caches_before_read:
+            yield from client.drop_caches()
+        yield barrier.wait()
+        if rank == 0:
+            marks["r0"] = sim.now
+        for i in range(records):
+            yield from client.read(fd, i * record_size, record_size)
+        yield barrier.wait()
+        if rank == 0:
+            marks["r1"] = sim.now
+        yield from client.close(fd)
+
+    procs = [
+        sim.process(thread(c, rank), name=f"iozone-t{rank}")
+        for rank, c in enumerate(clients)
+    ]
+    sim.run(until=sim.all_of(procs))
+    result.write_wall = marks["w1"] - marks["w0"]
+    result.read_wall = marks["r1"] - marks["r0"]
+    return result

@@ -1,0 +1,133 @@
+"""The latency benchmark (§5.3 single client, §5.4 multiple clients,
+§5.6 shared-file variant).
+
+Stage 1 (write): for each record size ``r``, 1024 records of size ``r``
+are written sequentially; the write time for ``r`` is the average over
+the records.  Stage 2 (read): "we go back to the beginning of the file
+and perform the same operations for Read".  In the multi-client form
+every phase and every record size is separated by a barrier and each
+process works on its own file; the reported latency is the average of
+the per-process averages.  The shared variant (§5.6) uses one file:
+only rank 0 writes, every rank reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator, Optional, Sequence
+
+from repro.sim.core import Simulator
+from repro.sim.sync import Barrier
+from repro.util.stats import OnlineStats
+
+#: The paper's per-size record count.
+PAPER_RECORDS = 1024
+
+
+def power_of_two_sizes(max_record: int, start: int = 1) -> list[int]:
+    """1, 2, 4 ... max_record (the paper's x axis)."""
+    sizes = []
+    size = start
+    while size <= max_record:
+        sizes.append(size)
+        size *= 2
+    return sizes
+
+
+@dataclass
+class LatencyResult:
+    record_sizes: list[int]
+    num_clients: int
+    records_per_size: int
+    #: record size -> pooled per-op write latency.
+    write: dict[int, OnlineStats] = field(default_factory=dict)
+    #: record size -> pooled per-op read latency.
+    read: dict[int, OnlineStats] = field(default_factory=dict)
+
+    def mean_read(self, record_size: int) -> float:
+        return self.read[record_size].mean
+
+    def mean_write(self, record_size: int) -> float:
+        return self.write[record_size].mean
+
+
+def run_latency_bench(
+    sim: Simulator,
+    clients: Sequence[Any],
+    record_sizes: Sequence[int],
+    records_per_size: int = PAPER_RECORDS,
+    *,
+    shared_file: bool = False,
+    drop_caches_before_read: bool = False,
+    base_path: str = "/latbench",
+) -> LatencyResult:
+    """Run the full two-stage benchmark.
+
+    ``drop_caches_before_read`` models the Lustre *cold* configuration:
+    "after the Write phase of the benchmark, the Lustre client file
+    system is unmounted and then remounted" (§5.3) — clients must
+    provide ``drop_caches()``.
+    ``shared_file`` switches to the §5.6 read/write-sharing form.
+    """
+    record_sizes = list(record_sizes)
+    result = LatencyResult(
+        record_sizes=record_sizes,
+        num_clients=len(clients),
+        records_per_size=records_per_size,
+    )
+    for r in record_sizes:
+        result.write[r] = OnlineStats()
+        result.read[r] = OnlineStats()
+
+    barrier = Barrier(sim, len(clients))
+    paths = [
+        base_path + ("/shared" if shared_file else f"/rank{rank}")
+        for rank in range(len(clients))
+    ]
+    if shared_file:
+        paths = [base_path + "/shared"] * len(clients)
+
+    def client_proc(client: Any, rank: int) -> Generator:
+        # Open/create once; the file stays open across both stages.
+        path = paths[rank]
+        if shared_file:
+            if rank == 0:
+                fd = yield from client.create(path)
+            else:
+                yield barrier.wait()  # wait for rank 0 to create
+                fd = yield from client.open(path)
+        else:
+            fd = yield from client.create(path)
+        if shared_file and rank == 0:
+            yield barrier.wait()  # release the waiting openers
+
+        # ---- Stage 1: writes (only rank 0 in the shared variant).
+        for r in record_sizes:
+            yield barrier.wait()
+            if not shared_file or rank == 0:
+                for i in range(records_per_size):
+                    t0 = sim.now
+                    yield from client.write(fd, i * r, r)
+                    result.write[r].add(sim.now - t0)
+
+        # ---- Optional cold transition (Lustre unmount/remount).
+        yield barrier.wait()
+        if drop_caches_before_read:
+            yield from client.drop_caches()
+
+        # ---- Stage 2: reads.
+        for r in record_sizes:
+            yield barrier.wait()
+            for i in range(records_per_size):
+                t0 = sim.now
+                yield from client.read(fd, i * r, r)
+                result.read[r].add(sim.now - t0)
+        yield barrier.wait()
+        yield from client.close(fd)
+
+    procs = [
+        sim.process(client_proc(c, rank), name=f"lat-rank{rank}")
+        for rank, c in enumerate(clients)
+    ]
+    sim.run(until=sim.all_of(procs))
+    return result

@@ -1,0 +1,187 @@
+"""Model-based coherency testing of the full IMCa stack.
+
+Drives a live testbed (client -> CMCache -> server -> SMCache -> MCDs)
+with a random interleaving of writes, reads, opens/closes, MCD
+kills/restarts and cache flushes, checking EVERY read against a plain
+bytearray reference model.  This is the §4.4 correctness claim
+("Failures in MCDs do not impact correctness") under adversarial
+schedules.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.cluster import TestbedConfig, build_gluster_testbed
+from repro.core.config import IMCaConfig
+from repro.util import KiB, MiB
+
+FILE_SPACE = 32 * KiB  # offsets stay inside this window
+BLOCK = 512  # small blocks -> more boundary cases
+
+
+class ImcaMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.tb = build_gluster_testbed(
+            TestbedConfig(
+                num_clients=2,
+                num_mcds=2,
+                mcd_memory=2 * MiB,  # small: eviction paths get exercised
+                imca=IMCaConfig(block_size=BLOCK),
+            )
+        )
+        self.sim = self.tb.sim
+        self.clients = self.tb.clients
+        self.model = bytearray()  # reference content
+        self.fds = {}  # client index -> fd
+        self.created = False
+
+    def _run(self, gen):
+        proc = self.sim.process(gen)
+        self.sim.run(until=proc)
+        return proc.value
+
+    def _fd(self, who: int):
+        fd = self.fds.get(who)
+        if fd is None:
+            fd = self._run(self.clients[who].open("/model/f"))
+            self.fds[who] = fd
+        return fd
+
+    @initialize()
+    def create_file(self):
+        fd = self._run(self.clients[0].create("/model/f"))
+        self.fds[0] = fd
+        self.created = True
+
+    @rule(
+        who=st.integers(0, 1),
+        offset=st.integers(0, FILE_SPACE - 1),
+        size=st.integers(1, 4 * KiB),
+        fill=st.integers(0, 255),
+    )
+    def write(self, who, offset, size, fill):
+        size = min(size, FILE_SPACE - offset)
+        payload = bytes([fill]) * size
+        self._run(self.clients[who].write(self._fd(who), offset, size, payload))
+        if len(self.model) < offset + size:
+            self.model.extend(b"\0" * (offset + size - len(self.model)))
+        self.model[offset : offset + size] = payload
+
+    @rule(
+        who=st.integers(0, 1),
+        offset=st.integers(0, FILE_SPACE - 1),
+        size=st.integers(1, 4 * KiB),
+    )
+    def read_and_check(self, who, offset, size):
+        r = self._run(self.clients[who].read(self._fd(who), offset, size))
+        expected = bytes(self.model[offset : offset + size])
+        assert r.size == len(expected)
+        if r.data is not None:
+            assert r.data == expected, (
+                f"stale/corrupt read at [{offset}, {offset + size}): "
+                f"got {r.data[:16]!r}... expected {expected[:16]!r}..."
+            )
+
+    @rule(who=st.integers(0, 1))
+    def reopen(self, who):
+        fd = self.fds.pop(who, None)
+        if fd is not None:
+            self._run(self.clients[who].close(fd))
+        # next access reopens lazily
+
+    @rule(victim=st.integers(0, 1))
+    def kill_mcd(self, victim):
+        if self.tb.mcds[victim].alive:
+            self.tb.mcds[victim].kill()
+
+    @rule(victim=st.integers(0, 1))
+    def restart_mcd(self, victim):
+        if not self.tb.mcds[victim].alive:
+            self.tb.mcds[victim].restart()
+
+    @rule()
+    def flush_mcds(self):
+        for mcd in self.tb.mcds:
+            if mcd.alive:
+                mcd.engine.flush_all()
+
+    @invariant()
+    def server_holds_the_truth(self):
+        if not self.created:
+            return
+        inode = self.tb.server.fs._files.get("/model/f")
+        assert inode is not None
+        assert inode.stat.size == len(self.model)
+        if inode.data is not None:
+            assert bytes(inode.data) == bytes(self.model)
+
+    @invariant()
+    def mcd_engines_consistent(self):
+        for mcd in self.tb.mcds:
+            mcd.engine.check_invariants()
+
+
+TestImcaCoherency = ImcaMachine.TestCase
+TestImcaCoherency.settings = settings(
+    max_examples=25,
+    stateful_step_count=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+# -- the same invariant, through the threaded-update configuration -----------
+@settings(max_examples=20, deadline=None)
+@given(
+    writes=st.lists(
+        st.tuples(st.integers(0, 8 * KiB), st.integers(1, 2 * KiB), st.integers(0, 255)),
+        min_size=1,
+        max_size=15,
+    )
+)
+def test_threaded_mode_read_after_quiesce_is_fresh(writes):
+    """In threaded mode, updates may lag; but once the update queue has
+    drained (sim idle), reads must return the newest bytes."""
+    tb = build_gluster_testbed(
+        TestbedConfig(
+            num_clients=1,
+            num_mcds=2,
+            imca=IMCaConfig(block_size=BLOCK, threaded_updates=True),
+        )
+    )
+    sim = tb.sim
+    c = tb.clients[0]
+    model = bytearray()
+
+    def body():
+        fd = yield from c.create("/t/f")
+        for offset, size, fill in writes:
+            payload = bytes([fill]) * size
+            yield from c.write(fd, offset, size, payload)
+            if len(model) < offset + size:
+                model.extend(b"\0" * (offset + size - len(model)))
+            model[offset : offset + size] = payload
+        return fd
+
+    p = sim.process(body())
+    sim.run()  # runs until idle: update queue fully drained
+
+    def check(fd):
+        r = yield from c.read(fd, 0, len(model))
+        return r
+
+    p2 = sim.process(check(p.value))
+    sim.run(until=p2)
+    r = p2.value
+    assert r.size == len(model)
+    if r.data is not None:
+        assert r.data == bytes(model)

@@ -1,0 +1,119 @@
+"""Tests for fsync: write-back durability through the full stack."""
+
+import pytest
+
+from repro.cluster import TestbedConfig, build_gluster_testbed
+from repro.localfs import LocalFS
+from repro.oscache import PageCache
+from repro.sim import Simulator
+from repro.storage import Raid0
+from repro.util import KiB, MiB
+
+
+def drive(sim, gen):
+    p = sim.process(gen)
+    sim.run(until=p)
+    return p.value
+
+
+def test_localfs_fsync_waits_for_writeback():
+    sim = Simulator()
+    fs = LocalFS(sim, Raid0(sim, disks=1), PageCache(64 * MiB))
+
+    def w():
+        yield from fs.create("/f")
+        t0 = sim.now
+        yield from fs.write("/f", 0, 1 * MiB)
+        write_elapsed = sim.now - t0
+        t1 = sim.now
+        yield from fs.fsync("/f")
+        fsync_elapsed = sim.now - t1
+        return write_elapsed, fsync_elapsed
+
+    write_elapsed, fsync_elapsed = drive(sim, w())
+    # Write-back: the write returns immediately; fsync pays the device.
+    assert write_elapsed < 0.001
+    assert fsync_elapsed > 0.005  # ~1 MiB at disk speed + seek
+
+
+def test_localfs_fsync_after_flush_is_instant():
+    sim = Simulator()
+    fs = LocalFS(sim, Raid0(sim, disks=1), PageCache(64 * MiB))
+
+    def w():
+        yield from fs.create("/f")
+        yield from fs.write("/f", 0, 4 * KiB)
+        yield from fs.fsync("/f")  # waits out the flush
+        t0 = sim.now
+        yield from fs.fsync("/f")  # nothing dirty now
+        return sim.now - t0
+
+    assert drive(sim, w()) == 0.0
+
+
+def test_fsync_on_clean_file_is_instant():
+    sim = Simulator()
+    fs = LocalFS(sim, Raid0(sim, disks=1), PageCache(64 * MiB))
+
+    def w():
+        yield from fs.create("/f")
+        t0 = sim.now
+        yield from fs.fsync("/f")
+        return sim.now - t0
+
+    assert drive(sim, w()) == 0.0
+
+
+def test_fsync_through_gluster_stack():
+    tb = build_gluster_testbed(TestbedConfig(num_clients=1, num_mcds=1))
+    c = tb.clients[0]
+
+    def w():
+        fd = yield from c.create("/f")
+        yield from c.write(fd, 0, 1 * MiB)
+        t0 = tb.sim.now
+        yield from c.fsync(fd)
+        return tb.sim.now - t0
+
+    elapsed = drive(tb.sim, w())
+    assert elapsed > 0.005  # durability barrier reached the RAID
+    assert tb.server.stats.get("fop_fsync") == 1
+    assert tb.server.fs.stats.get("fsyncs") == 1
+
+
+def test_fsync_through_writebehind_flushes_pending():
+    from repro.gluster.client import GlusterClient
+    from repro.gluster.protocol import ClientProtocol
+    from repro.gluster.writebehind import WriteBehindXlator
+    from repro.gluster.xlator import Xlator
+    from repro.net.fabric import Node
+    from repro.net.rpc import Endpoint
+
+    tb = build_gluster_testbed(TestbedConfig(num_clients=1))
+    node = Node(tb.sim, "wb-client")
+    wb = WriteBehindXlator(window=1 * MiB)
+    stack = Xlator.build_stack([wb, ClientProtocol(Endpoint(tb.net, node), tb.server)])
+    c = GlusterClient(tb.sim, node, stack)
+
+    def w():
+        fd = yield from c.create("/f")
+        yield from c.write(fd, 0, 4 * KiB, b"q" * 4 * KiB)  # buffered
+        yield from c.fsync(fd)  # must flush then sync
+        return tb.server.fs._files["/f"].stat.size
+
+    assert drive(tb.sim, w()) == 4 * KiB
+    assert wb.stats.get("wb_flushes") == 1
+
+
+def test_fsync_through_distribute():
+    tb = build_gluster_testbed(TestbedConfig(num_clients=1, num_bricks=2))
+    c = tb.clients[0]
+
+    def w():
+        fd = yield from c.create("/f")
+        yield from c.write(fd, 0, 64 * KiB)
+        yield from c.fsync(fd)
+
+    drive(tb.sim, w())
+    total_fsyncs = sum(s.stats.get("fop_fsync", 0) for s in tb.servers)
+    assert total_fsyncs == 1

@@ -1,0 +1,145 @@
+"""Tests for the io-cache translator and its coherency weakness."""
+
+import pytest
+
+from repro.cluster import TestbedConfig, build_gluster_testbed
+from repro.gluster.client import GlusterClient
+from repro.gluster.iocache import IoCacheXlator
+from repro.gluster.protocol import ClientProtocol
+from repro.gluster.xlator import Xlator
+from repro.net.fabric import Node
+from repro.net.rpc import Endpoint
+from repro.util import KiB, MiB, USEC
+
+
+def make_with_iocache(cache_timeout=1.0, capacity=16 * MiB):
+    tb = build_gluster_testbed(TestbedConfig(num_clients=1))
+    sim = tb.sim
+    node = Node(sim, "ioc-client")
+    ep = Endpoint(tb.net, node)
+    ioc = IoCacheXlator(sim, capacity=capacity, cache_timeout=cache_timeout)
+    stack = Xlator.build_stack([ioc, ClientProtocol(ep, tb.server)])
+    return tb, GlusterClient(sim, node, stack), ioc
+
+
+def drive(tb, gen):
+    p = tb.sim.process(gen)
+    tb.sim.run(until=p)
+    return p.value
+
+
+def test_warm_reads_served_locally():
+    tb, c, ioc = make_with_iocache()
+
+    def w():
+        fd = yield from c.create("/f")
+        yield from c.write(fd, 0, 16 * KiB, b"a" * 16 * KiB)
+        yield from c.read(fd, 0, 16 * KiB)  # populates
+        before = tb.server.stats.get("fop_read", 0)
+        t0 = tb.sim.now
+        r = yield from c.read(fd, 0, 16 * KiB)
+        return r, tb.sim.now - t0, tb.server.stats.get("fop_read", 0) - before
+
+    r, warm_time, server_reads = drive(tb, w())
+    assert r.data == b"a" * 16 * KiB
+    assert server_reads == 0
+    assert warm_time < 60 * USEC  # local page hits, no round trips
+    assert ioc.stats.get("hits") >= 4
+
+
+def test_own_write_invalidates():
+    tb, c, ioc = make_with_iocache()
+
+    def w():
+        fd = yield from c.create("/f")
+        yield from c.write(fd, 0, 4 * KiB, b"1" * 4 * KiB)
+        yield from c.read(fd, 0, 4 * KiB)
+        yield from c.write(fd, 0, 4 * KiB, b"2" * 4 * KiB)
+        r = yield from c.read(fd, 0, 4 * KiB)
+        return r
+
+    r = drive(tb, w())
+    assert r.data == b"2" * 4 * KiB
+
+
+def test_stale_reads_within_timeout_under_sharing():
+    """The §1 coherency problem: a second client's write is invisible
+    to the io-cache client until the validation timeout expires."""
+    tb, c, ioc = make_with_iocache(cache_timeout=1.0)
+    other = tb.clients[0]  # plain NoCache client, same server
+    sim = tb.sim
+
+    def w():
+        fd_o = yield from other.create("/shared")
+        yield from other.write(fd_o, 0, 4 * KiB, b"old!" * KiB)
+        fd = yield from c.open("/shared")
+        r1 = yield from c.read(fd, 0, 4 * KiB)
+        # The other client overwrites on the server.
+        yield from other.write(fd_o, 0, 4 * KiB, b"new!" * KiB)
+        r2 = yield from c.read(fd, 0, 4 * KiB)  # within timeout: stale
+        yield sim.timeout(1.5)  # let the validation window lapse
+        r3 = yield from c.read(fd, 0, 4 * KiB)  # revalidates: fresh
+        return r1, r2, r3
+
+    r1, r2, r3 = drive(tb, w())
+    assert r1.data == b"old!" * KiB
+    assert r2.data == b"old!" * KiB  # STALE — the motivation for IMCa
+    assert r3.data == b"new!" * KiB
+    assert ioc.stats.get("invalidations") >= 1
+
+
+def test_imca_never_serves_stale_in_same_scenario():
+    """Control: the same sharing pattern through IMCa returns fresh
+    data immediately (server-coherent cache bank)."""
+    tb = build_gluster_testbed(TestbedConfig(num_clients=2, num_mcds=1))
+    reader, writer = tb.clients
+
+    def w():
+        fd_w = yield from writer.create("/shared")
+        yield from writer.write(fd_w, 0, 4 * KiB, b"old!" * KiB)
+        fd_r = yield from reader.open("/shared")
+        r1 = yield from reader.read(fd_r, 0, 4 * KiB)
+        yield from writer.write(fd_w, 0, 4 * KiB, b"new!" * KiB)
+        r2 = yield from reader.read(fd_r, 0, 4 * KiB)
+        return r1, r2
+
+    p = tb.sim.process(w())
+    tb.sim.run(until=p)
+    r1, r2 = p.value
+    assert r1.data == b"old!" * KiB
+    assert r2.data == b"new!" * KiB  # fresh immediately
+
+
+def test_capacity_eviction_bounded():
+    tb, c, ioc = make_with_iocache(capacity=64 * KiB)  # 16 pages
+
+    def w():
+        fd = yield from c.create("/f")
+        yield from c.write(fd, 0, 256 * KiB)
+        yield from c.read(fd, 0, 256 * KiB)  # 64 pages through a 16-page cache
+        return len(ioc._pages)
+
+    resident = drive(tb, w())
+    assert resident <= 16
+
+
+def test_timeout_zero_always_revalidates():
+    tb, c, ioc = make_with_iocache(cache_timeout=0.0)
+
+    def w():
+        fd = yield from c.create("/f")
+        yield from c.write(fd, 0, 4 * KiB)
+        yield from c.read(fd, 0, 4 * KiB)
+        yield from c.read(fd, 0, 4 * KiB)
+
+    drive(tb, w())
+    assert ioc.stats.get("revalidations") >= 2
+
+
+def test_validation():
+    import pytest
+    tb = build_gluster_testbed(TestbedConfig(num_clients=1))
+    with pytest.raises(ValueError):
+        IoCacheXlator(tb.sim, page_size=100)
+    with pytest.raises(ValueError):
+        IoCacheXlator(tb.sim, cache_timeout=-1)

@@ -1,0 +1,89 @@
+"""Tests for the io-stats measurement translator."""
+
+from repro.cluster import TestbedConfig, build_gluster_testbed
+from repro.gluster.client import GlusterClient
+from repro.gluster.iostats import IoStatsXlator
+from repro.gluster.protocol import ClientProtocol
+from repro.gluster.xlator import Xlator
+from repro.net.fabric import Node
+from repro.net.rpc import Endpoint
+from repro.util import KiB
+
+
+def make_instrumented():
+    tb = build_gluster_testbed(TestbedConfig(num_clients=1))
+    node = Node(tb.sim, "probe-client")
+    ep = Endpoint(tb.net, node)
+    probe = IoStatsXlator(tb.sim)
+    stack = Xlator.build_stack([probe, ClientProtocol(ep, tb.server)])
+    return tb, GlusterClient(tb.sim, node, stack), probe
+
+
+def drive(tb, gen):
+    p = tb.sim.process(gen)
+    tb.sim.run(until=p)
+    return p.value
+
+
+def test_counts_and_latency_recorded():
+    tb, c, probe = make_instrumented()
+
+    def w():
+        fd = yield from c.create("/f")
+        yield from c.write(fd, 0, 4 * KiB)
+        yield from c.read(fd, 0, 2 * KiB)
+        yield from c.read(fd, 2 * KiB, 2 * KiB)
+        yield from c.stat("/f")
+        yield from c.close(fd)
+
+    drive(tb, w())
+    assert probe.counts.get("create") == 1
+    assert probe.counts.get("write") == 1
+    assert probe.counts.get("read") == 2
+    assert probe.counts.get("stat") == 1
+    assert probe.counts.get("flush") == 1
+    assert probe.latency["read"].n == 2
+    assert probe.latency["read"].mean > 0
+
+
+def test_byte_accounting():
+    tb, c, probe = make_instrumented()
+
+    def w():
+        fd = yield from c.create("/f")
+        yield from c.write(fd, 0, 4 * KiB)
+        yield from c.read(fd, 0, 3 * KiB)
+
+    drive(tb, w())
+    assert probe.bytes_written == 4 * KiB
+    assert probe.bytes_read == 3 * KiB
+
+
+def test_report_structure():
+    tb, c, probe = make_instrumented()
+
+    def w():
+        fd = yield from c.create("/f")
+        yield from c.write(fd, 0, KiB)
+        yield from c.read(fd, 0, KiB)
+
+    drive(tb, w())
+    report = probe.report()
+    assert set(report) == {"create", "write", "read"}
+    for row in report.values():
+        assert row["count"] >= 1
+        assert row["min"] <= row["mean"] <= row["max"]
+
+
+def test_transparent_passthrough():
+    """The probe must not alter results."""
+    tb, c, probe = make_instrumented()
+
+    def w():
+        fd = yield from c.create("/f")
+        yield from c.write(fd, 0, 100, b"y" * 100)
+        r = yield from c.read(fd, 0, 100)
+        return r
+
+    r = drive(tb, w())
+    assert r.data == b"y" * 100

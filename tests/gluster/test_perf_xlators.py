@@ -1,0 +1,154 @@
+"""Tests for the read-ahead and write-behind translators."""
+
+import pytest
+
+from repro.cluster import TestbedConfig, build_gluster_testbed
+from repro.gluster.protocol import ClientProtocol
+from repro.gluster.readahead import ReadAheadXlator
+from repro.gluster.writebehind import WriteBehindXlator
+from repro.gluster.client import GlusterClient
+from repro.gluster.xlator import Xlator
+from repro.net.rpc import Endpoint
+from repro.net.fabric import Node
+from repro.util import KiB
+
+
+def make_with(xlator_factory):
+    """Gluster testbed whose single client carries an extra xlator."""
+    tb = build_gluster_testbed(TestbedConfig(num_clients=1))
+    sim = tb.sim
+    node = Node(sim, "xclient")
+    ep = Endpoint(tb.net, node)
+    extra = xlator_factory()
+    stack = Xlator.build_stack([extra, ClientProtocol(ep, tb.server)])
+    client = GlusterClient(sim, node, stack)
+    return tb, client, extra
+
+
+def drive(tb, gen):
+    p = tb.sim.process(gen)
+    tb.sim.run()
+    return p.value
+
+
+def test_readahead_serves_sequential_reads_locally():
+    tb, c, ra = make_with(lambda: ReadAheadXlator(window=32 * KiB))
+
+    def w():
+        fd = yield from c.create("/f")
+        yield from c.write(fd, 0, 64 * KiB)
+        results = []
+        for i in range(16):
+            r = yield from c.read(fd, i * 2 * KiB, 2 * KiB)
+            results.append(r.size)
+        return results
+
+    sizes = drive(tb, w())
+    assert all(s == 2 * KiB for s in sizes)
+    assert ra.stats.get("ra_hits") >= 12  # most served from the window
+    assert ra.stats.get("ra_fetches") >= 1
+
+
+def test_readahead_returns_correct_content():
+    tb, c, ra = make_with(lambda: ReadAheadXlator(window=16 * KiB))
+    payload = bytes(i % 251 for i in range(32 * KiB))
+
+    def w():
+        fd = yield from c.create("/f")
+        yield from c.write(fd, 0, len(payload), payload)
+        out = b""
+        for i in range(32):
+            r = yield from c.read(fd, i * KiB, KiB)
+            out += r.data
+        return out
+
+    assert drive(tb, w()) == payload
+
+
+def test_readahead_invalidated_by_write():
+    tb, c, ra = make_with(lambda: ReadAheadXlator(window=16 * KiB))
+
+    def w():
+        fd = yield from c.create("/f")
+        yield from c.write(fd, 0, 8 * KiB, b"a" * 8 * KiB)
+        yield from c.read(fd, 0, KiB)  # populates buffer
+        yield from c.write(fd, 0, KiB, b"b" * KiB)  # invalidates
+        r = yield from c.read(fd, 0, KiB)
+        return r
+
+    r = drive(tb, w())
+    assert r.data == b"b" * KiB
+
+
+def test_readahead_bypasses_random_reads():
+    tb, c, ra = make_with(lambda: ReadAheadXlator(window=16 * KiB))
+
+    def w():
+        fd = yield from c.create("/f")
+        yield from c.write(fd, 0, 64 * KiB)
+        for off in (50 * KiB, 10 * KiB, 30 * KiB):
+            yield from c.read(fd, off, KiB)
+
+    drive(tb, w())
+    assert ra.stats.get("ra_bypass") >= 2
+
+
+def test_writebehind_aggregates_small_writes():
+    tb, c, wb = make_with(lambda: WriteBehindXlator(window=16 * KiB))
+
+    def w():
+        fd = yield from c.create("/f")
+        for i in range(16):
+            yield from c.write(fd, i * KiB, KiB, bytes([i]) * KiB)
+        yield from c.close(fd)  # barrier flushes the tail
+
+    drive(tb, w())
+    # 16 KiB window: 16 x 1 KiB coalesce into one wire write.
+    assert wb.stats.get("wb_flushes") == 1
+    assert tb.server.stats.get("fop_write") == 1
+
+
+def test_writebehind_read_sees_buffered_data():
+    tb, c, wb = make_with(lambda: WriteBehindXlator(window=64 * KiB))
+
+    def w():
+        fd = yield from c.create("/f")
+        yield from c.write(fd, 0, 4, b"abcd")  # buffered
+        r = yield from c.read(fd, 0, 4)  # read barrier flushes first
+        return r
+
+    r = drive(tb, w())
+    assert r.data == b"abcd"
+
+
+def test_writebehind_noncontiguous_write_flushes():
+    tb, c, wb = make_with(lambda: WriteBehindXlator(window=64 * KiB))
+
+    def w():
+        fd = yield from c.create("/f")
+        yield from c.write(fd, 0, 4, b"aaaa")
+        yield from c.write(fd, 100, 4, b"bbbb")  # gap: flushes first
+        yield from c.close(fd)
+
+    drive(tb, w())
+    assert wb.stats.get("wb_flushes") == 2
+
+
+def test_writebehind_acks_faster_than_writethrough():
+    """The unsafe-latency tradeoff: buffered writes return without a
+    server round trip."""
+    tb1, c1, _ = make_with(lambda: WriteBehindXlator(window=1024 * KiB))
+
+    def timed_writes(tb, c):
+        fd = yield from c.create("/f")
+        t0 = tb.sim.now
+        for i in range(8):
+            yield from c.write(fd, i * KiB, KiB)
+        return tb.sim.now - t0
+
+    buffered = drive(tb1, timed_writes(tb1, c1))
+
+    tb2 = build_gluster_testbed(TestbedConfig(num_clients=1))
+    c2 = tb2.clients[0]
+    through = drive(tb2, timed_writes(tb2, c2))
+    assert buffered < through / 2

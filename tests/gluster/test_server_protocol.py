@@ -1,0 +1,72 @@
+"""Protocol accounting tests: request/response wire sizes, fop stats."""
+
+import pytest
+
+from repro.cluster import TestbedConfig, build_gluster_testbed
+from repro.gluster.server import request_size
+from repro.localfs.types import ReadResult, StatBuf
+from repro.gluster.costs import DATA_OP_OVERHEAD, STAT_WIRE
+from repro.gluster.server import GlusterServer
+from repro.util import KiB
+
+
+def test_request_size_write_includes_payload():
+    base = request_size("read", ("/f", 0, 100))
+    w = request_size("write", ("/f", 0, 4096, None))
+    assert w == request_size("write", ("/f", 0, 0, None)) + 4096
+    assert base < w
+
+
+def test_request_size_grows_with_path():
+    short = request_size("stat", ("/a",))
+    long = request_size("stat", ("/a" * 50,))
+    assert long > short
+
+
+def test_resp_size_read_carries_payload():
+    r = ReadResult(offset=0, size=8 * KiB)
+    assert GlusterServer._resp_size("read", r) == DATA_OP_OVERHEAD + 8 * KiB
+
+
+def test_resp_size_stat_is_wire_struct():
+    st = StatBuf(ino=1)
+    assert GlusterServer._resp_size("stat", st) == STAT_WIRE
+    assert GlusterServer._resp_size("create", st) == STAT_WIRE
+
+
+def test_resp_size_default():
+    assert GlusterServer._resp_size("unlink", None) == DATA_OP_OVERHEAD
+
+
+def test_fop_statistics_counted():
+    tb = build_gluster_testbed(TestbedConfig(num_clients=1))
+    c = tb.clients[0]
+
+    def w():
+        fd = yield from c.create("/f")
+        yield from c.write(fd, 0, 100)
+        yield from c.read(fd, 0, 100)
+        yield from c.stat("/f")
+        yield from c.close(fd)
+        yield from c.unlink("/f")
+
+    p = tb.sim.process(w())
+    tb.sim.run(until=p)
+    s = tb.server.stats
+    for fop in ("create", "write", "read", "stat", "flush", "unlink"):
+        assert s.get(f"fop_{fop}") == 1
+
+
+def test_wire_bytes_roughly_track_payload():
+    """Moving 1 MiB through writes must put >= 1 MiB on the network."""
+    tb = build_gluster_testbed(TestbedConfig(num_clients=1))
+    c = tb.clients[0]
+
+    def w():
+        fd = yield from c.create("/f")
+        for i in range(16):
+            yield from c.write(fd, i * 64 * KiB, 64 * KiB)
+
+    p = tb.sim.process(w())
+    tb.sim.run(until=p)
+    assert tb.net.stats.get("bytes") >= 16 * 64 * KiB

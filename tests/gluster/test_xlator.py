@@ -1,0 +1,111 @@
+"""Tests for the translator framework."""
+
+import pytest
+
+from repro.gluster.xlator import FOPS, Xlator
+from repro.localfs.types import ReadResult, StatBuf
+
+
+class Recorder(Xlator):
+    """Terminal xlator that records fops and returns canned values."""
+
+    def __init__(self):
+        super().__init__("recorder")
+        self.calls = []
+
+    def lookup(self, path):
+        self.calls.append(("lookup", path))
+        return StatBuf(ino=1)
+        yield  # pragma: no cover
+
+    def stat(self, path):
+        self.calls.append(("stat", path))
+        return StatBuf(ino=1, size=42)
+        yield  # pragma: no cover
+
+    def read(self, path, offset, size):
+        self.calls.append(("read", path, offset, size))
+        return ReadResult(offset=offset, size=size)
+        yield  # pragma: no cover
+
+    def write(self, path, offset, size, data=None):
+        self.calls.append(("write", path, offset, size))
+        return 7
+        yield  # pragma: no cover
+
+
+def run_gen(gen):
+    """Drive a no-yield generator to its return value."""
+    try:
+        next(gen)
+    except StopIteration as stop:
+        return stop.value
+    raise AssertionError("generator unexpectedly yielded")
+
+
+def test_build_stack_chains_children():
+    a, b, c = Xlator("a"), Xlator("b"), Recorder()
+    top = Xlator.build_stack([a, b, c])
+    assert top is a
+    assert a.child is b and b.child is c
+
+
+def test_build_stack_empty_rejected():
+    with pytest.raises(ValueError):
+        Xlator.build_stack([])
+
+
+def test_passthrough_reaches_terminal():
+    rec = Recorder()
+    top = Xlator.build_stack([Xlator("mid1"), Xlator("mid2"), rec])
+    result = run_gen(top.stat("/x"))
+    assert result.size == 42
+    assert rec.calls == [("stat", "/x")]
+
+
+def test_passthrough_preserves_arguments():
+    rec = Recorder()
+    top = Xlator.build_stack([Xlator("mid"), rec])
+    run_gen(top.read("/f", 128, 64))
+    run_gen(top.write("/f", 0, 32))
+    assert ("read", "/f", 128, 64) in rec.calls
+    assert ("write", "/f", 0, 32) in rec.calls
+
+
+def test_unwound_value_returns_through_stack():
+    rec = Recorder()
+    top = Xlator.build_stack([Xlator("a"), Xlator("b"), rec])
+    assert run_gen(top.write("/f", 0, 10)) == 7
+
+
+def test_missing_child_raises():
+    lonely = Xlator("lonely")
+    with pytest.raises(RuntimeError):
+        run_gen(lonely.stat("/x"))
+
+
+def test_intercepting_xlator_sees_unwind_path():
+    """The post-yield-from code is the callback hook (SMCache pattern)."""
+
+    class Hook(Xlator):
+        def __init__(self):
+            super().__init__("hook")
+            self.seen = []
+
+        def stat(self, path):
+            result = yield from self._down().stat(path)
+            self.seen.append(result.size)  # unwind-path hook
+            return result
+
+    rec = Recorder()
+    hook = Hook()
+    top = Xlator.build_stack([hook, rec])
+    result = run_gen(top.stat("/x"))
+    assert hook.seen == [42]
+    assert result.size == 42
+
+
+def test_all_fops_defined_on_base():
+    x = Xlator("x")
+    for fop in FOPS:
+        assert callable(getattr(x, fop))

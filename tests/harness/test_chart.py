@@ -1,0 +1,78 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.harness.chart import GLYPHS, render_chart
+
+
+def test_basic_chart_structure():
+    out = render_chart(
+        [1, 2, 4, 8],
+        {"a": [1.0, 2.0, 4.0, 8.0], "b": [8.0, 4.0, 2.0, 1.0]},
+        width=32,
+        height=8,
+    )
+    lines = out.splitlines()
+    assert lines[-1].startswith("legend:")
+    assert "*=a" in lines[-1] and "o=b" in lines[-1]
+    assert any("|" in L for L in lines)
+    assert any("+" in L and "-" in L for L in lines)  # x axis
+
+
+def _grid(out):
+    """Chart body without the legend line."""
+    return "\n".join(out.splitlines()[:-1])
+
+
+def test_points_land_on_grid():
+    out = render_chart([1, 10], {"s": [1.0, 100.0]}, width=20, height=6)
+    assert _grid(out).count("*") == 2
+
+
+def test_monotone_series_renders_monotone():
+    """Higher y must land on an earlier (higher) grid row."""
+    out = render_chart(
+        [1, 2, 3], {"s": [1.0, 10.0, 100.0]}, width=30, height=9, log_y=True
+    )
+    body = _grid(out).splitlines()
+    rows = [i for i, line in enumerate(body) if "*" in line]
+    cols = [line.index("*") for line in body if "*" in line]
+    assert rows == sorted(rows)  # top-to-bottom scan
+    assert cols == sorted(cols, reverse=True)  # later x further right
+
+
+def test_none_values_skipped():
+    out = render_chart([1, 2, 3], {"s": [1.0, None, 3.0]}, width=20, height=6)
+    assert _grid(out).count("*") == 2
+
+
+def test_constant_series_does_not_crash():
+    out = render_chart([1, 2], {"s": [5.0, 5.0]}, width=20, height=6)
+    assert _grid(out).count("*") >= 1
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        render_chart([1], {}, width=20, height=6)
+    with pytest.raises(ValueError):
+        render_chart([1, 2], {"s": [1.0]}, width=20, height=6)
+    with pytest.raises(ValueError):
+        render_chart([1], {"s": [1.0]}, width=4, height=2)
+    with pytest.raises(ValueError):
+        render_chart([1], {"s": [None]}, width=20, height=6)
+
+
+def test_many_series_cycle_glyphs():
+    series = {f"s{i}": [float(i + 1)] for i in range(len(GLYPHS) + 2)}
+    out = render_chart([1], series, width=20, height=6)
+    assert f"{GLYPHS[0]}=s0" in out
+    assert f"{GLYPHS[0]}=s{len(GLYPHS)}" in out  # wrapped
+
+
+def test_cli_chart_flag(capsys):
+    from repro.cli import main
+
+    rc = main(["run", "fig6c", "--scale", "smoke", "--chart"])
+    out = capsys.readouterr().out
+    assert "legend:" in out
+    assert rc == 0

@@ -1,0 +1,247 @@
+"""Unit + property tests for the memcached engine."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memcached import MAX_KEY_LEN, McError, MemcachedEngine, PAGE_SIZE
+from repro.util import MiB
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+def make_engine(mem=16 * MiB):
+    clock = FakeClock()
+    return MemcachedEngine(mem, clock), clock
+
+
+# -- basic commands ----------------------------------------------------------
+def test_set_get_roundtrip():
+    e, _ = make_engine()
+    assert e.set("k", b"value", 5) is True
+    item = e.get("k")
+    assert item.value == b"value"
+    assert item.nbytes == 5
+    assert e.stats.get("get_hits") == 1
+
+
+def test_get_miss():
+    e, _ = make_engine()
+    assert e.get("absent") is None
+    assert e.stats.get("get_misses") == 1
+
+
+def test_set_overwrites():
+    e, _ = make_engine()
+    e.set("k", b"old", 3)
+    e.set("k", b"new!", 4)
+    assert e.get("k").value == b"new!"
+    assert e.curr_items == 1
+
+
+def test_add_only_if_absent():
+    e, _ = make_engine()
+    assert e.add("k", b"1", 1) is True
+    assert e.add("k", b"2", 1) is False
+    assert e.get("k").value == b"1"
+
+
+def test_replace_only_if_present():
+    e, _ = make_engine()
+    assert e.replace("k", b"1", 1) is False
+    e.set("k", b"1", 1)
+    assert e.replace("k", b"2", 1) is True
+    assert e.get("k").value == b"2"
+
+
+def test_append_prepend_bytes():
+    e, _ = make_engine()
+    e.set("k", b"mid", 3)
+    assert e.append("k", b"-end", 4) is True
+    assert e.prepend("k", b"start-", 6) is True
+    item = e.get("k")
+    assert item.value == b"start-mid-end"
+    assert item.nbytes == 13
+
+
+def test_append_missing_fails():
+    e, _ = make_engine()
+    assert e.append("k", b"x", 1) is False
+
+
+def test_delete():
+    e, _ = make_engine()
+    e.set("k", b"v", 1)
+    assert e.delete("k") is True
+    assert e.delete("k") is False
+    assert e.get("k") is None
+
+
+def test_cas_semantics():
+    e, _ = make_engine()
+    e.set("k", b"v1", 2)
+    cas = e.get("k").cas
+    assert e.cas("k", b"v2", 2, cas) == "STORED"
+    assert e.cas("k", b"v3", 2, cas) == "EXISTS"  # stale token
+    assert e.cas("nope", b"v", 1, cas) == "NOT_FOUND"
+
+
+def test_incr_decr():
+    e, _ = make_engine()
+    e.set("n", 10, 2)
+    assert e.incr("n", 5) == 15
+    assert e.decr("n", 20) == 0  # clamps at zero
+    assert e.incr("absent") is None
+    e.set("s", b"abc", 3)
+    with pytest.raises(McError):
+        e.incr("s")
+
+
+def test_flush_all():
+    e, _ = make_engine()
+    for i in range(10):
+        e.set(f"k{i}", b"v", 1)
+    e.flush_all()
+    assert e.curr_items == 0
+    assert all(e.get(f"k{i}") is None for i in range(10))
+
+
+# -- limits --------------------------------------------------------------------
+def test_key_length_limit():
+    e, _ = make_engine()
+    e.set("k" * MAX_KEY_LEN, b"v", 1)
+    with pytest.raises(McError):
+        e.set("k" * (MAX_KEY_LEN + 1), b"v", 1)
+    with pytest.raises(McError):
+        e.set("", b"v", 1)
+    with pytest.raises(McError):
+        e.set("bad key", b"v", 1)
+
+
+def test_value_size_limit_1mb():
+    """§2.2 / §4.3.1: 1 MB ceiling on stored data elements."""
+    e, _ = make_engine(64 * MiB)
+    e.set("big", None, PAGE_SIZE - 1024)  # fits with overhead
+    with pytest.raises(McError):
+        e.set("toobig", None, PAGE_SIZE + 1)
+
+
+# -- expiration -------------------------------------------------------------------
+def test_lazy_expiration_on_get():
+    e, clock = make_engine()
+    e.set("k", b"v", 1, ttl=10.0)
+    clock.t = 5.0
+    assert e.get("k") is not None
+    clock.t = 10.0
+    assert e.get("k") is None
+    assert e.stats.get("expired") == 1
+    assert e.curr_items == 0
+
+
+def test_touch_extends_ttl():
+    e, clock = make_engine()
+    e.set("k", b"v", 1, ttl=10.0)
+    clock.t = 8.0
+    assert e.touch("k", 10.0) is True
+    clock.t = 15.0
+    assert e.get("k") is not None
+    assert e.touch("absent", 1.0) is False
+
+
+def test_zero_ttl_never_expires():
+    e, clock = make_engine()
+    e.set("k", b"v", 1, ttl=0)
+    clock.t = 1e9
+    assert e.get("k") is not None
+
+
+# -- eviction ---------------------------------------------------------------------
+def test_lru_eviction_order_within_class():
+    e, _ = make_engine(1 * MiB)  # one page
+    cls = e.slabs.class_for(56 + 4 + 1000)
+    cap = cls.chunks_per_page
+    for i in range(cap):
+        e.set(f"k{i:04d}", None, 1000)
+    e.get("k0000")  # promote the oldest
+    e.set("newbie", None, 1000)  # forces one eviction
+    assert e.stats.get("evictions") == 1
+    assert e.get("k0000") is not None  # survived (promoted)
+    assert e.get("k0001") is None  # LRU victim
+
+
+def test_eviction_keeps_capacity_bounded():
+    e, _ = make_engine(2 * MiB)
+    for i in range(10_000):
+        e.set(f"key{i:06d}", None, 500)
+    assert e.slabs.bytes_allocated <= 2 * MiB
+    assert e.stats.get("evictions") > 0
+    e.check_invariants()
+
+
+def test_get_hit_rate_statistics():
+    e, _ = make_engine()
+    e.set("a", b"1", 1)
+    e.get("a")
+    e.get("b")
+    d = e.stat_dict()
+    assert d["get_hits"] == 1
+    assert d["get_misses"] == 1
+    assert d["cmd_set"] == 1
+
+
+def test_get_multi_partial():
+    e, _ = make_engine()
+    e.set("a", b"1", 1)
+    e.set("c", b"3", 1)
+    out = e.get_multi(["a", "b", "c"])
+    assert set(out) == {"a", "c"}
+
+
+# -- property tests -------------------------------------------------------------------
+ops_strategy = st.lists(
+    st.one_of(
+        st.tuples(st.just("set"), st.integers(0, 20), st.integers(1, 3000)),
+        st.tuples(st.just("get"), st.integers(0, 20), st.just(0)),
+        st.tuples(st.just("delete"), st.integers(0, 20), st.just(0)),
+    ),
+    max_size=300,
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(ops_strategy)
+def test_engine_invariants_under_random_ops(ops):
+    e, _ = make_engine(2 * MiB)
+    model: dict[str, int] = {}
+    for op, knum, size in ops:
+        key = f"key{knum}"
+        if op == "set":
+            if e.set(key, None, size):
+                model[key] = size
+            else:
+                model.pop(key, None)  # failed store removed any old item
+        elif op == "get":
+            item = e.get(key)
+            # An engine hit must agree with the model (evictions may
+            # remove model keys from the engine, never the reverse).
+            if item is not None:
+                assert model.get(key) == item.nbytes
+        else:
+            e.delete(key)
+            model.pop(key, None)
+    e.check_invariants()
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(1, 900_000), min_size=1, max_size=60))
+def test_memory_never_exceeds_limit(sizes):
+    e, _ = make_engine(4 * MiB)
+    for i, size in enumerate(sizes):
+        e.set(f"k{i}", None, size)
+        assert e.slabs.bytes_allocated <= 4 * MiB
+    e.check_invariants()

@@ -1,0 +1,96 @@
+"""Tests for the key->server selectors (CRC32 / modulo / ketama)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.memcached.hashing import (
+    Crc32Selector,
+    KetamaSelector,
+    ModuloSelector,
+    selector,
+)
+
+
+def keys(n=2000):
+    return [f"/mnt/vol/d{i % 17}/file{i:06d}:{(i * 2048)}" for i in range(n)]
+
+
+def test_selector_factory():
+    assert isinstance(selector("crc32"), Crc32Selector)
+    assert isinstance(selector("modulo"), ModuloSelector)
+    assert isinstance(selector("ketama"), KetamaSelector)
+    with pytest.raises(KeyError):
+        selector("rendezvous")
+
+
+@pytest.mark.parametrize("name", ["crc32", "modulo", "ketama"])
+def test_selection_in_range_and_deterministic(name):
+    sel = selector(name)
+    for n in (1, 2, 5, 8):
+        for key in keys(200):
+            a = sel.select(key, n)
+            b = sel.select(key, n)
+            assert a == b
+            assert 0 <= a < n
+
+
+@pytest.mark.parametrize("name", ["crc32", "ketama"])
+def test_distribution_roughly_uniform(name):
+    sel = selector(name)
+    n = 4
+    buckets = [0] * n
+    for key in keys():
+        buckets[sel.select(key, n)] += 1
+    expected = len(keys()) / n
+    for b in buckets:
+        assert abs(b - expected) / expected < 0.35
+
+
+def test_modulo_uses_hint():
+    sel = ModuloSelector()
+    assert [sel.select("k", 4, hint=h) for h in range(8)] == [0, 1, 2, 3, 0, 1, 2, 3]
+    # No hint: falls back to hashing, still in range.
+    assert 0 <= sel.select("k", 4) < 4
+
+
+def test_ketama_minimal_remap_on_grow():
+    """The consistent-hashing property: growing N -> N+1 moves ~1/(N+1)
+    of keys, while crc32-modulo moves ~N/(N+1)."""
+    ks = keys()
+
+    def moved(sel_factory):
+        sel = sel_factory()
+        before = {k: sel.select(k, 4) for k in ks}
+        after = {k: sel.select(k, 5) for k in ks}
+        return sum(1 for k in ks if before[k] != after[k]) / len(ks)
+
+    ketama_moved = moved(KetamaSelector)
+    crc32_moved = moved(Crc32Selector)
+    assert ketama_moved < 0.4  # ideal: 1/5 = 0.2
+    assert crc32_moved > 0.7  # ideal: 4/5 = 0.8
+    assert ketama_moved < crc32_moved / 2
+
+
+def test_ketama_single_server_short_circuit():
+    sel = KetamaSelector()
+    assert sel.select("anything", 1) == 0
+
+
+def test_ketama_vnodes_validation():
+    with pytest.raises(ValueError):
+        KetamaSelector(vnodes=0)
+
+
+def test_ketama_ring_cached():
+    sel = KetamaSelector()
+    sel.select("a", 4)
+    ring1 = sel._rings[4]
+    sel.select("b", 4)
+    assert sel._rings[4] is ring1  # built once
+
+
+@given(st.integers(2, 8))
+def test_ketama_all_servers_reachable(n):
+    sel = KetamaSelector(vnodes=64)
+    seen = {sel.select(k, n) for k in keys(500)}
+    assert seen == set(range(n))

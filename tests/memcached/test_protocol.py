@@ -1,0 +1,187 @@
+"""Tests for the memcached text-protocol codec."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.memcached.protocol import (
+    ProtocolError,
+    Request,
+    Value,
+    encode_delete,
+    encode_flush_all,
+    encode_get,
+    encode_incr_decr,
+    encode_reply,
+    encode_storage,
+    encode_touch,
+    encode_values_response,
+    parse_request,
+    parse_values_response,
+    request_wire_size,
+)
+
+
+# -- encoding -----------------------------------------------------------------
+def test_encode_set():
+    raw = encode_storage("set", "k", b"hello", flags=7, exptime=30)
+    assert raw == b"set k 7 30 5\r\nhello\r\n"
+
+
+def test_encode_cas_includes_token():
+    raw = encode_storage("cas", "k", b"v", cas=99)
+    assert raw == b"cas k 0 0 1 99\r\nv\r\n"
+
+
+def test_encode_cas_requires_token():
+    with pytest.raises(ProtocolError):
+        encode_storage("cas", "k", b"v")
+
+
+def test_encode_noreply():
+    raw = encode_storage("set", "k", b"v", noreply=True)
+    assert b" noreply\r\n" in raw
+
+
+def test_encode_get_multi():
+    assert encode_get(["a", "b", "c"]) == b"get a b c\r\n"
+    assert encode_get(["a"], with_cas=True) == b"gets a\r\n"
+    with pytest.raises(ProtocolError):
+        encode_get([])
+
+
+def test_encode_misc():
+    assert encode_delete("k") == b"delete k\r\n"
+    assert encode_delete("k", noreply=True) == b"delete k noreply\r\n"
+    assert encode_incr_decr("incr", "n", 5) == b"incr n 5\r\n"
+    assert encode_touch("k", 60) == b"touch k 60\r\n"
+    assert encode_flush_all() == b"flush_all\r\n"
+    assert encode_flush_all(10) == b"flush_all 10\r\n"
+    assert encode_reply("STORED") == b"STORED\r\n"
+    with pytest.raises(ProtocolError):
+        encode_incr_decr("mult", "n", 5)
+    with pytest.raises(ProtocolError):
+        encode_incr_decr("incr", "n", -1)
+
+
+# -- request parsing -------------------------------------------------------------
+def test_parse_set_roundtrip():
+    raw = encode_storage("set", "key1", b"payload", flags=3, exptime=120)
+    req, rest = parse_request(raw)
+    assert rest == b""
+    assert req.command == "set"
+    assert req.key == "key1"
+    assert req.flags == 3
+    assert req.exptime == 120
+    assert req.data == b"payload"
+
+
+def test_parse_get_multi():
+    req, rest = parse_request(b"get a b c\r\n")
+    assert req.command == "get"
+    assert req.keys == ["a", "b", "c"]
+    assert rest == b""
+
+
+def test_parse_pipelined_requests():
+    raw = encode_get(["x"]) + encode_delete("y") + encode_storage("add", "z", b"1")
+    req1, raw = parse_request(raw)
+    req2, raw = parse_request(raw)
+    req3, raw = parse_request(raw)
+    assert (req1.command, req2.command, req3.command) == ("get", "delete", "add")
+    assert raw == b""
+
+
+def test_parse_data_with_crlf_inside():
+    payload = b"line1\r\nline2"
+    raw = encode_storage("set", "k", payload)
+    req, _ = parse_request(raw)
+    assert req.data == payload
+
+
+def test_parse_errors():
+    with pytest.raises(ProtocolError):
+        parse_request(b"no terminator")
+    with pytest.raises(ProtocolError):
+        parse_request(b"get\r\n")  # no keys
+    with pytest.raises(ProtocolError):
+        parse_request(b"set k 0 0 10\r\nshort\r\n")  # bad length
+    with pytest.raises(ProtocolError):
+        parse_request(b"frobnicate k\r\n")
+
+
+def test_parse_incr_touch_flush():
+    req, _ = parse_request(b"incr n 9\r\n")
+    assert (req.command, req.key, req.delta) == ("incr", "n", 9)
+    req, _ = parse_request(b"touch k 42\r\n")
+    assert (req.command, req.exptime) == ("touch", 42)
+    req, _ = parse_request(b"flush_all\r\n")
+    assert req.command == "flush_all"
+
+
+# -- response parsing ----------------------------------------------------------------
+def test_values_response_roundtrip():
+    values = [
+        Value("a", 1, b"xx"),
+        Value("b", 0, b""),
+        Value("c", 9, b"\r\nEND\r\n"),  # protocol-lookalike payload
+    ]
+    raw = encode_values_response(values)
+    parsed = parse_values_response(raw)
+    assert parsed == values
+
+
+def test_values_response_with_cas():
+    raw = encode_values_response([Value("a", 0, b"v", cas=5)], with_cas=True)
+    assert b"VALUE a 0 1 5\r\n" in raw
+    parsed = parse_values_response(raw)
+    assert parsed[0].cas == 5
+
+
+def test_values_response_requires_cas_when_gets():
+    with pytest.raises(ProtocolError):
+        encode_values_response([Value("a", 0, b"v")], with_cas=True)
+
+
+def test_empty_response_is_end_only():
+    assert encode_values_response([]) == b"END\r\n"
+    assert parse_values_response(b"END\r\n") == []
+
+
+def test_response_parse_errors():
+    with pytest.raises(ProtocolError):
+        parse_values_response(b"VALUE a 0 5\r\nxy\r\nEND\r\n")
+    with pytest.raises(ProtocolError):
+        parse_values_response(b"BOGUS\r\nEND\r\n")
+    with pytest.raises(ProtocolError):
+        parse_values_response(b"VALUE a 0 1\r\nx\r\n")  # no END
+
+
+# -- property tests ------------------------------------------------------------------
+# memcached keys are printable ASCII with no whitespace/control chars.
+key_strategy = st.text(
+    alphabet=st.characters(
+        min_codepoint=0x21, max_codepoint=0x7E, exclude_characters=" "
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+@given(key_strategy, st.binary(max_size=512), st.integers(0, 65535), st.integers(0, 10**6))
+def test_storage_roundtrip_property(key, data, flags, exptime):
+    raw = encode_storage("set", key, data, flags, exptime)
+    req, rest = parse_request(raw)
+    assert rest == b""
+    assert (req.key, req.data, req.flags, req.exptime) == (key, data, flags, exptime)
+
+
+@given(st.lists(st.tuples(key_strategy, st.binary(max_size=128)), max_size=10))
+def test_values_roundtrip_property(items):
+    values = [Value(k, 0, d) for k, d in items]
+    assert parse_values_response(encode_values_response(values)) == values
+
+
+@given(st.lists(key_strategy, min_size=1, max_size=20))
+def test_request_wire_size_matches_encoding(keys):
+    req = Request(command="get", keys=keys)
+    assert request_wire_size(req) == len(encode_get(keys))

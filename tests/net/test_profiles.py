@@ -1,0 +1,48 @@
+"""Unit tests for transport profiles and their cost functions."""
+
+import pytest
+
+from repro.net.profiles import GIGE, IB_RDMA, IPOIB, PROFILES, TransportProfile
+from repro.util import KiB, MiB, USEC
+
+
+def test_profiles_registry_complete():
+    assert set(PROFILES) == {"ib-rdma", "ipoib", "gige"}
+    for p in PROFILES.values():
+        assert isinstance(p, TransportProfile)
+
+
+def test_calibration_orderings():
+    """The relative calibration the figures rely on."""
+    assert IB_RDMA.wire_latency < IPOIB.wire_latency < GIGE.wire_latency
+    assert IB_RDMA.bandwidth > IPOIB.bandwidth > GIGE.bandwidth
+    assert IB_RDMA.cpu_per_byte == 0.0  # zero copy
+    assert IPOIB.cpu_per_byte > 0.0
+    assert IB_RDMA.cpu_send < IPOIB.cpu_send
+
+
+def test_host_cost_scales_with_size_for_tcp():
+    small = IPOIB.host_cost(64, send=True)
+    large = IPOIB.host_cost(1 * MiB, send=True)
+    assert large > small * 10  # copies dominate for big messages
+
+
+def test_host_cost_flat_for_rdma():
+    small = IB_RDMA.host_cost(64, send=True)
+    large = IB_RDMA.host_cost(1 * MiB, send=True)
+    assert small == large  # zero-copy: fixed per-message cost
+
+
+def test_serialization_linear():
+    assert IPOIB.serialization(2 * KiB) == pytest.approx(
+        2 * IPOIB.serialization(1 * KiB)
+    )
+
+
+def test_magnitudes_sane():
+    # One-way small-message latencies in the microsecond regime.
+    assert 1 * USEC < IB_RDMA.wire_latency < 10 * USEC
+    assert 10 * USEC < IPOIB.wire_latency < 50 * USEC
+    # Bandwidths: IB DDR >> GigE.
+    assert IB_RDMA.bandwidth > 1e9
+    assert 1e8 < GIGE.bandwidth < 1.25e8 * 1.2

@@ -1,0 +1,108 @@
+"""Tests for the NFS attribute cache (timeout coherency, §1)."""
+
+import pytest
+
+from repro.cluster import TestbedConfig, build_nfs_testbed
+from repro.nfs.client import NfsClient
+from repro.util import KiB
+
+
+def make(num_clients=2):
+    return build_nfs_testbed(TestbedConfig(num_clients=num_clients))
+
+
+def drive(tb, gen):
+    p = tb.sim.process(gen)
+    tb.sim.run(until=p)
+    return p.value
+
+
+def test_repeat_stat_served_from_attr_cache():
+    tb = make(1)
+    c = tb.clients[0]
+
+    def w():
+        fd = yield from c.create("/f")
+        yield from c.close(fd)
+        yield from c.stat("/f")
+        before = tb.server.stats.get("op_getattr", 0)
+        for _ in range(5):
+            yield from c.stat("/f")
+        return tb.server.stats.get("op_getattr", 0) - before
+
+    server_gettattrs = drive(tb, w())
+    assert server_gettattrs == 0
+    assert c.stats.get("attr_hits") == 5
+
+
+def test_attr_cache_expires_after_timeout():
+    tb = make(1)
+    c = tb.clients[0]
+    sim = tb.sim
+
+    def w():
+        fd = yield from c.create("/f")
+        yield from c.close(fd)
+        yield from c.stat("/f")
+        yield sim.timeout(c.ac_timeout + 0.1)
+        before = tb.server.stats.get("op_getattr", 0)
+        yield from c.stat("/f")
+        return tb.server.stats.get("op_getattr", 0) - before
+
+    assert drive(tb, w()) == 1
+
+
+def test_stale_attrs_under_sharing_until_timeout():
+    """The §1 complaint: NFS 'uses coarse timeouts' — a poller misses a
+    peer's update inside the attribute window (contrast: IMCa refreshes
+    the :stat entry the moment the write completes at the server)."""
+    tb = make(2)
+    poller, writer = tb.clients
+    sim = tb.sim
+
+    def w():
+        fd_w = yield from writer.create("/f")
+        st0 = yield from poller.stat("/f")  # caches size 0
+        yield from writer.write(fd_w, 0, 4 * KiB)
+        st1 = yield from poller.stat("/f")  # within timeout: stale
+        yield sim.timeout(poller.ac_timeout + 0.1)
+        st2 = yield from poller.stat("/f")  # expired: fresh
+        return st0.size, st1.size, st2.size
+
+    s0, s1, s2 = drive(tb, w())
+    assert s0 == 0
+    assert s1 == 0  # stale!
+    assert s2 == 4 * KiB
+
+
+def test_own_write_invalidates_attrs():
+    tb = make(1)
+    c = tb.clients[0]
+
+    def w():
+        fd = yield from c.create("/f")
+        yield from c.stat("/f")
+        yield from c.write(fd, 0, 100)
+        st = yield from c.stat("/f")
+        return st.size
+
+    assert drive(tb, w()) == 100
+
+
+def test_zero_timeout_disables_caching():
+    tb = make(1)
+    sim = tb.sim
+    from repro.net.fabric import Node
+    from repro.net.rpc import Endpoint
+
+    node = Node(sim, "noac-client")
+    c = NfsClient(sim, node, Endpoint(tb.net, node), tb.server, ac_timeout=0.0)
+
+    def w():
+        fd = yield from c.create("/f")
+        yield from c.stat("/f")
+        yield from c.stat("/f")
+
+    drive(tb, w())
+    assert c.stats.get("attr_hits") == 0
+    assert c.stats.get("attr_misses") == 2

@@ -1,0 +1,150 @@
+"""Tests for the NFS baseline (the Fig 1 motivation system)."""
+
+import pytest
+
+from repro.cluster import TestbedConfig, build_nfs_testbed
+from repro.util import KiB, MiB
+
+
+def make(num_clients=1, transport="ipoib", **kw):
+    return build_nfs_testbed(
+        TestbedConfig(num_clients=num_clients, transport=transport, **kw)
+    )
+
+
+def drive(tb, gen):
+    p = tb.sim.process(gen)
+    tb.sim.run()
+    return p.value
+
+
+def test_roundtrip():
+    tb = make()
+    c = tb.clients[0]
+    payload = b"nfsdata!" * 512
+
+    def w():
+        fd = yield from c.create("/export/f")
+        yield from c.write(fd, 0, len(payload), payload)
+        r = yield from c.read(fd, 0, len(payload))
+        st = yield from c.stat("/export/f")
+        return r, st
+
+    r, st = drive(tb, w())
+    assert r.data == payload
+    assert st.size == len(payload)
+
+
+def test_large_read_chunks_at_rsize():
+    tb = make()
+    c = tb.clients[0]
+
+    def w():
+        fd = yield from c.create("/f")
+        yield from c.write(fd, 0, 256 * KiB)
+        before = tb.server.stats.get("op_read", 0)
+        yield from c.read(fd, 0, 256 * KiB)
+        return tb.server.stats.get("op_read", 0) - before
+
+    rpcs = drive(tb, w())
+    assert rpcs == 256 * KiB // (32 * KiB)  # one per rsize chunk
+
+
+def test_transport_ordering():
+    """RDMA < IPoIB < GigE read times (Fig 1 series ordering)."""
+
+    def read_time(transport):
+        tb = make(transport=transport)
+        c = tb.clients[0]
+
+        def w():
+            fd = yield from c.create("/f")
+            yield from c.write(fd, 0, 1 * MiB)
+            t0 = tb.sim.now
+            yield from c.read(fd, 0, 1 * MiB)
+            return tb.sim.now - t0
+
+        return drive(tb, w())
+
+    t_rdma = read_time("ib-rdma")
+    t_ipoib = read_time("ipoib")
+    t_gige = read_time("gige")
+    assert t_rdma < t_ipoib < t_gige
+
+
+def test_server_memory_wall():
+    """Fig 1's central effect: when the aggregate working set exceeds
+    the server's page cache, re-read bandwidth collapses to disk speed."""
+
+    def reread_time(server_cache):
+        tb = make(server_cache_bytes=server_cache, raid_disks=2)
+        c = tb.clients[0]
+        size = 8 * MiB
+
+        def w():
+            fd = yield from c.create("/f")
+            step = 256 * KiB
+            for off in range(0, size, step):
+                yield from c.write(fd, off, step)
+            # First full read pass (may thrash), then the timed pass.
+            yield from c.read(fd, 0, size)
+            t0 = tb.sim.now
+            yield from c.read(fd, 0, size)
+            return tb.sim.now - t0
+
+        return drive(tb, w())
+
+    fits = reread_time(64 * MiB)  # file fits in server memory
+    thrashes = reread_time(4 * MiB)  # file 2x the server memory
+    assert thrashes > fits * 3
+
+
+def test_eof_read_short():
+    tb = make()
+    c = tb.clients[0]
+
+    def w():
+        fd = yield from c.create("/f")
+        yield from c.write(fd, 0, 10 * KiB)
+        r = yield from c.read(fd, 8 * KiB, 64 * KiB)
+        return r
+
+    r = drive(tb, w())
+    assert r.size == 2 * KiB
+
+
+def test_unlink():
+    tb = make()
+    c = tb.clients[0]
+
+    def w():
+        fd = yield from c.create("/f")
+        yield from c.close(fd)
+        yield from c.unlink("/f")
+        return tb.server.fs.exists("/f")
+
+    assert drive(tb, w()) is False
+
+
+def test_multi_client_aggregate_contention():
+    """More clients -> per-client bandwidth falls once the server NIC
+    saturates (the Fig 1 left-edge behaviour)."""
+
+    def per_client_time(n):
+        tb = make(num_clients=n)
+        size = 4 * MiB
+
+        def wl(client, idx):
+            fd = yield from client.create(f"/f{idx}")
+            yield from client.write(fd, 0, size)
+            yield from client.read(fd, 0, size)
+
+        procs = [tb.sim.process(wl(cl, i)) for i, cl in enumerate(tb.clients)]
+        tb.sim.run()
+        return tb.sim.now
+
+    t1 = per_client_time(1)
+    t8 = per_client_time(8)
+    # The shared server NIC/disk serialises the aggregate: going from 1
+    # to 8 clients must stretch wall time substantially (not stay flat).
+    assert t8 > t1 * 2

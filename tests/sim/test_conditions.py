@@ -1,0 +1,126 @@
+"""Tests for AllOf / AnyOf condition events and operators."""
+
+import pytest
+
+from repro.sim import Simulator
+
+
+def test_all_of_waits_for_all():
+    sim = Simulator()
+    got = []
+
+    def proc(sim):
+        t1 = sim.timeout(1, value="a")
+        t2 = sim.timeout(3, value="b")
+        result = yield sim.all_of([t1, t2])
+        got.append((sim.now, sorted(result.values())))
+
+    sim.process(proc(sim))
+    sim.run()
+    assert got == [(3, ["a", "b"])]
+
+
+def test_any_of_fires_on_first():
+    sim = Simulator()
+    got = []
+
+    def proc(sim):
+        t1 = sim.timeout(1, value="fast")
+        t2 = sim.timeout(3, value="slow")
+        result = yield sim.any_of([t1, t2])
+        got.append((sim.now, result.first()))
+
+    sim.process(proc(sim))
+    sim.run()
+    assert got == [(1, "fast")]
+
+
+def test_and_or_operators():
+    sim = Simulator()
+    got = []
+
+    def proc(sim):
+        a = sim.timeout(1, value=1)
+        b = sim.timeout(2, value=2)
+        r = yield a & b
+        got.append(("and", sim.now, len(r)))
+        c = sim.timeout(1, value=3)
+        d = sim.timeout(5, value=4)
+        r = yield c | d
+        got.append(("or", sim.now, r.first()))
+
+    sim.process(proc(sim))
+    sim.run()
+    assert got == [("and", 2, 2), ("or", 3, 3)]
+
+
+def test_empty_all_of_fires_immediately():
+    sim = Simulator()
+    got = []
+
+    def proc(sim):
+        r = yield sim.all_of([])
+        got.append((sim.now, dict(r)))
+
+    sim.process(proc(sim))
+    sim.run()
+    assert got == [(0, {})]
+
+
+def test_all_of_with_already_processed_events():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed("pre")
+    got = []
+
+    def proc(sim, ev):
+        yield sim.timeout(2)  # ev processes meanwhile
+        r = yield sim.all_of([ev, sim.timeout(1, value="post")])
+        got.append((sim.now, sorted(r.values())))
+
+    sim.process(proc(sim, ev))
+    sim.run()
+    assert got == [(3, ["post", "pre"])]
+
+
+def test_condition_failure_propagates():
+    sim = Simulator()
+    caught = []
+
+    def failer(sim):
+        yield sim.timeout(1)
+        raise ValueError("sub-failed")
+
+    def proc(sim):
+        try:
+            yield sim.all_of([sim.process(failer(sim)), sim.timeout(10)])
+        except ValueError as e:
+            caught.append((sim.now, str(e)))
+
+    sim.process(proc(sim))
+    sim.run()
+    assert caught == [(1, "sub-failed")]
+
+
+def test_mixed_simulator_events_rejected():
+    sim1, sim2 = Simulator(), Simulator()
+    t1 = sim1.timeout(1)
+    t2 = sim2.timeout(1)
+    with pytest.raises(ValueError):
+        sim1.all_of([t1, t2])
+
+
+def test_condition_value_preserves_creation_order():
+    sim = Simulator()
+    got = []
+
+    def proc(sim):
+        slow = sim.timeout(3, value="slow")
+        fast = sim.timeout(1, value="fast")
+        r = yield sim.all_of([slow, fast])
+        got.append(list(r.values()))
+
+    sim.process(proc(sim))
+    sim.run()
+    # creation order, not completion order
+    assert got == [["slow", "fast"]]

@@ -1,0 +1,290 @@
+"""Unit tests for the DES core: clock, run loop, event semantics."""
+
+import pytest
+
+from repro.sim import (
+    EmptySchedule,
+    Event,
+    SimulationError,
+    Simulator,
+)
+
+
+def test_initial_time():
+    assert Simulator().now == 0.0
+    assert Simulator(5.0).now == 5.0
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+    done = []
+
+    def proc(sim):
+        yield sim.timeout(2.5)
+        done.append(sim.now)
+
+    sim.process(proc(sim))
+    sim.run()
+    assert done == [2.5]
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.timeout(-1)
+
+
+def test_timeout_value_passed_through():
+    sim = Simulator()
+    got = []
+
+    def proc(sim):
+        got.append((yield sim.timeout(1, value="payload")))
+
+    sim.process(proc(sim))
+    sim.run()
+    assert got == ["payload"]
+
+
+def test_run_until_time_stops_clock_exactly():
+    sim = Simulator()
+
+    def ticker(sim):
+        while True:
+            yield sim.timeout(1)
+
+    sim.process(ticker(sim))
+    sim.run(until=10)
+    assert sim.now == 10
+
+
+def test_run_until_time_does_not_process_events_at_until():
+    sim = Simulator()
+    fired = []
+
+    def proc(sim):
+        yield sim.timeout(10)
+        fired.append(sim.now)
+
+    sim.process(proc(sim))
+    sim.run(until=10)
+    # The stop event is urgent, so the timeout at t=10 has NOT run yet.
+    assert fired == []
+    sim.run()
+    assert fired == [10]
+
+
+def test_run_until_past_raises():
+    sim = Simulator(100.0)
+    with pytest.raises(ValueError):
+        sim.run(until=50)
+
+
+def test_run_until_event_returns_value():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(3)
+        return 42
+
+    p = sim.process(proc(sim))
+    assert sim.run(until=p) == 42
+    assert sim.now == 3
+
+
+def test_run_until_event_never_fires_raises():
+    sim = Simulator()
+    orphan = sim.event()
+
+    def proc(sim):
+        yield sim.timeout(1)
+
+    sim.process(proc(sim))
+    with pytest.raises(EmptySchedule):
+        sim.run(until=orphan)
+
+
+def test_empty_run_returns_immediately():
+    sim = Simulator()
+    sim.run()
+    assert sim.now == 0.0
+
+
+def test_step_on_empty_heap_raises():
+    with pytest.raises(EmptySchedule):
+        Simulator().step()
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    order = []
+
+    def waiter(sim, delay, tag):
+        yield sim.timeout(delay)
+        order.append(tag)
+
+    for delay, tag in [(3, "c"), (1, "a"), (2, "b")]:
+        sim.process(waiter(sim, delay, tag))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_fifo_order_at_equal_times():
+    sim = Simulator()
+    order = []
+
+    def waiter(sim, tag):
+        yield sim.timeout(1)
+        order.append(tag)
+
+    for tag in "abcdef":
+        sim.process(waiter(sim, tag))
+    sim.run()
+    assert order == list("abcdef")
+
+
+def test_event_succeed_value():
+    sim = Simulator()
+    ev = sim.event()
+    got = []
+
+    def proc(sim, ev):
+        got.append((yield ev))
+
+    def trigger(sim, ev):
+        yield sim.timeout(1)
+        ev.succeed("hello")
+
+    sim.process(proc(sim, ev))
+    sim.process(trigger(sim, ev))
+    sim.run()
+    assert got == ["hello"]
+
+
+def test_event_cannot_trigger_twice():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(1)
+    with pytest.raises(RuntimeError):
+        ev.succeed(2)
+    with pytest.raises(RuntimeError):
+        ev.fail(ValueError())
+
+
+def test_fail_requires_exception():
+    sim = Simulator()
+    with pytest.raises(TypeError):
+        sim.event().fail("not an exception")  # type: ignore[arg-type]
+
+
+def test_unhandled_event_failure_propagates_to_run():
+    sim = Simulator()
+    ev = sim.event()
+    ev.fail(ValueError("boom"))
+    with pytest.raises(ValueError, match="boom"):
+        sim.run()
+
+
+def test_process_exception_propagates_to_run():
+    sim = Simulator()
+
+    def bad(sim):
+        yield sim.timeout(1)
+        raise RuntimeError("kaput")
+
+    sim.process(bad(sim))
+    with pytest.raises(RuntimeError, match="kaput"):
+        sim.run()
+
+
+def test_waiting_process_receives_failure():
+    sim = Simulator()
+    caught = []
+
+    def child(sim):
+        yield sim.timeout(1)
+        raise RuntimeError("inner")
+
+    def parent(sim):
+        try:
+            yield sim.process(child(sim))
+        except RuntimeError as e:
+            caught.append(str(e))
+
+    sim.process(parent(sim))
+    sim.run()
+    assert caught == ["inner"]
+
+
+def test_yield_non_event_raises_inside_process():
+    sim = Simulator()
+    caught = []
+
+    def bad(sim):
+        try:
+            yield "nope"
+        except SimulationError as e:
+            caught.append(str(e))
+
+    sim.process(bad(sim))
+    sim.run()
+    assert caught and "non-event" in caught[0]
+
+
+def test_yield_already_processed_event_continues_immediately():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed("early")
+    times = []
+
+    def proc(sim, ev):
+        yield sim.timeout(5)
+        value = yield ev  # processed long ago; must not block
+        times.append((sim.now, value))
+
+    sim.process(proc(sim, ev))
+    sim.run()
+    assert times == [(5, "early")]
+
+
+def test_peek():
+    sim = Simulator()
+    assert sim.peek() == float("inf")
+    sim.timeout(4)
+    assert sim.peek() == 4
+
+
+def test_nested_processes_compose():
+    sim = Simulator()
+
+    def inner(sim, d):
+        yield sim.timeout(d)
+        return d * 10
+
+    def outer(sim):
+        a = yield sim.process(inner(sim, 1))
+        b = yield sim.process(inner(sim, 2))
+        return a + b
+
+    p = sim.process(outer(sim))
+    sim.run()
+    assert p.value == 30
+    assert sim.now == 3
+
+
+def test_determinism_two_identical_runs():
+    def build():
+        sim = Simulator()
+        log = []
+
+        def worker(sim, wid):
+            for i in range(5):
+                yield sim.timeout(0.1 * ((wid + i) % 3 + 1))
+                log.append((round(sim.now, 6), wid, i))
+
+        for w in range(4):
+            sim.process(worker(sim, w))
+        sim.run()
+        return log
+
+    assert build() == build()

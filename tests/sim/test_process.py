@@ -1,0 +1,172 @@
+"""Tests for process lifecycle: interrupts, composition, termination."""
+
+import pytest
+
+from repro.sim import Interrupt, SimulationError, Simulator
+
+
+def test_process_is_alive_until_return():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(2)
+
+    p = sim.process(proc(sim))
+    assert p.is_alive
+    sim.run()
+    assert not p.is_alive
+
+
+def test_process_return_value():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(1)
+        return "result"
+
+    p = sim.process(proc(sim))
+    sim.run()
+    assert p.value == "result"
+
+
+def test_interrupt_delivers_cause():
+    sim = Simulator()
+    caught = []
+
+    def victim(sim):
+        try:
+            yield sim.timeout(100)
+        except Interrupt as i:
+            caught.append((sim.now, i.cause))
+
+    def attacker(sim, v):
+        yield sim.timeout(1)
+        v.interrupt(cause="reason")
+
+    v = sim.process(victim(sim))
+    sim.process(attacker(sim, v))
+    sim.run()
+    assert caught == [(1, "reason")]
+
+
+def test_interrupt_detaches_from_waited_event():
+    """After an interrupt, the original event firing must not resume the
+    process a second time."""
+    sim = Simulator()
+    resumes = []
+
+    def victim(sim):
+        try:
+            yield sim.timeout(5)
+            resumes.append("timeout")
+        except Interrupt:
+            resumes.append("interrupt")
+        yield sim.timeout(10)
+        resumes.append("after")
+
+    def attacker(sim, v):
+        yield sim.timeout(1)
+        v.interrupt()
+
+    v = sim.process(victim(sim))
+    sim.process(attacker(sim, v))
+    sim.run()
+    assert resumes == ["interrupt", "after"]
+
+
+def test_interrupt_dead_process_raises():
+    sim = Simulator()
+
+    def quick(sim):
+        yield sim.timeout(0)
+
+    p = sim.process(quick(sim))
+    sim.run()
+    with pytest.raises(RuntimeError):
+        p.interrupt()
+
+
+def test_self_interrupt_rejected():
+    sim = Simulator()
+    errors = []
+
+    def proc(sim):
+        me = sim.active_process
+        try:
+            me.interrupt()
+        except RuntimeError as e:
+            errors.append(str(e))
+        yield sim.timeout(1)
+
+    sim.process(proc(sim))
+    sim.run()
+    assert errors and "itself" in errors[0]
+
+
+def test_unhandled_interrupt_kills_process():
+    sim = Simulator()
+
+    def victim(sim):
+        yield sim.timeout(100)
+
+    def attacker(sim, v):
+        yield sim.timeout(1)
+        v.interrupt("die")
+
+    v = sim.process(victim(sim))
+    sim.process(attacker(sim, v))
+    with pytest.raises(Interrupt):
+        sim.run()
+
+
+def test_interrupt_after_natural_death_is_noop_at_delivery():
+    """An interrupt scheduled in the same instant the victim terminates
+    must be swallowed (the victim is already dead at delivery)."""
+    sim = Simulator()
+
+    def victim(sim):
+        yield sim.timeout(1)
+
+    def attacker(sim, v):
+        yield sim.timeout(1)
+        if v.is_alive:
+            v.interrupt()
+
+    v = sim.process(victim(sim))
+    sim.process(attacker(sim, v))
+    sim.run()  # must not raise
+    assert not v.is_alive
+
+
+def test_non_generator_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.process(lambda: None)  # type: ignore[arg-type]
+
+
+def test_process_name_defaults_to_generator_name():
+    sim = Simulator()
+
+    def my_proc(sim):
+        yield sim.timeout(1)
+
+    p = sim.process(my_proc(sim))
+    assert p.name == "my_proc"
+    q = sim.process(my_proc(sim), name="custom")
+    assert q.name == "custom"
+    sim.run()
+
+
+def test_many_processes_complete():
+    sim = Simulator()
+    done = []
+
+    def worker(sim, i):
+        yield sim.timeout(i % 7 * 0.001)
+        done.append(i)
+
+    n = 500
+    for i in range(n):
+        sim.process(worker(sim, i))
+    sim.run()
+    assert sorted(done) == list(range(n))

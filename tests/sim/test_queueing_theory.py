@@ -1,0 +1,98 @@
+"""Validate the simulator's queueing behaviour against closed forms.
+
+If the analytic FIFO stations deviate from textbook queueing results,
+every contention curve in the reproduction is suspect — so we check
+them against M/D/1 and M/D/c theory with Poisson arrivals.
+"""
+
+import math
+
+import pytest
+
+from repro.sim import FifoStation, RandomStreams, Simulator
+
+
+def run_poisson_station(servers, service, rate, n_jobs, seed=1):
+    """Drive a station with Poisson arrivals; return mean wait."""
+    sim = Simulator()
+    st = FifoStation(sim, servers=servers)
+    rng = RandomStreams(seed).stream("arrivals")
+    gaps = rng.exponential(1.0 / rate, n_jobs)
+
+    def arrivals(sim, st):
+        for gap in gaps:
+            yield sim.timeout(float(gap))
+            st.reserve(service)
+
+    sim.process(arrivals(sim, st))
+    sim.run()
+    return st.wait_stats.mean
+
+
+def md1_wait(rho, service):
+    """Mean queueing delay for M/D/1: Wq = rho * s / (2 (1 - rho))."""
+    return rho * service / (2 * (1 - rho))
+
+
+@pytest.mark.parametrize("rho", [0.3, 0.6, 0.8])
+def test_md1_mean_wait_matches_theory(rho):
+    service = 0.01
+    rate = rho / service
+    measured = run_poisson_station(1, service, rate, n_jobs=40_000)
+    expected = md1_wait(rho, service)
+    assert measured == pytest.approx(expected, rel=0.12)
+
+
+def test_wait_explodes_as_rho_approaches_one():
+    service = 0.01
+    w90 = run_poisson_station(1, service, 0.90 / service, n_jobs=40_000)
+    w50 = run_poisson_station(1, service, 0.50 / service, n_jobs=40_000)
+    assert w90 > 5 * w50
+
+
+def test_low_utilisation_waits_vanish():
+    measured = run_poisson_station(1, 0.01, rate=5.0, n_jobs=10_000)  # rho=0.05
+    assert measured < 0.001
+
+
+def test_multi_server_cuts_waits_at_equal_total_load():
+    """M/D/4 at the same per-server utilisation waits far less than
+    M/D/1 (economies of scale) — the effect that makes the 8-core CPU
+    stations behave correctly."""
+    service = 0.01
+    rho = 0.8
+    w1 = run_poisson_station(1, service, rho / service, n_jobs=30_000)
+    w4 = run_poisson_station(4, service, 4 * rho / service, n_jobs=30_000)
+    assert w4 < w1 / 2
+
+
+def test_deterministic_arrivals_below_capacity_never_wait():
+    sim = Simulator()
+    st = FifoStation(sim, servers=1)
+
+    def arrivals(sim, st):
+        for _ in range(1000):
+            yield sim.timeout(0.02)
+            st.reserve(0.01)  # rho = 0.5, evenly spaced
+
+    sim.process(arrivals(sim, st))
+    sim.run()
+    assert st.wait_stats.max == 0.0
+
+
+def test_utilization_matches_offered_load():
+    service = 0.01
+    rho = 0.6
+    sim = Simulator()
+    st = FifoStation(sim, servers=1)
+    rng = RandomStreams(3).stream("arrivals")
+    gaps = rng.exponential(service / rho, 20_000)
+
+    def arrivals(sim, st):
+        for gap in gaps:
+            yield sim.timeout(float(gap))
+            st.reserve(service)
+
+    sim.process(arrivals(sim, st))
+    sim.run()
+    assert st.utilization() == pytest.approx(rho, rel=0.1)

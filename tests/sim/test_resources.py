@@ -1,0 +1,210 @@
+"""Tests for Resource / PriorityResource / Container."""
+
+import pytest
+
+from repro.sim import Container, PriorityResource, Resource, Simulator
+
+
+def test_resource_grants_up_to_capacity_immediately():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    r1, r2, r3 = res.request(), res.request(), res.request()
+    assert r1.triggered and r2.triggered
+    assert not r3.triggered
+    assert res.count == 2
+    assert len(res.queue) == 1
+
+
+def test_release_grants_next_waiter_fifo():
+    sim = Simulator()
+    res = Resource(sim)
+    order = []
+
+    def user(sim, res, tag, hold):
+        req = res.request()
+        yield req
+        order.append(("acq", tag, sim.now))
+        yield sim.timeout(hold)
+        res.release(req)
+
+    for tag, hold in [("a", 2), ("b", 1), ("c", 1)]:
+        sim.process(user(sim, res, tag, hold))
+    sim.run()
+    assert order == [("acq", "a", 0), ("acq", "b", 2), ("acq", "c", 3)]
+
+
+def test_context_manager_releases():
+    sim = Simulator()
+    res = Resource(sim)
+
+    def user(sim, res):
+        with res.request() as req:
+            yield req
+            yield sim.timeout(1)
+        # released on exit
+
+    sim.process(user(sim, res))
+    sim.process(user(sim, res))
+    sim.run()
+    assert sim.now == 2
+    assert res.count == 0
+
+
+def test_release_unheld_request_raises():
+    sim = Simulator()
+    res = Resource(sim)
+    req = res.request()
+    res.release(req)
+    with pytest.raises(RuntimeError):
+        res.release(req)
+
+
+def test_capacity_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Resource(sim, capacity=0)
+
+
+def test_cancel_queued_request():
+    sim = Simulator()
+    res = Resource(sim)
+    held = res.request()
+    waiting = res.request()
+    assert waiting in res.queue
+    waiting.cancel()
+    assert waiting not in res.queue
+    res.release(held)
+    assert not waiting.triggered  # cancelled: never granted
+
+
+def test_utilization_tracking():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+
+    def user(sim, res):
+        req = res.request()
+        yield req
+        yield sim.timeout(4)
+        res.release(req)
+        yield sim.timeout(6)
+
+    sim.process(user(sim, res))
+    sim.run()
+    assert res.utilization() == pytest.approx(0.4)
+
+
+def test_never_exceeds_capacity_under_churn():
+    sim = Simulator()
+    res = Resource(sim, capacity=3)
+    max_seen = 0
+
+    def user(sim, res, i):
+        nonlocal max_seen
+        req = res.request()
+        yield req
+        max_seen = max(max_seen, res.count)
+        assert res.count <= res.capacity
+        yield sim.timeout(0.01 + (i % 5) * 0.003)
+        res.release(req)
+
+    for i in range(100):
+        sim.process(user(sim, res, i))
+    sim.run()
+    assert max_seen == 3
+    assert res.count == 0
+
+
+def test_priority_resource_orders_waiters():
+    sim = Simulator()
+    res = PriorityResource(sim)
+    order = []
+
+    def holder(sim, res):
+        req = res.request()
+        yield req
+        yield sim.timeout(10)
+        res.release(req)
+
+    def user(sim, res, tag, prio, delay):
+        yield sim.timeout(delay)
+        req = res.request(priority=prio)
+        yield req
+        order.append(tag)
+        res.release(req)
+
+    sim.process(holder(sim, res))
+    sim.process(user(sim, res, "low", 5.0, 1))
+    sim.process(user(sim, res, "high", 1.0, 2))
+    sim.process(user(sim, res, "mid", 3.0, 3))
+    sim.run()
+    assert order == ["high", "mid", "low"]
+
+
+def test_container_put_get():
+    sim = Simulator()
+    box = Container(sim, capacity=10, init=5)
+    assert box.level == 5
+    got = []
+
+    def proc(sim, box):
+        yield box.get(3)
+        got.append(box.level)
+        yield box.put(8)
+        got.append(box.level)
+
+    sim.process(proc(sim, box))
+    sim.run()
+    assert got == [2, 10]
+
+
+def test_container_get_blocks_until_available():
+    sim = Simulator()
+    box = Container(sim, capacity=10, init=0)
+    got = []
+
+    def getter(sim, box):
+        yield box.get(5)
+        got.append(sim.now)
+
+    def putter(sim, box):
+        yield sim.timeout(2)
+        yield box.put(5)
+
+    sim.process(getter(sim, box))
+    sim.process(putter(sim, box))
+    sim.run()
+    assert got == [2]
+
+
+def test_container_put_blocks_at_capacity():
+    sim = Simulator()
+    box = Container(sim, capacity=4, init=4)
+    times = []
+
+    def putter(sim, box):
+        yield box.put(2)
+        times.append(("put", sim.now))
+
+    def getter(sim, box):
+        yield sim.timeout(3)
+        yield box.get(2)
+        times.append(("got", sim.now))
+
+    sim.process(putter(sim, box))
+    sim.process(getter(sim, box))
+    sim.run()
+    assert times == [("got", 3), ("put", 3)]
+    assert box.level == 4
+
+
+def test_container_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Container(sim, capacity=0)
+    with pytest.raises(ValueError):
+        Container(sim, capacity=5, init=9)
+    box = Container(sim, capacity=5)
+    with pytest.raises(ValueError):
+        box.put(-1)
+    with pytest.raises(ValueError):
+        box.get(-1)

@@ -1,0 +1,207 @@
+"""Tests for Store/FilterStore and Barrier/Lock/CountdownLatch."""
+
+import pytest
+
+from repro.sim import Barrier, CountdownLatch, FilterStore, Lock, Simulator, Store
+
+
+def test_store_fifo():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def producer(sim, store):
+        for i in range(3):
+            yield sim.timeout(1)
+            yield store.put(i)
+
+    def consumer(sim, store):
+        for _ in range(3):
+            item = yield store.get()
+            got.append((sim.now, item))
+
+    sim.process(producer(sim, store))
+    sim.process(consumer(sim, store))
+    sim.run()
+    assert got == [(1, 0), (2, 1), (3, 2)]
+
+
+def test_store_get_before_put_blocks():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def consumer(sim, store):
+        item = yield store.get()
+        got.append((sim.now, item))
+
+    def producer(sim, store):
+        yield sim.timeout(5)
+        yield store.put("x")
+
+    sim.process(consumer(sim, store))
+    sim.process(producer(sim, store))
+    sim.run()
+    assert got == [(5, "x")]
+
+
+def test_bounded_store_blocks_putter():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    events = []
+
+    def producer(sim, store):
+        yield store.put("a")
+        events.append(("put-a", sim.now))
+        yield store.put("b")
+        events.append(("put-b", sim.now))
+
+    def consumer(sim, store):
+        yield sim.timeout(4)
+        item = yield store.get()
+        events.append((f"got-{item}", sim.now))
+
+    sim.process(producer(sim, store))
+    sim.process(consumer(sim, store))
+    sim.run()
+    assert events == [("put-a", 0), ("got-a", 4), ("put-b", 4)]
+
+
+def test_store_capacity_validation():
+    with pytest.raises(ValueError):
+        Store(Simulator(), capacity=0)
+
+
+def test_filter_store_matches_predicate():
+    sim = Simulator()
+    store = FilterStore(sim)
+    got = []
+
+    def consumer(sim, store):
+        item = yield store.get(lambda x: x % 2 == 0)
+        got.append(item)
+
+    def producer(sim, store):
+        for v in (1, 3, 4, 5):
+            yield sim.timeout(1)
+            yield store.put(v)
+
+    sim.process(consumer(sim, store))
+    sim.process(producer(sim, store))
+    sim.run()
+    assert got == [4]
+    assert list(store.items) == [1, 3, 5]
+
+
+def test_filter_store_multiple_waiters_distinct_filters():
+    sim = Simulator()
+    store = FilterStore(sim)
+    got = {}
+
+    def consumer(sim, store, key):
+        item = yield store.get(lambda x, key=key: x[0] == key)
+        got[key] = (sim.now, item)
+
+    def producer(sim, store):
+        yield sim.timeout(1)
+        yield store.put(("b", 2))
+        yield sim.timeout(1)
+        yield store.put(("a", 1))
+
+    sim.process(consumer(sim, store, "a"))
+    sim.process(consumer(sim, store, "b"))
+    sim.process(producer(sim, store))
+    sim.run()
+    assert got == {"b": (1, ("b", 2)), "a": (2, ("a", 1))}
+
+
+def test_barrier_releases_all_at_last_arrival():
+    sim = Simulator()
+    bar = Barrier(sim, parties=3)
+    released = []
+
+    def party(sim, bar, delay, tag):
+        yield sim.timeout(delay)
+        yield bar.wait()
+        released.append((tag, sim.now))
+
+    for delay, tag in [(1, "a"), (2, "b"), (5, "c")]:
+        sim.process(party(sim, bar, delay, tag))
+    sim.run()
+    assert sorted(released) == [("a", 5), ("b", 5), ("c", 5)]
+
+
+def test_barrier_is_cyclic():
+    sim = Simulator()
+    bar = Barrier(sim, parties=2)
+    gens = []
+
+    def party(sim, bar):
+        for _ in range(3):
+            gen = yield bar.wait()
+            gens.append(gen)
+            yield sim.timeout(1)
+
+    sim.process(party(sim, bar))
+    sim.process(party(sim, bar))
+    sim.run()
+    assert sorted(gens) == [0, 0, 1, 1, 2, 2]
+
+
+def test_barrier_validation():
+    with pytest.raises(ValueError):
+        Barrier(Simulator(), parties=0)
+
+
+def test_lock_mutual_exclusion():
+    sim = Simulator()
+    lock = Lock(sim)
+    inside = 0
+    max_inside = 0
+
+    def critical(sim, lock):
+        nonlocal inside, max_inside
+        yield lock.acquire()
+        inside += 1
+        max_inside = max(max_inside, inside)
+        yield sim.timeout(1)
+        inside -= 1
+        lock.release()
+
+    for _ in range(5):
+        sim.process(critical(sim, lock))
+    sim.run()
+    assert max_inside == 1
+    assert sim.now == 5
+    assert not lock.locked
+
+
+def test_lock_release_unlocked_raises():
+    with pytest.raises(RuntimeError):
+        Lock(Simulator()).release()
+
+
+def test_countdown_latch():
+    sim = Simulator()
+    latch = CountdownLatch(sim, 3)
+    got = []
+
+    def waiter(sim, latch):
+        yield latch.event
+        got.append(sim.now)
+
+    def worker(sim, latch, delay):
+        yield sim.timeout(delay)
+        latch.count_down()
+
+    sim.process(waiter(sim, latch))
+    for d in (1, 2, 7):
+        sim.process(worker(sim, latch, d))
+    sim.run()
+    assert got == [7]
+
+
+def test_countdown_latch_zero_is_open():
+    sim = Simulator()
+    latch = CountdownLatch(sim, 0)
+    assert latch.event.triggered

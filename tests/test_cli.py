@@ -1,0 +1,46 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list_prints_experiments(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig5" in out
+    assert "fig10" in out
+    assert "ablation-blocksize" in out
+
+
+def test_run_single_experiment(capsys):
+    rc = main(["run", "fig6c", "--scale", "smoke"])
+    out = capsys.readouterr().out
+    assert "record size" in out
+    assert "checks passed" in out
+    assert rc == 0  # fig6c's checks hold at smoke scale
+
+
+def test_run_unknown_experiment(capsys):
+    assert main(["run", "fig99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_bad_scale_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "fig5", "--scale", "enormous"])
+
+
+def test_report_writes_file(tmp_path, capsys):
+    # Point the report at a temp file; smoke scale keeps it quick.
+    out_file = tmp_path / "EXP.md"
+    rc = main(["report", "--scale", "smoke", "--output", str(out_file)])
+    assert rc == 0
+    text = out_file.read_text()
+    assert "# EXPERIMENTS" in text
+    assert "Fig 5" in text
+
+
+def test_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])

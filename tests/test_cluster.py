@@ -1,0 +1,99 @@
+"""Tests for the testbed builders and their configuration."""
+
+import pytest
+
+from repro.cluster import (
+    TestbedConfig,
+    build_gluster_testbed,
+    build_lustre_testbed,
+    build_nfs_testbed,
+    scaled,
+)
+from repro.core.config import IMCaConfig
+from repro.util import GiB, KiB, MiB
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        TestbedConfig(num_clients=0)
+    with pytest.raises(ValueError):
+        TestbedConfig(num_mcds=-1)
+    with pytest.raises(ValueError):
+        TestbedConfig(num_bricks=0)
+
+
+def test_scaled_copies_with_overrides():
+    base = TestbedConfig(num_clients=4)
+    derived = scaled(base, num_clients=8, num_mcds=2)
+    assert derived.num_clients == 8
+    assert derived.num_mcds == 2
+    assert base.num_clients == 4  # original untouched
+
+
+def test_gluster_testbed_shape():
+    tb = build_gluster_testbed(TestbedConfig(num_clients=3, num_mcds=2))
+    assert len(tb.clients) == 3
+    assert len(tb.mcds) == 2
+    assert len(tb.servers) == 1
+    assert all(cm is not None for cm in tb.cmcaches)
+    assert tb.smcaches[0] is not None
+
+
+def test_gluster_testbed_nocache_has_no_imca():
+    tb = build_gluster_testbed(TestbedConfig(num_clients=2))
+    assert tb.mcds == []
+    assert all(cm is None for cm in tb.cmcaches)
+    assert tb.smcaches == [None]
+
+
+def test_multi_brick_testbed():
+    tb = build_gluster_testbed(TestbedConfig(num_clients=1, num_bricks=3, num_mcds=1))
+    assert len(tb.servers) == 3
+    assert len(tb.smcaches) == 3
+
+
+def test_mcd_transport_separate_network():
+    tb = build_gluster_testbed(
+        TestbedConfig(num_clients=1, num_mcds=1, mcd_transport="ib-rdma")
+    )
+    cm = tb.cmcaches[0]
+    assert cm.mc.endpoint.net is not tb.net
+    assert cm.mc.endpoint.net.transport.name == "ib-rdma"
+    # FS traffic stays on the primary fabric.
+    assert tb.net.transport.name == "ipoib"
+
+
+def test_mcd_transport_default_shares_network():
+    tb = build_gluster_testbed(TestbedConfig(num_clients=1, num_mcds=1))
+    assert tb.cmcaches[0].mc.endpoint.net is tb.net
+
+
+def test_lustre_testbed_shape():
+    tb = build_lustre_testbed(TestbedConfig(num_clients=2, num_data_servers=4))
+    assert len(tb.osts) == 4
+    assert len(tb.clients) == 2
+    assert tb.mds is not None
+    assert tb.clients[0].layout.count == 4
+
+
+def test_nfs_testbed_shape():
+    tb = build_nfs_testbed(TestbedConfig(num_clients=2, transport="gige"))
+    assert len(tb.clients) == 2
+    assert tb.net.transport.name == "gige"
+
+
+def test_mcd_stats_aggregation():
+    tb = build_gluster_testbed(TestbedConfig(num_clients=1, num_mcds=3))
+    for i, mcd in enumerate(tb.mcds):
+        mcd.engine.set(f"key{i}", None, 100)
+    stats = tb.mcd_stats()
+    assert stats["curr_items"] == 3
+    assert stats["limit_maxbytes"] == 3 * 6 * GiB
+
+
+def test_imca_selector_flows_to_clients():
+    tb = build_gluster_testbed(
+        TestbedConfig(num_clients=1, num_mcds=2, imca=IMCaConfig(selector="ketama"))
+    )
+    assert tb.cmcaches[0].mc.selector.name == "ketama"
+    assert tb.smcaches[0].mc.selector.name == "ketama"

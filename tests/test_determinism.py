@@ -1,0 +1,62 @@
+"""End-to-end determinism: identical configs produce identical runs.
+
+The whole reproduction strategy rests on this — experiment tables are
+exactly reproducible, and regressions show up as bit-identical diffs.
+"""
+
+import pytest
+
+from repro.cluster import TestbedConfig, build_gluster_testbed, build_lustre_testbed
+from repro.core.config import IMCaConfig
+from repro.util import KiB
+from repro.workloads import run_latency_bench, run_stat_bench
+
+
+def test_gluster_imca_run_is_deterministic():
+    def one_run():
+        tb = build_gluster_testbed(
+            TestbedConfig(num_clients=4, num_mcds=2, imca=IMCaConfig())
+        )
+        res = run_latency_bench(
+            tb.sim, tb.clients, [1, 2 * KiB], records_per_size=16
+        )
+        return (
+            tb.sim.now,
+            {r: (s.mean, s.min, s.max, s.n) for r, s in res.read.items()},
+            tb.cm_stats(),
+            tb.mcd_stats(),
+        )
+
+    assert one_run() == one_run()
+
+
+def test_stat_bench_deterministic():
+    def one_run():
+        tb = build_gluster_testbed(TestbedConfig(num_clients=8, num_mcds=1))
+        res = run_stat_bench(tb.sim, tb.clients, num_files=64)
+        return (tb.sim.now, tuple(res.node_times), res.max_node_time)
+
+    assert one_run() == one_run()
+
+
+def test_lustre_run_deterministic():
+    def one_run():
+        tb = build_lustre_testbed(TestbedConfig(num_clients=3, num_data_servers=2))
+        res = run_latency_bench(
+            tb.sim, tb.clients, [512], records_per_size=8,
+            drop_caches_before_read=True,
+        )
+        return (tb.sim.now, res.read[512].mean, res.read[512].n)
+
+    assert one_run() == one_run()
+
+
+def test_different_configs_differ():
+    """Anti-test: the determinism isn't an artefact of constant output."""
+
+    def time_for(num_mcds):
+        tb = build_gluster_testbed(TestbedConfig(num_clients=4, num_mcds=num_mcds))
+        run_latency_bench(tb.sim, tb.clients, [2 * KiB], records_per_size=16)
+        return tb.sim.now
+
+    assert time_for(0) != time_for(2)

@@ -1,0 +1,42 @@
+"""Every example script must run clean end to end.
+
+Examples are the public face of the library (deliverable and doc at
+once); this guard keeps them from rotting.  Scripts with CLI knobs run
+at reduced sizes to keep the suite fast.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+CASES = [
+    ("quickstart.py", []),
+    ("stat_scaling.py", ["--files", "64", "--max-clients", "8"]),
+    ("block_size_tuning.py", []),
+    ("producer_consumer.py", []),
+    ("throughput_scaling.py", ["--threads", "4", "--file-mib", "2"]),
+    ("trace_replay.py", ["--ops", "300", "--files", "48", "--clients", "2"]),
+    ("coherency_demo.py", []),
+]
+
+
+def test_every_example_has_a_case():
+    on_disk = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    covered = {name for name, _ in CASES}
+    assert on_disk == covered, f"uncovered examples: {on_disk - covered}"
+
+
+@pytest.mark.parametrize("script,args", CASES, ids=[c[0] for c in CASES])
+def test_example_runs_clean(script, args):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, f"{script} failed:\n{proc.stderr[-2000:]}"
+    assert proc.stdout.strip(), f"{script} printed nothing"

@@ -1,0 +1,60 @@
+"""CRC32 correctness: our from-scratch table implementation must match
+zlib bit-for-bit, and the libmemcache fold must stay in range."""
+
+import zlib
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.crc32 import crc32, memcache_hash
+
+
+KNOWN = [
+    (b"", 0x00000000),
+    (b"a", 0xE8B7BE43),
+    (b"abc", 0x352441C2),
+    (b"123456789", 0xCBF43926),
+    (b"/mnt/gluster/file0001:stat", None),  # value checked vs zlib below
+]
+
+
+@pytest.mark.parametrize("data,expected", KNOWN)
+def test_known_vectors(data, expected):
+    if expected is not None:
+        assert crc32(data) == expected
+    assert crc32(data) == zlib.crc32(data)
+
+
+@given(st.binary(max_size=2048))
+def test_matches_zlib(data):
+    assert crc32(data) == zlib.crc32(data)
+
+
+@given(st.binary(max_size=512), st.integers(1, 511))
+def test_incremental_equals_oneshot(data, split):
+    split = min(split, len(data))
+    partial = crc32(data[:split])
+    assert crc32(data[split:], partial) == crc32(data)
+
+
+def test_str_input_utf8():
+    assert crc32("abc") == crc32(b"abc")
+    assert crc32("héllo") == crc32("héllo".encode("utf-8"))
+
+
+@given(st.text(min_size=1, max_size=300))
+def test_memcache_hash_range(key):
+    h = memcache_hash(key)
+    assert 0 <= h <= 0x7FFF
+
+
+def test_memcache_hash_spreads_keys():
+    """IMCa keys (path + block offset) must spread across servers."""
+    for nservers in (2, 4, 6):
+        buckets = [0] * nservers
+        for i in range(4096):
+            key = f"/mnt/gluster/d{i % 13}/file{i:06d}:{(i * 2048)}"
+            buckets[memcache_hash(key) % nservers] += 1
+        expected = 4096 / nservers
+        for b in buckets:
+            assert abs(b - expected) / expected < 0.25

@@ -1,0 +1,159 @@
+"""Tests for units parsing/formatting and online statistics."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util import (
+    Counter,
+    GiB,
+    Histogram,
+    KiB,
+    MiB,
+    OnlineStats,
+    fmt_bytes,
+    fmt_rate,
+    fmt_time,
+    parse_size,
+)
+
+
+# -- units ----------------------------------------------------------------
+@pytest.mark.parametrize(
+    "text,expected",
+    [
+        ("64", 64),
+        ("2K", 2 * KiB),
+        ("2k", 2 * KiB),
+        ("8KiB", 8 * KiB),
+        ("1.5MiB", int(1.5 * MiB)),
+        ("1g", GiB),
+        ("256b", 256),
+        (4096, 4096),
+    ],
+)
+def test_parse_size(text, expected):
+    assert parse_size(text) == expected
+
+
+@pytest.mark.parametrize("bad", ["", "abc", "12q", "-5", "0.3b"])
+def test_parse_size_rejects(bad):
+    with pytest.raises(ValueError):
+        parse_size(bad)
+
+
+def test_fmt_bytes():
+    assert fmt_bytes(512) == "512 B"
+    assert fmt_bytes(3 * MiB) == "3.0 MiB"
+    assert fmt_bytes(2.5 * GiB) == "2.5 GiB"
+
+
+def test_fmt_time():
+    assert fmt_time(0) == "0 s"
+    assert "ns" in fmt_time(5e-9)
+    assert "us" in fmt_time(35e-6)
+    assert "ms" in fmt_time(0.004)
+    assert fmt_time(2.5) == "2.500 s"
+
+
+def test_fmt_rate():
+    assert "MB/s" in fmt_rate(417e6)
+    assert "GB/s" in fmt_rate(1.4e9)
+
+
+# -- OnlineStats ------------------------------------------------------------
+def test_online_stats_basic():
+    s = OnlineStats()
+    for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]:
+        s.add(x)
+    assert s.n == 8
+    assert s.mean == pytest.approx(5.0)
+    assert s.stdev == pytest.approx(2.138, rel=1e-3)
+    assert s.min == 2.0 and s.max == 9.0
+    assert s.total == pytest.approx(40.0)
+
+
+def test_online_stats_empty():
+    s = OnlineStats()
+    assert s.n == 0 and s.mean == 0.0 and s.variance == 0.0
+
+
+@given(st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=200))
+def test_online_matches_numpy(xs):
+    import numpy as np
+
+    s = OnlineStats()
+    for x in xs:
+        s.add(x)
+    assert s.mean == pytest.approx(float(np.mean(xs)), rel=1e-9, abs=1e-6)
+    assert s.variance == pytest.approx(float(np.var(xs, ddof=1)), rel=1e-6, abs=1e-6)
+
+
+@given(
+    st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=50),
+    st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=50),
+)
+def test_merge_equals_combined(xs, ys):
+    a, b, c = OnlineStats(), OnlineStats(), OnlineStats()
+    for x in xs:
+        a.add(x)
+        c.add(x)
+    for y in ys:
+        b.add(y)
+        c.add(y)
+    a.merge(b)
+    assert a.n == c.n
+    assert a.mean == pytest.approx(c.mean, rel=1e-9, abs=1e-6)
+    assert a.variance == pytest.approx(c.variance, rel=1e-6, abs=1e-6)
+    assert a.min == c.min and a.max == c.max
+
+
+def test_merge_into_empty():
+    a, b = OnlineStats(), OnlineStats()
+    b.add(3.0)
+    b.add(5.0)
+    a.merge(b)
+    assert a.n == 2 and a.mean == 4.0
+
+
+# -- Histogram ---------------------------------------------------------------
+def test_histogram_percentiles_monotone():
+    h = Histogram(lo=1e-6, hi=1.0)
+    for i in range(1, 1001):
+        h.add(i * 1e-4)
+    p50, p90, p99 = h.percentile(50), h.percentile(90), h.percentile(99)
+    assert p50 <= p90 <= p99
+    assert h.n == 1000
+
+
+def test_histogram_extremes_clamp():
+    h = Histogram(lo=1e-6, hi=1e-3)
+    h.add(1e-9)  # below lo
+    h.add(10.0)  # above hi
+    assert h.n == 2
+    assert h.percentile(100) >= 1e-3
+
+
+def test_histogram_validation():
+    with pytest.raises(ValueError):
+        Histogram(lo=0)
+    with pytest.raises(ValueError):
+        Histogram(lo=1, hi=0.5)
+    h = Histogram()
+    with pytest.raises(ValueError):
+        h.percentile(0)
+
+
+# -- Counter ------------------------------------------------------------------
+def test_counter():
+    c = Counter()
+    c.inc("hits")
+    c.inc("hits", 4)
+    assert c.get("hits") == 5
+    assert c["misses"] == 0
+    d = Counter()
+    d.inc("hits", 2)
+    d.inc("evictions")
+    c.merge(d)
+    assert c.as_dict() == {"hits": 7, "evictions": 1}

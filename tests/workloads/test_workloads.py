@@ -1,0 +1,158 @@
+"""Tests for the benchmark workloads against all three testbeds."""
+
+import pytest
+
+from repro.cluster import (
+    TestbedConfig,
+    build_gluster_testbed,
+    build_lustre_testbed,
+    build_nfs_testbed,
+)
+from repro.core.config import IMCaConfig
+from repro.util import KiB, MiB
+from repro.workloads import (
+    power_of_two_sizes,
+    run_iozone,
+    run_latency_bench,
+    run_stat_bench,
+)
+
+
+def gluster(num_clients=1, num_mcds=0, **kw):
+    return build_gluster_testbed(
+        TestbedConfig(num_clients=num_clients, num_mcds=num_mcds, **kw)
+    )
+
+
+# -- helpers ------------------------------------------------------------------
+def test_power_of_two_sizes():
+    assert power_of_two_sizes(16) == [1, 2, 4, 8, 16]
+    assert power_of_two_sizes(1024, start=256) == [256, 512, 1024]
+
+
+# -- stat bench -----------------------------------------------------------------
+def test_stat_bench_basic_counts():
+    tb = gluster(num_clients=2)
+    res = run_stat_bench(tb.sim, tb.clients, num_files=50)
+    assert res.num_files == 50
+    assert res.num_clients == 2
+    assert res.op_latency.n == 100  # every node stats every file
+    assert res.max_node_time >= max(res.node_times) - 1e-12
+    assert all(t > 0 for t in res.node_times)
+
+
+def test_stat_bench_imca_beats_nocache():
+    """The Fig 5 headline at small scale."""
+    t_nocache = run_stat_bench_time(num_mcds=0)
+    t_mcd = run_stat_bench_time(num_mcds=1)
+    assert t_mcd < t_nocache
+
+
+def run_stat_bench_time(num_mcds, num_clients=8, files=40):
+    tb = gluster(num_clients=num_clients, num_mcds=num_mcds)
+    return run_stat_bench(tb.sim, tb.clients, num_files=files).max_node_time
+
+
+def test_stat_bench_on_lustre():
+    tb = build_lustre_testbed(TestbedConfig(num_clients=2, num_data_servers=2))
+    res = run_stat_bench(tb.sim, tb.clients, num_files=20)
+    assert res.op_latency.n == 40
+    assert res.max_node_time > 0
+
+
+# -- latency bench -----------------------------------------------------------------
+def test_latency_bench_single_client_collects_all_cells():
+    tb = gluster()
+    sizes = [1, 64, 1024]
+    res = run_latency_bench(tb.sim, tb.clients, sizes, records_per_size=16)
+    for r in sizes:
+        assert res.write[r].n == 16
+        assert res.read[r].n == 16
+        assert res.write[r].mean > 0
+        assert res.read[r].mean > 0
+
+
+def test_latency_bench_multi_client_pools_stats():
+    tb = gluster(num_clients=4)
+    res = run_latency_bench(tb.sim, tb.clients, [256], records_per_size=8)
+    assert res.read[256].n == 32  # 4 clients x 8 records
+
+
+def test_latency_bench_imca_read_hits():
+    tb = gluster(num_mcds=1)
+    res = run_latency_bench(tb.sim, tb.clients, [1, 2048], records_per_size=16)
+    cm = tb.cmcaches[0]
+    # Write phase populated the MCD; the read phase never misses (§5.3).
+    assert cm.metrics.get("read_misses", 0) == 0
+    assert cm.metrics.get("read_hits") == 32
+
+
+def test_latency_bench_shared_file_only_root_writes():
+    tb = gluster(num_clients=3)
+    res = run_latency_bench(
+        tb.sim, tb.clients, [512], records_per_size=8, shared_file=True
+    )
+    assert res.write[512].n == 8  # root only
+    assert res.read[512].n == 24  # everyone reads
+
+
+def test_latency_bench_lustre_cold_vs_warm():
+    sizes = [4 * KiB]
+
+    def mean_read(cold):
+        tb = build_lustre_testbed(TestbedConfig(num_clients=1))
+        res = run_latency_bench(
+            tb.sim, tb.clients, sizes, records_per_size=16,
+            drop_caches_before_read=cold,
+        )
+        return res.mean_read(4 * KiB)
+
+    warm = mean_read(False)
+    cold = mean_read(True)
+    assert warm < cold
+
+
+def test_latency_read_content_correct_through_benchmark():
+    """The benchmark's reads must observe the write phase's data."""
+    tb = gluster(num_mcds=2)
+    run_latency_bench(tb.sim, tb.clients, [1, 4096], records_per_size=8)
+    # Server state: final write pass was 8 x 4096 sequential.
+    f = tb.server.fs._files["/latbench/rank0"]
+    assert f.stat.size == 8 * 4096
+
+
+# -- IOzone -------------------------------------------------------------------------
+def test_iozone_measures_throughput():
+    tb = gluster(num_clients=2)
+    res = run_iozone(tb.sim, tb.clients, file_size=1 * MiB, record_size=64 * KiB)
+    assert res.read_wall > 0 and res.write_wall > 0
+    assert res.read_throughput > 0
+    # Two threads moved 2 MiB in the read phase.
+    assert res.read_throughput == pytest.approx(2 * MiB / res.read_wall)
+
+
+def test_iozone_more_mcds_more_read_throughput():
+    """Fig 9's shape: read throughput grows with the MCD count."""
+
+    def tput(num_mcds):
+        # Large records over 2K blocks: the transfer is bandwidth-bound,
+        # so reads served by 4 MCD NICs beat one server NIC (Fig 9).
+        tb = gluster(
+            num_clients=4,
+            num_mcds=num_mcds,
+            imca=IMCaConfig(selector="modulo"),
+        )
+        res = run_iozone(
+            tb.sim, tb.clients, file_size=4 * MiB, record_size=256 * KiB
+        )
+        return res.read_throughput
+
+    t0 = tput(0)
+    t4 = tput(4)
+    assert t4 > t0 * 1.5
+
+
+def test_iozone_on_nfs_with_drop():
+    tb = build_nfs_testbed(TestbedConfig(num_clients=2))
+    res = run_iozone(tb.sim, tb.clients, file_size=512 * KiB, record_size=32 * KiB)
+    assert res.read_throughput > 0
