@@ -29,6 +29,8 @@ _LAZY = {
     "build_gluster_testbed": "repro.cluster",
     "build_lustre_testbed": "repro.cluster",
     "build_nfs_testbed": "repro.cluster",
+    "Observability": "repro.obs",
+    "MetricsRegistry": "repro.obs",
 }
 
 __all__ = ["__version__", *_LAZY]

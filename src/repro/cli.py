@@ -4,13 +4,20 @@ Usage::
 
     python -m repro list
     python -m repro run fig5 --scale default
+    python -m repro run fig5 --trace-out trace.json --metrics-out m.jsonl
+    python -m repro run fig6a --json
     python -m repro run-all --scale smoke
     python -m repro report --scale default --output EXPERIMENTS.md
+
+``--trace-out`` writes the instrumented pass's spans as Chrome
+``trace_event`` JSON (open in chrome://tracing or https://ui.perfetto.dev);
+``--metrics-out`` writes one JSON line per metrics-registry component.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import Optional, Sequence
@@ -41,10 +48,22 @@ def _print_result(result, elapsed: float, chart: bool = False) -> None:
             print(f"(chart unavailable: {e})")
     for note in result.notes:
         print(f"note: {note}")
+    breakdown = result.extras.get("tier_breakdown")
+    if breakdown:
+        print("per-tier latency breakdown (instrumented pass):")
+        print(breakdown)
+        print()
     for c in result.checks:
         print(f"  [{'PASS' if c.passed else 'FAIL'}] {c.name} -- {c.detail}")
     ok = sum(1 for c in result.checks if c.passed)
     print(f"\n{ok}/{len(result.checks)} checks passed ({elapsed:.1f}s wall)")
+
+
+def _positive_float(text: str) -> float:
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {text}")
+    return value
 
 
 def cmd_list(_args) -> int:
@@ -53,33 +72,95 @@ def cmd_list(_args) -> int:
     return 0
 
 
+def _run_observed(exp, args):
+    """Run the experiment, capturing instrumented testbeds if any CLI
+    observability flag asks for them.  Returns (result, capture)."""
+    trace_out = getattr(args, "trace_out", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    sample_interval = getattr(args, "sample_interval", None)
+    if not (trace_out or metrics_out or sample_interval):
+        return exp.run(args.scale), None
+    from repro.obs import ObsRequest, observing
+
+    req = ObsRequest(trace=bool(trace_out), sample_interval=sample_interval)
+    with observing(req):
+        result = exp.run(args.scale)
+    traced = [o for o in req.captures if o.tracer.enabled and o.tracer.spans]
+    capture = traced[-1] if traced else (req.captures[-1] if req.captures else None)
+    return result, capture
+
+
+def _export_artifacts(capture, args) -> None:
+    trace_out = getattr(args, "trace_out", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    if not (trace_out or metrics_out):
+        return
+    if capture is None:
+        print(
+            "warning: experiment published no instrumented run; "
+            "no trace/metrics artifacts written",
+            file=sys.stderr,
+        )
+        return
+    from repro.obs.export import write_chrome_trace, write_metrics_jsonl
+
+    if trace_out:
+        if capture.tracer.enabled:
+            try:
+                n = write_chrome_trace(capture.tracer, trace_out)
+            except OSError as e:
+                print(f"error: cannot write {trace_out}: {e}", file=sys.stderr)
+            else:
+                print(f"wrote {trace_out} ({n} trace events)", file=sys.stderr)
+        else:
+            print(f"warning: no trace captured; {trace_out} not written", file=sys.stderr)
+    if metrics_out:
+        try:
+            n = write_metrics_jsonl(capture.registry, metrics_out)
+        except OSError as e:
+            print(f"error: cannot write {metrics_out}: {e}", file=sys.stderr)
+        else:
+            print(f"wrote {metrics_out} ({n} components)", file=sys.stderr)
+
+
 def cmd_run(args) -> int:
     try:
         exp = get(args.experiment)
     except KeyError as e:
         print(e, file=sys.stderr)
         return 2
-    print(f"== {exp.figure}: {exp.title} [{args.scale}]")
-    print(exp.description)
-    print()
+    if not args.json:
+        print(f"== {exp.figure}: {exp.title} [{args.scale}]")
+        print(exp.description)
+        print()
     t0 = time.time()
-    result = exp.run(args.scale)
-    _print_result(result, time.time() - t0, chart=args.chart)
+    result, capture = _run_observed(exp, args)
+    _export_artifacts(capture, args)
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    else:
+        _print_result(result, time.time() - t0, chart=args.chart)
     return 0 if result.all_passed else 1
 
 
 def cmd_run_all(args) -> int:
     failures = 0
+    collected = []
     for exp in all_experiments():
         t0 = time.time()
         result = exp.run(args.scale)
         ok = sum(1 for c in result.checks if c.passed)
         status = "ok" if result.all_passed else "CHECK-FAILURES"
-        print(
+        line = (
             f"{exp.id:<22} {ok}/{len(result.checks)} checks "
             f"({time.time() - t0:.1f}s) {status}"
         )
+        print(line, file=sys.stderr if args.json else sys.stdout)
+        if args.json:
+            collected.append(result.to_dict())
         failures += not result.all_passed
+    if args.json:
+        print(json.dumps(collected, indent=2, sort_keys=True))
     return 0 if failures == 0 else 1
 
 
@@ -110,10 +191,28 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--chart", action="store_true", help="render an ASCII chart of the series"
     )
+    run.add_argument(
+        "--json", action="store_true", help="print the result as JSON on stdout"
+    )
+    run.add_argument(
+        "--trace-out", metavar="PATH",
+        help="write the instrumented pass's spans as Chrome trace_event JSON",
+    )
+    run.add_argument(
+        "--metrics-out", metavar="PATH",
+        help="write metrics-registry snapshots as JSON lines (one per component)",
+    )
+    run.add_argument(
+        "--sample-interval", type=_positive_float, metavar="SECONDS",
+        help="sample NIC/queue/memory time series at this sim-time interval",
+    )
     run.set_defaults(func=cmd_run)
 
     run_all = sub.add_parser("run-all", help="run every experiment")
     run_all.add_argument("--scale", choices=SCALES, default="smoke")
+    run_all.add_argument(
+        "--json", action="store_true", help="print all results as a JSON array on stdout"
+    )
     run_all.set_defaults(func=cmd_run_all)
 
     report = sub.add_parser("report", help="regenerate EXPERIMENTS.md")

@@ -35,9 +35,14 @@ from repro.net.profiles import profile
 from repro.net.rpc import Endpoint
 from repro.nfs.client import NfsClient
 from repro.nfs.server import NfsServer
+from repro.obs.context import Observability
+from repro.obs.registry import merged_counters
+from repro.obs.samplers import Sampler, gluster_probes
+from repro.obs.trace import NULL_TRACER
 from repro.oscache.pagecache import PageCache
 from repro.sim.core import Simulator
 from repro.storage.raid import Raid0
+from repro.util.stats import Counter
 from repro.util.units import GiB, MiB
 
 
@@ -89,10 +94,17 @@ class TestbedConfig:
             raise ValueError("num_bricks must be >= 1")
 
 
-def _make_fs(sim: Simulator, cfg: TestbedConfig, name: str, disks: int, cache_bytes: int) -> LocalFS:
+def _make_fs(
+    sim: Simulator,
+    cfg: TestbedConfig,
+    name: str,
+    disks: int,
+    cache_bytes: int,
+    tracer=NULL_TRACER,
+) -> LocalFS:
     device = Raid0(sim, disks=disks, name=f"{name}.raid")
     cache = PageCache(cache_bytes)
-    return LocalFS(sim, device, cache, name=name)
+    return LocalFS(sim, device, cache, name=name, tracer=tracer)
 
 
 # --------------------------------------------------------------------------- #
@@ -110,6 +122,7 @@ class GlusterTestbed:
     clients: list[GlusterClient]
     cmcaches: list[Optional[CMCacheXlator]]
     smcaches: list[Optional[SMCacheXlator]]
+    obs: Observability = field(default_factory=Observability)
 
     @property
     def server(self) -> GlusterServer:
@@ -117,25 +130,58 @@ class GlusterTestbed:
 
     def mcd_stats(self) -> dict[str, int]:
         """Aggregated engine statistics across the MCD array (untimed)."""
-        total: dict[str, int] = {}
-        for mcd in self.mcds:
-            for k, v in mcd.engine.stat_dict().items():
-                total[k] = total.get(k, 0) + v
-        return total
+        return merged_counters(
+            Counter(dict(mcd.engine.stat_dict())) for mcd in self.mcds
+        )
 
     def cm_stats(self) -> dict[str, int]:
-        total: dict[str, int] = {}
-        for cm in self.cmcaches:
-            if cm is not None:
-                for k, v in cm.metrics.as_dict().items():
-                    total[k] = total.get(k, 0) + v
-        return total
+        """Aggregated CMCache translator counters across all clients."""
+        return merged_counters(cm.metrics if cm else None for cm in self.cmcaches)
+
+    def sm_stats(self) -> dict[str, int]:
+        """Aggregated SMCache translator counters across all bricks."""
+        return merged_counters(sm.metrics if sm else None for sm in self.smcaches)
+
+    def snapshot_metrics(self):
+        """Fold live component state into the registry and return it.
+
+        Gauge-like sources outside the registry (MCD engine stats, RPC
+        and fabric counters, tracer tier/op histograms) are copied in by
+        assignment, so calling this repeatedly is idempotent.
+        """
+        reg = self.obs.registry
+        if self.mcds:
+            mcd = reg.component("mcd")
+            for k, v in self.mcd_stats().items():
+                mcd.counters.values[k] = int(v)
+        net = reg.component("net")
+        for k, v in self.net.stats.as_dict().items():
+            net.counters.values[k] = v
+        tracer = self.obs.tracer
+        if tracer.enabled:
+            tiers = reg.component("tiers")
+            for name, hist in tracer.tier_stats.items():
+                tiers.histograms[name] = hist
+            ops = reg.component("ops")
+            for name, hist in tracer.op_stats.items():
+                ops.histograms[name] = hist
+        return reg
 
 
-def build_gluster_testbed(cfg: Optional[TestbedConfig] = None) -> GlusterTestbed:
-    """Assemble GlusterFS [+ IMCa when ``cfg.num_mcds > 0``]."""
+def build_gluster_testbed(
+    cfg: Optional[TestbedConfig] = None, obs: Optional[Observability] = None
+) -> GlusterTestbed:
+    """Assemble GlusterFS [+ IMCa when ``cfg.num_mcds > 0``].
+
+    Pass an :class:`Observability` bundle to instrument the testbed;
+    the default bundle is fully disabled (null tracer, no sampler).
+    """
     cfg = cfg or TestbedConfig()
+    obs = obs or Observability()
     sim = Simulator()
+    obs.bind(sim)
+    tracer = obs.tracer
+    reg = obs.registry
     net = Network(sim, profile(cfg.transport))
     # Cache-bank traffic may ride a separate transport (§7 future work).
     cache_net = (
@@ -147,7 +193,8 @@ def build_gluster_testbed(cfg: Optional[TestbedConfig] = None) -> GlusterTestbed
     # MCD array.
     mcds = [
         MemcachedDaemon(
-            sim, cache_net, Node(sim, f"mcd{i}", cores=cfg.cores), cfg.mcd_memory
+            sim, cache_net, Node(sim, f"mcd{i}", cores=cfg.cores), cfg.mcd_memory,
+            tracer=tracer,
         )
         for i in range(cfg.num_mcds)
     ]
@@ -158,17 +205,23 @@ def build_gluster_testbed(cfg: Optional[TestbedConfig] = None) -> GlusterTestbed
     smcaches: list[Optional[SMCacheXlator]] = []
     for b in range(cfg.num_bricks):
         snode = Node(sim, f"gfs-server{b}" if cfg.num_bricks > 1 else "gfs-server", cores=cfg.cores)
-        fs = _make_fs(sim, cfg, f"brick{b}", cfg.raid_disks, cfg.server_cache_bytes)
+        fs = _make_fs(sim, cfg, f"brick{b}", cfg.raid_disks, cfg.server_cache_bytes, tracer)
         server_xlators: list[Xlator] = []
         smcache: Optional[SMCacheXlator] = None
         if use_imca:
             mc = MemcacheClient(
-                Endpoint(cache_net, snode), mcds, make_selector(cfg.imca.selector)
+                Endpoint(cache_net, snode, tracer=tracer), mcds,
+                make_selector(cfg.imca.selector),
             )
-            smcache = SMCacheXlator(sim, mc, cfg.imca)
+            smcache = SMCacheXlator(
+                sim, mc, cfg.imca, metrics=reg.component(f"smcache.{snode.name}")
+            )
             server_xlators.append(smcache)
         servers.append(
-            GlusterServer(sim, net, snode, fs, server_xlators, io_threads=cfg.io_threads)
+            GlusterServer(
+                sim, net, snode, fs, server_xlators,
+                io_threads=cfg.io_threads, tracer=tracer,
+            )
         )
         smcaches.append(smcache)
 
@@ -177,21 +230,28 @@ def build_gluster_testbed(cfg: Optional[TestbedConfig] = None) -> GlusterTestbed
     cmcaches: list[Optional[CMCacheXlator]] = []
     for i in range(cfg.num_clients):
         cnode = Node(sim, f"client{i}", cores=cfg.cores)
-        ep = Endpoint(net, cnode)
+        ep = Endpoint(net, cnode, tracer=tracer)
         protocols = [ClientProtocol(ep, server) for server in servers]
         bottom: Xlator = protocols[0] if len(protocols) == 1 else DistributeXlator(protocols)
         stack: list[Xlator] = []
         cmcache: Optional[CMCacheXlator] = None
         if use_imca:
-            mc_ep = ep if cache_net is net else Endpoint(cache_net, cnode)
+            mc_ep = ep if cache_net is net else Endpoint(cache_net, cnode, tracer=tracer)
             mc = MemcacheClient(mc_ep, mcds, make_selector(cfg.imca.selector))
-            cmcache = CMCacheXlator(mc, cfg.imca)
+            cmcache = CMCacheXlator(
+                mc, cfg.imca, metrics=reg.component(f"cmcache.{cnode.name}")
+            )
             stack.append(cmcache)
         stack.append(bottom)
-        clients.append(GlusterClient(sim, cnode, Xlator.build_stack(stack)))
+        clients.append(GlusterClient(sim, cnode, Xlator.build_stack(stack), tracer=tracer))
         cmcaches.append(cmcache)
 
-    return GlusterTestbed(sim, net, cfg, servers, mcds, clients, cmcaches, smcaches)
+    tb = GlusterTestbed(sim, net, cfg, servers, mcds, clients, cmcaches, smcaches, obs)
+    if obs.sample_interval:
+        obs.samplers.append(
+            Sampler(sim, reg.component("samples"), gluster_probes(tb), obs.sample_interval)
+        )
+    return tb
 
 
 # --------------------------------------------------------------------------- #
@@ -207,32 +267,41 @@ class LustreTestbed:
     mds: MetadataServer
     osts: list[ObjectServer]
     clients: list[LustreClient]
+    obs: Observability = field(default_factory=Observability)
 
 
-def build_lustre_testbed(cfg: Optional[TestbedConfig] = None) -> LustreTestbed:
+def build_lustre_testbed(
+    cfg: Optional[TestbedConfig] = None, obs: Optional[Observability] = None
+) -> LustreTestbed:
     cfg = cfg or TestbedConfig()
+    obs = obs or Observability()
     sim = Simulator()
+    obs.bind(sim)
+    tracer = obs.tracer
     net = Network(sim, profile(cfg.transport))
 
     layout = StripeLayout(count=cfg.num_data_servers, stripe_size=cfg.stripe_size)
     mds_node = Node(sim, "mds", cores=cfg.cores)
-    mds_fs = _make_fs(sim, cfg, "mdt", disks=2, cache_bytes=2 * GiB)
+    mds_fs = _make_fs(sim, cfg, "mdt", disks=2, cache_bytes=2 * GiB, tracer=tracer)
     mds = MetadataServer(sim, net, mds_node, mds_fs, layout)
 
     osts = []
     for i in range(cfg.num_data_servers):
         onode = Node(sim, f"ost{i}", cores=cfg.cores)
-        ofs = _make_fs(sim, cfg, f"ost{i}", disks=cfg.ost_disks, cache_bytes=cfg.ost_cache_bytes)
+        ofs = _make_fs(
+            sim, cfg, f"ost{i}", disks=cfg.ost_disks,
+            cache_bytes=cfg.ost_cache_bytes, tracer=tracer,
+        )
         osts.append(ObjectServer(sim, net, onode, ofs, index=i))
 
     clients = []
     for i in range(cfg.num_clients):
         cnode = Node(sim, f"client{i}", cores=cfg.cores)
-        ep = Endpoint(net, cnode)
+        ep = Endpoint(net, cnode, tracer=tracer)
         clients.append(
             LustreClient(sim, cnode, ep, mds, osts, cache_bytes=cfg.lustre_client_cache)
         )
-    return LustreTestbed(sim, net, cfg, mds, osts, clients)
+    return LustreTestbed(sim, net, cfg, mds, osts, clients, obs)
 
 
 # --------------------------------------------------------------------------- #
@@ -247,21 +316,27 @@ class NFSTestbed:
     config: TestbedConfig
     server: NfsServer
     clients: list[NfsClient]
+    obs: Observability = field(default_factory=Observability)
 
 
-def build_nfs_testbed(cfg: Optional[TestbedConfig] = None) -> NFSTestbed:
+def build_nfs_testbed(
+    cfg: Optional[TestbedConfig] = None, obs: Optional[Observability] = None
+) -> NFSTestbed:
     cfg = cfg or TestbedConfig()
+    obs = obs or Observability()
     sim = Simulator()
+    obs.bind(sim)
+    tracer = obs.tracer
     net = Network(sim, profile(cfg.transport))
     snode = Node(sim, "nfs-server", cores=cfg.cores)
-    fs = _make_fs(sim, cfg, "export", cfg.raid_disks, cfg.server_cache_bytes)
+    fs = _make_fs(sim, cfg, "export", cfg.raid_disks, cfg.server_cache_bytes, tracer)
     server = NfsServer(sim, net, snode, fs)
     clients = []
     for i in range(cfg.num_clients):
         cnode = Node(sim, f"client{i}", cores=cfg.cores)
-        ep = Endpoint(net, cnode)
+        ep = Endpoint(net, cnode, tracer=tracer)
         clients.append(NfsClient(sim, cnode, ep, server))
-    return NFSTestbed(sim, net, cfg, server, clients)
+    return NFSTestbed(sim, net, cfg, server, clients, obs)
 
 
 def scaled(cfg: TestbedConfig, **overrides) -> TestbedConfig:

@@ -16,13 +16,18 @@ from repro.core.keys import data_key, stat_key
 from repro.gluster.xlator import Xlator
 from repro.localfs.types import ReadResult, StatBuf
 from repro.memcached.client import MemcacheClient
-from repro.util.stats import Counter
+from repro.obs.registry import ComponentMetrics
 
 
 class CMCacheXlator(Xlator):
     """Client-side IMCa translator."""
 
-    def __init__(self, mc: MemcacheClient, config: Optional[IMCaConfig] = None) -> None:
+    def __init__(
+        self,
+        mc: MemcacheClient,
+        config: Optional[IMCaConfig] = None,
+        metrics: Optional[ComponentMetrics] = None,
+    ) -> None:
         super().__init__("cmcache")
         self.mc = mc
         self.config = config or IMCaConfig()
@@ -31,7 +36,10 @@ class CMCacheXlator(Xlator):
         #: "the absolute path of the file and the file descriptor is
         #: stored in a database").
         self.open_db: dict[str, int] = {}
-        self.metrics = Counter()
+        #: Instruments live in a registry component when the testbed has
+        #: one; ``metrics`` keeps its Counter shape for existing callers.
+        self.component = metrics or ComponentMetrics("cmcache")
+        self.metrics = self.component.counters
 
     # -- bookkeeping -------------------------------------------------------
     def _note_open(self, path: str) -> None:

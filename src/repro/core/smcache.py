@@ -27,8 +27,8 @@ from repro.core.keys import data_key, stat_key
 from repro.gluster.xlator import Xlator
 from repro.localfs.types import ReadResult, StatBuf, slice_result
 from repro.memcached.client import MemcacheClient
+from repro.obs.registry import ComponentMetrics
 from repro.sim.store import Store
-from repro.util.stats import Counter
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.core import Simulator
@@ -42,6 +42,7 @@ class SMCacheXlator(Xlator):
         sim: "Simulator",
         mc: MemcacheClient,
         config: Optional[IMCaConfig] = None,
+        metrics: Optional[ComponentMetrics] = None,
     ) -> None:
         super().__init__("smcache")
         self.sim = sim
@@ -50,7 +51,10 @@ class SMCacheXlator(Xlator):
         self.mapper = BlockMapper(self.config.block_size)
         #: path -> block offsets this server has pushed (purge index).
         self._pushed: dict[str, set[int]] = {}
-        self.metrics = Counter()
+        #: Instruments live in a registry component when the testbed has
+        #: one; ``metrics`` keeps its Counter shape for existing callers.
+        self.component = metrics or ComponentMetrics("smcache")
+        self.metrics = self.component.counters
         self._queue: Optional[Store] = None
         if self.config.threaded_updates:
             self._queue = Store(sim)

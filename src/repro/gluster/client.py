@@ -14,6 +14,7 @@ from repro.gluster.costs import FUSE_OP_CPU
 from repro.gluster.xlator import Xlator
 from repro.localfs.types import ReadResult, StatBuf
 from repro.net.fabric import Node
+from repro.obs.trace import NULL_TRACER
 from repro.util.stats import Counter
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -27,13 +28,16 @@ class BadFd(Exception):
 class GlusterClient:
     """A mounted GlusterFS client on one node."""
 
-    def __init__(self, sim: "Simulator", node: Node, stack_top: Xlator) -> None:
+    def __init__(
+        self, sim: "Simulator", node: Node, stack_top: Xlator, tracer=NULL_TRACER
+    ) -> None:
         self.sim = sim
         self.node = node
         self.stack = stack_top
         self._fds: dict[int, str] = {}
         self._next_fd = 3
         self.stats = Counter()
+        self.tracer = tracer
 
     # -- fd bookkeeping ------------------------------------------------------
     def _new_fd(self, path: str) -> int:
@@ -55,38 +59,55 @@ class GlusterClient:
     def create(self, path: str) -> Generator:
         """creat(2): create + open; returns an fd."""
         self.stats.inc("creates")
-        yield from self._fuse()
-        yield from self.stack.create(path)
+        with self.tracer.span("client", "client.create"):
+            yield from self._fuse()
+            yield from self.stack.create(path)
         return self._new_fd(path)
 
     def open(self, path: str) -> Generator:
         """open(2); returns an fd."""
         self.stats.inc("opens")
-        yield from self._fuse()
-        yield from self.stack.open(path)
+        with self.tracer.span("client", "client.open"):
+            yield from self._fuse()
+            yield from self.stack.open(path)
         return self._new_fd(path)
 
     def read(self, fd: int, offset: int, size: int) -> Generator:
         """pread(2); returns a :class:`ReadResult`."""
         path = self.path_of(fd)
         self.stats.inc("reads")
-        yield from self._fuse()
-        result: ReadResult = yield from self.stack.read(path, offset, size)
+        if self.tracer.enabled:
+            with self.tracer.span("client", "client.read"):
+                yield from self._fuse()
+                result: ReadResult = yield from self.stack.read(path, offset, size)
+        else:
+            yield from self._fuse()
+            result = yield from self.stack.read(path, offset, size)
         return result
 
     def write(self, fd: int, offset: int, size: int, data=None) -> Generator:
         """pwrite(2); returns the server-assigned version."""
         path = self.path_of(fd)
         self.stats.inc("writes")
-        yield from self._fuse()
-        version = yield from self.stack.write(path, offset, size, data)
+        if self.tracer.enabled:
+            with self.tracer.span("client", "client.write"):
+                yield from self._fuse()
+                version = yield from self.stack.write(path, offset, size, data)
+        else:
+            yield from self._fuse()
+            version = yield from self.stack.write(path, offset, size, data)
         return version
 
     def stat(self, path: str) -> Generator:
         """stat(2) by path."""
         self.stats.inc("stats")
-        yield from self._fuse()
-        result: StatBuf = yield from self.stack.stat(path)
+        if self.tracer.enabled:
+            with self.tracer.span("client", "client.stat"):
+                yield from self._fuse()
+                result: StatBuf = yield from self.stack.stat(path)
+        else:
+            yield from self._fuse()
+            result = yield from self.stack.stat(path)
         return result
 
     def fstat(self, fd: int) -> Generator:
@@ -94,26 +115,30 @@ class GlusterClient:
         return result
 
     def truncate(self, path: str, length: int) -> Generator:
-        yield from self._fuse()
-        result = yield from self.stack.truncate(path, length)
+        with self.tracer.span("client", "client.truncate"):
+            yield from self._fuse()
+            result = yield from self.stack.truncate(path, length)
         return result
 
     def unlink(self, path: str) -> Generator:
         self.stats.inc("unlinks")
-        yield from self._fuse()
-        yield from self.stack.unlink(path)
+        with self.tracer.span("client", "client.unlink"):
+            yield from self._fuse()
+            yield from self.stack.unlink(path)
 
     def fsync(self, fd: int) -> Generator:
         """fsync(2): returns once the server's write-back is durable."""
         path = self.path_of(fd)
         self.stats.inc("fsyncs")
-        yield from self._fuse()
-        yield from self.stack.fsync(path)
+        with self.tracer.span("client", "client.fsync"):
+            yield from self._fuse()
+            yield from self.stack.fsync(path)
 
     def close(self, fd: int) -> Generator:
         """close(2): winds a flush then releases the fd."""
         path = self.path_of(fd)
         self.stats.inc("closes")
-        yield from self._fuse()
-        yield from self.stack.flush(path)
+        with self.tracer.span("client", "client.close"):
+            yield from self._fuse()
+            yield from self.stack.flush(path)
         del self._fds[fd]

@@ -22,6 +22,7 @@ from repro.localfs.fs import LocalFS
 from repro.localfs.types import ReadResult, StatBuf
 from repro.net.fabric import Network, Node
 from repro.net.rpc import Endpoint, RpcCall
+from repro.obs.trace import NULL_TRACER
 from repro.sim.station import FifoStation
 from repro.util.stats import Counter
 
@@ -104,24 +105,33 @@ class GlusterServer:
         fs: LocalFS,
         server_xlators: Optional[list[Xlator]] = None,
         io_threads: int = SERVER_IO_THREADS,
+        tracer=NULL_TRACER,
     ) -> None:
         self.sim = sim
         self.node = node
         self.fs = fs
-        self.endpoint = Endpoint(net, node)
+        self.endpoint = Endpoint(net, node, tracer=tracer)
         self.io_pool = FifoStation(sim, io_threads, f"{node.name}.io")
         self.posix = PosixXlator(fs, node.cpu)
         self.stack = Xlator.build_stack([*(server_xlators or []), self.posix])
         self.stats = Counter()
+        self.tracer = tracer
         self.endpoint.register(SERVICE, self._handle)
 
     def _handle(self, call: RpcCall) -> Generator:
         fop, args = call.args
         self.stats.inc(f"fop_{fop}")
-        # Protocol decode + dispatch on the io-thread pool.
-        yield self.io_pool.run(SERVER_OP_CPU)
-        method = getattr(self.stack, fop)
-        result = yield from method(*args)
+        if self.tracer.enabled:
+            with self.tracer.span("server", f"server.{fop}"):
+                # Protocol decode + dispatch on the io-thread pool.
+                yield self.io_pool.run(SERVER_OP_CPU)
+                method = getattr(self.stack, fop)
+                result = yield from method(*args)
+        else:
+            # Protocol decode + dispatch on the io-thread pool.
+            yield self.io_pool.run(SERVER_OP_CPU)
+            method = getattr(self.stack, fop)
+            result = yield from method(*args)
         return result, self._resp_size(fop, result)
 
     @staticmethod

@@ -44,6 +44,34 @@ class ExperimentResult:
         ok = sum(1 for c in self.checks if c.passed)
         return f"{self.experiment_id} [{self.scale}]: {ok}/{len(self.checks)} checks passed"
 
+    def to_dict(self) -> dict:
+        """JSON-safe dict for ``repro run --json`` and machine consumers."""
+        return {
+            "experiment_id": self.experiment_id,
+            "scale": self.scale,
+            "x_name": self.x_name,
+            "x_values": _json_safe(self.x_values),
+            "series": _json_safe(self.series),
+            "checks": [
+                {"name": c.name, "passed": c.passed, "detail": c.detail}
+                for c in self.checks
+            ],
+            "notes": list(self.notes),
+            "extras": _json_safe(self.extras),
+            "all_passed": self.all_passed,
+        }
+
+
+def _json_safe(value: Any) -> Any:
+    """Recursively coerce to JSON-encodable types (repr as last resort)."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    return repr(value)
+
 
 @dataclass
 class Experiment:

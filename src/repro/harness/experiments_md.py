@@ -115,7 +115,14 @@ def generate(scale: str = "default") -> str:
             total_checks += 1
             total_pass += c.passed
         for key, value in result.extras.items():
-            lines.append(f"- extra `{key}`: {value}")
+            if isinstance(value, str) and "\n" in value:
+                lines.append(f"- extra `{key}`:")
+                lines.append("")
+                lines.append("```")
+                lines.extend(value.splitlines())
+                lines.append("```")
+            else:
+                lines.append(f"- extra `{key}`: {value}")
         lines.append("")
         lines.append(f"*(ran in {elapsed:.1f}s wall time)*")
         lines.append("")

@@ -21,6 +21,8 @@ from repro.core.config import IMCaConfig
 from repro.harness.experiment import ExperimentResult, register
 from repro.harness.params import params_for
 from repro.harness.report import pct_change
+from repro.obs.context import make_observability
+from repro.obs.export import render_tier_breakdown, tier_summaries
 from repro.util.units import GiB, KiB, MiB
 from repro.workloads.iozone import run_iozone
 from repro.workloads.latency import run_latency_bench
@@ -38,6 +40,7 @@ def _gluster(
     threaded: bool = False,
     selector: str = "crc32",
     mcd_memory: int = 6 * GiB,
+    obs=None,
     **kw,
 ):
     return build_gluster_testbed(
@@ -51,14 +54,26 @@ def _gluster(
                 selector=selector,
             ),
             **kw,
-        )
+        ),
+        obs=obs,
     )
 
 
-def _lustre(num_clients: int, num_ds: int, **kw):
+def _lustre(num_clients: int, num_ds: int, *, obs=None, **kw):
     return build_lustre_testbed(
-        TestbedConfig(num_clients=num_clients, num_data_servers=num_ds, **kw)
+        TestbedConfig(num_clients=num_clients, num_data_servers=num_ds, **kw),
+        obs=obs,
     )
+
+
+def _tier_extras(result: ExperimentResult, tb) -> None:
+    """Attach the instrumented pass's per-tier decomposition to extras."""
+    tracer = tb.obs.tracer
+    if not tracer.enabled:
+        return
+    tb.snapshot_metrics()
+    result.extras["tier_breakdown"] = render_tier_breakdown(tracer)
+    result.extras["tier_summary"] = tier_summaries(tracer)
 
 
 # --------------------------------------------------------------------------- #
@@ -197,6 +212,13 @@ def run_fig5(scale: str = "default") -> ExperimentResult:
         lustre_red >= 40,
         f"reduction={lustre_red:.0f}%",
     )
+
+    # Instrumented pass: re-run the IMCa config at max clients with
+    # tracing to decompose where stat time goes (and feed --trace-out).
+    obs = make_observability("fig5", trace=True)
+    tb = _gluster(clients_axis[-1], p["mcd_counts"][0], obs=obs)
+    run_stat_bench(tb.sim, tb.clients, num_files=p["files"])
+    _tier_extras(result, tb)
     if len(p["mcd_counts"]) >= 3:
         gains = [
             pct_change(result.series[f"MCD({a})"][-1], result.series[f"MCD({b})"][-1])
@@ -299,6 +321,12 @@ def _run_fig6_reads(exp_id: str, scale: str, small: bool) -> ExperimentResult:
             nocache[-1] <= min(imca_2k[-1], imca_256[-1]),
             f"NoCache={nocache[-1]:.3g}s",
         )
+
+    # Instrumented pass: IMCa-2K single client, traced.
+    obs = make_observability(exp_id, trace=True)
+    tb = _gluster(1, 1, block_size=2 * KiB, obs=obs)
+    run_latency_bench(tb.sim, tb.clients, sizes, records_per_size=records)
+    _tier_extras(result, tb)
     return result
 
 
@@ -340,6 +368,12 @@ def run_fig6c(scale: str = "default") -> ExperimentResult:
         all(t <= n * 1.25 for t, n in zip(thr, nocache)),
         f"at {sizes[mid]}B: threaded={thr[mid]:.3g}s nocache={nocache[mid]:.3g}s",
     )
+
+    # Instrumented pass: threaded IMCa writes, traced.
+    obs = make_observability("fig6c", trace=True)
+    tb = _gluster(1, 1, threaded=True, obs=obs)
+    run_latency_bench(tb.sim, tb.clients, sizes, records_per_size=records)
+    _tier_extras(result, tb)
     return result
 
 

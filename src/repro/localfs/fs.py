@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Generator, Optional
 
 from repro.localfs.types import Inode, ReadResult, StatBuf
+from repro.obs.trace import NULL_TRACER
 from repro.oscache.lru import LruCache
 from repro.oscache.pagecache import PageCache
 from repro.util.stats import Counter
@@ -55,6 +56,7 @@ class LocalFS:
         store_data_limit: int = STORE_DATA_LIMIT,
         write_through: bool = False,
         name: str = "localfs",
+        tracer=NULL_TRACER,
     ) -> None:
         self.sim = sim
         self.device = device
@@ -75,6 +77,7 @@ class LocalFS:
         #: ino -> absolute time its last write-back reaches the device.
         self._flush_times: dict[int, float] = {}
         self.stats = Counter()
+        self.tracer = tracer
 
     # -- helpers -----------------------------------------------------------
     def _inode(self, path: str) -> Inode:
@@ -134,9 +137,13 @@ class LocalFS:
         self.meta_cache.put(path, True)
         return done
 
-    def _wait(self, until: float) -> Generator:
+    def _wait(self, until: float, op: Optional[str] = None) -> Generator:
         if until > self.sim.now:
-            yield self.sim.timeout(until - self.sim.now)
+            if op is not None and self.tracer.enabled:
+                with self.tracer.span("disk", f"{self.name}.{op}"):
+                    yield self.sim.timeout(until - self.sim.now)
+            else:
+                yield self.sim.timeout(until - self.sim.now)
 
     # -- operations ---------------------------------------------------------
     def create(self, path: str, mode: int = 0o100644) -> Generator:
@@ -150,14 +157,14 @@ class LocalFS:
         self._files[path] = Inode(stat=stat)
         self.stats.inc("creates")
         done = self._meta_access(path, ino, write=True)
-        yield from self._wait(done)
+        yield from self._wait(done, "create")
         return stat.copy()
 
     def lookup(self, path: str) -> Generator:
         """Timed existence + stat fetch (the namei walk)."""
         inode = self._inode(path)
         done = self._meta_access(path, inode.stat.ino, write=False)
-        yield from self._wait(done)
+        yield from self._wait(done, "lookup")
         return inode.stat.copy()
 
     def stat(self, path: str) -> Generator:
@@ -186,7 +193,7 @@ class LocalFS:
                 inode.stat.ino, missing[0][0],
                 missing[-1][0] + missing[-1][1] - missing[0][0],
             )
-        yield from self._wait(done)
+        yield from self._wait(done, "read")
         inode.stat.atime = self.sim.now
         data: Optional[bytes] = None
         if inode.data is not None:
@@ -253,7 +260,7 @@ class LocalFS:
         inode.stat.size = max(inode.stat.size, offset + size)
         inode.stat.mtime = self.sim.now
         self.meta_cache.put(path, True)
-        yield from self._wait(done)
+        yield from self._wait(done, "write")
         return version
 
     def fsync(self, path: str) -> Generator:
@@ -261,7 +268,7 @@ class LocalFS:
         inode = self._inode(path)
         self.stats.inc("fsyncs")
         flushed = self._flush_times.get(inode.stat.ino, 0.0)
-        yield from self._wait(flushed)
+        yield from self._wait(flushed, "fsync")
 
     def truncate(self, path: str, length: int) -> Generator:
         """Truncate/extend to *length* bytes."""
@@ -282,7 +289,7 @@ class LocalFS:
         inode.stat.size = length
         inode.stat.mtime = self.sim.now
         done = self._meta_access(path, inode.stat.ino, write=True)
-        yield from self._wait(done)
+        yield from self._wait(done, "truncate")
         return inode.stat.copy()
 
     def unlink(self, path: str) -> Generator:
@@ -293,7 +300,7 @@ class LocalFS:
         self.meta_cache.remove(path)
         del self._files[path]
         done = self.device.access_time(self._inode_block(inode.stat.ino), META_IO_SIZE, write=True)
-        yield from self._wait(done)
+        yield from self._wait(done, "unlink")
 
     def listdir(self, prefix: str) -> list[str]:
         """Untimed namespace scan (harness/test helper)."""

@@ -36,6 +36,9 @@ class MemcacheClient:
         self.servers = list(servers)
         self.selector = selector or Crc32Selector()
         self.stats = Counter()
+        # Spans share the endpoint's tracer; MCD time observed from the
+        # client side (RPC wait included) is attributed to the mcd tier.
+        self.tracer = endpoint.tracer
 
     # -- plumbing ------------------------------------------------------------
     def add_server(self, server: MemcachedDaemon) -> None:
@@ -61,7 +64,11 @@ class MemcacheClient:
         A dead server counts as a miss (plus an ``errors`` stat)."""
         server = self.server_for(key, hint)
         try:
-            reply = yield from self._call(server, "get_multi", [key])
+            if self.tracer.enabled:
+                with self.tracer.span("mcd", "mc.get"):
+                    reply = yield from self._call(server, "get_multi", [key])
+            else:
+                reply = yield from self._call(server, "get_multi", [key])
         except RpcUnavailable:
             self.stats.inc("errors")
             self.stats.inc("misses")
@@ -90,7 +97,11 @@ class MemcacheClient:
         pending = []
         for idx, batch in by_server.items():
             pending.append(sim.process(self._get_batch(idx, batch), name="mc-multiget"))
-        results = yield sim.all_of(pending)
+        if self.tracer.enabled:
+            with self.tracer.span("mcd", "mc.get_multi"):
+                results = yield sim.all_of(pending)
+        else:
+            results = yield sim.all_of(pending)
         for partial in results.values():
             out.update(partial)
         hits = len(out)
@@ -100,7 +111,11 @@ class MemcacheClient:
 
     def _get_batch(self, idx: int, keys: list[str]) -> Generator:
         try:
-            reply = yield from self._call(self.servers[idx], "get_multi", keys)
+            if self.tracer.enabled:
+                with self.tracer.span("mcd", "mc.batch"):
+                    reply = yield from self._call(self.servers[idx], "get_multi", keys)
+            else:
+                reply = yield from self._call(self.servers[idx], "get_multi", keys)
         except RpcUnavailable:
             self.stats.inc("errors")
             return {}
@@ -119,7 +134,11 @@ class MemcacheClient:
         """Store; False when the server is down or rejected the item."""
         server = self.server_for(key, hint)
         try:
-            ok = yield from self._call(server, "set", (key, value, nbytes, flags, ttl))
+            if self.tracer.enabled:
+                with self.tracer.span("mcd", "mc.set"):
+                    ok = yield from self._call(server, "set", (key, value, nbytes, flags, ttl))
+            else:
+                ok = yield from self._call(server, "set", (key, value, nbytes, flags, ttl))
         except RpcUnavailable:
             self.stats.inc("errors")
             return False
@@ -210,7 +229,8 @@ class MemcacheClient:
     def delete(self, key: str, hint: Optional[int] = None) -> Generator:
         server = self.server_for(key, hint)
         try:
-            ok = yield from self._call(server, "delete", key)
+            with self.tracer.span("mcd", "mc.delete"):
+                ok = yield from self._call(server, "delete", key)
         except RpcUnavailable:
             self.stats.inc("errors")
             return False
@@ -227,11 +247,12 @@ class MemcacheClient:
             idx = self.selector.select(key, len(self.servers), hint)
             by_server.setdefault(idx, []).append(key)
         deleted = 0
-        for idx, batch in by_server.items():
-            try:
-                deleted += yield from self._call(self.servers[idx], "delete_multi", batch)
-            except RpcUnavailable:
-                self.stats.inc("errors")
+        with self.tracer.span("mcd", "mc.delete_multi"):
+            for idx, batch in by_server.items():
+                try:
+                    deleted += yield from self._call(self.servers[idx], "delete_multi", batch)
+                except RpcUnavailable:
+                    self.stats.inc("errors")
         self.stats.inc("deletes", deleted)
         return deleted
 

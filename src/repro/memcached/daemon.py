@@ -16,6 +16,7 @@ from typing import TYPE_CHECKING, Any, Optional
 from repro.memcached.engine import MemcachedEngine, McError
 from repro.net.fabric import Network, Node
 from repro.net.rpc import Endpoint, RpcCall
+from repro.obs.trace import NULL_TRACER
 from repro.util.units import GiB, USEC
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -52,11 +53,13 @@ class MemcachedDaemon:
         net: Network,
         node: Node,
         mem_limit: int,
+        tracer=NULL_TRACER,
     ) -> None:
         self.sim = sim
         self.node = node
         self.engine = MemcachedEngine(mem_limit, clock=lambda: sim.now)
-        self.endpoint = Endpoint(net, node)
+        self.endpoint = Endpoint(net, node, tracer=tracer)
+        self.tracer = tracer
         self.endpoint.register(SERVICE, self._handle)
 
     @property
@@ -77,6 +80,14 @@ class MemcachedDaemon:
 
     # -- RPC handler ---------------------------------------------------------
     def _handle(self, call: RpcCall):
+        if self.tracer.enabled:
+            with self.tracer.span("mcd", f"mcd.{call.args[0]}"):
+                result = yield from self._serve(call)
+            return result
+        result = yield from self._serve(call)
+        return result
+
+    def _serve(self, call: RpcCall):
         op, payload = call.args
         cpu = self.node.cpu
         eng = self.engine

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Generator
 
 from repro.net.fabric import Network, NetworkError, Node
+from repro.obs.trace import NULL_TRACER
 from repro.util.stats import Counter
 
 
@@ -55,12 +56,13 @@ HEADER_SIZE = 96
 class Endpoint:
     """RPC endpoint binding one node to one network."""
 
-    def __init__(self, net: Network, node: Node) -> None:
+    def __init__(self, net: Network, node: Node, tracer=NULL_TRACER) -> None:
         if not net.attached(node):
             net.attach(node)
         self.net = net
         self.node = node
         self.stats = Counter()
+        self.tracer = tracer
 
     def register(self, service: str, handler: RpcHandler) -> None:
         if service in self.node.services:
@@ -87,8 +89,13 @@ class Endpoint:
         if dst.alive and service not in dst.services:
             raise RpcUnavailable(f"no service {service!r} on {dst.name}")
         self.stats.inc("calls")
+        tracer = self.tracer
         try:
-            yield self.net.transfer(self.node, dst, HEADER_SIZE + req_size)
+            if tracer.enabled:
+                with tracer.span("network", f"net.req.{service}"):
+                    yield self.net.transfer(self.node, dst, HEADER_SIZE + req_size)
+            else:
+                yield self.net.transfer(self.node, dst, HEADER_SIZE + req_size)
         except NetworkError as e:
             self.stats.inc("errors")
             raise RpcUnavailable(str(e)) from None
@@ -101,7 +108,11 @@ class Endpoint:
         reply, resp_size = yield from handler(RpcCall(self.node, dst, service, args, req_size))
 
         try:
-            yield self.net.transfer(dst, self.node, HEADER_SIZE + int(resp_size))
+            if tracer.enabled:
+                with tracer.span("network", f"net.resp.{service}"):
+                    yield self.net.transfer(dst, self.node, HEADER_SIZE + int(resp_size))
+            else:
+                yield self.net.transfer(dst, self.node, HEADER_SIZE + int(resp_size))
         except NetworkError as e:
             self.stats.inc("errors")
             raise RpcUnavailable(str(e)) from None

@@ -1,0 +1,57 @@
+"""Observability: span tracing, a unified metrics registry, samplers
+and exporters for the IMCa simulation.
+
+The paper explains IMCa's wins in terms of *where time goes* — client
+CPU, IPoIB round-trips, MCD lookup, server dispatch, disk — and this
+package makes that decomposition measurable:
+
+* :mod:`repro.obs.trace` — ``SimTracer`` records nested spans on
+  sim-time boundaries through the full op path (client → CMCache →
+  RPC → SMCache → disk, plus the MCD get/set path).  The default
+  ``NULL_TRACER`` is a no-op: disabled tracing never touches the sim
+  heap and never perturbs timing.
+* :mod:`repro.obs.registry` — ``MetricsRegistry`` owns named
+  ``Counter`` / ``OnlineStats`` / ``Histogram`` instances per
+  component, replacing ad-hoc metric bags, with snapshot/merge.
+* :mod:`repro.obs.samplers` — a sim process sampling NIC utilisation,
+  queue depths and MCD memory at a configurable interval.
+* :mod:`repro.obs.export` — Chrome ``trace_event`` JSON (open in
+  ``chrome://tracing`` or Perfetto), JSONL metrics snapshots, and the
+  ASCII per-tier latency-breakdown table.
+* :mod:`repro.obs.context` — the ``Observability`` bundle testbed
+  builders consume, plus the active-capture context the CLI uses to
+  route ``--trace-out`` / ``--metrics-out`` artifacts.
+
+Quickstart::
+
+    from repro import build_gluster_testbed, TestbedConfig
+    from repro.obs import Observability
+    from repro.obs.export import write_chrome_trace, render_tier_breakdown
+
+    obs = Observability(trace=True)
+    tb = build_gluster_testbed(TestbedConfig(num_clients=2, num_mcds=1), obs=obs)
+    # ... run a workload ...
+    print(render_tier_breakdown(obs.tracer))
+    write_chrome_trace(obs.tracer, "trace.json")
+"""
+
+from repro.obs.context import Observability, ObsRequest, active_request, make_observability, observing
+from repro.obs.registry import ComponentMetrics, MetricsRegistry
+from repro.obs.samplers import Sampler
+from repro.obs.trace import NULL_TRACER, NullTracer, SimTracer, SpanRecord, TIERS
+
+__all__ = [
+    "ComponentMetrics",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Observability",
+    "ObsRequest",
+    "Sampler",
+    "SimTracer",
+    "SpanRecord",
+    "TIERS",
+    "active_request",
+    "make_observability",
+    "observing",
+]

@@ -1,0 +1,148 @@
+"""Exporters: Chrome trace JSON, JSONL metrics, ASCII tier breakdown.
+
+Three consumers, three formats:
+
+* :func:`write_chrome_trace` — the Chrome ``trace_event`` array format
+  (``ph: "X"`` complete events plus thread-name metadata), loadable in
+  ``chrome://tracing`` or https://ui.perfetto.dev.  ``ts``/``dur`` are
+  simulation time in microseconds.
+* :func:`write_metrics_jsonl` — one JSON object per registry component
+  (counters, timers, histogram summaries, sampler series), machine
+  friendly for benchmark harnesses.
+* :func:`render_tier_breakdown` — the human-readable per-tier latency
+  table (client CPU / network / MCD / server / disk) with p50/p95/p99.
+
+All outputs are deterministic: keys are sorted and values derive only
+from simulation state, so same-seed runs export byte-identical files.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Optional
+
+from repro.obs.trace import TIERS
+from repro.util.units import fmt_time
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.registry import MetricsRegistry
+    from repro.obs.trace import SimTracer
+
+
+#: Human labels for the tier keys in breakdown tables.
+TIER_LABELS = {
+    "client": "client CPU",
+    "network": "network",
+    "mcd": "MCD",
+    "server": "server",
+    "disk": "disk",
+}
+
+
+# --------------------------------------------------------------------------- #
+# Chrome trace_event
+# --------------------------------------------------------------------------- #
+def chrome_trace_events(tracer: "SimTracer") -> list[dict]:
+    """Spans as Chrome ``trace_event`` dicts (metadata first)."""
+    events: list[dict] = []
+    for tid, name in tracer.track_names():
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+                "args": {"name": name},
+            }
+        )
+    for rec in tracer.spans:
+        events.append(
+            {
+                "name": rec.name,
+                "cat": rec.tier,
+                "ph": "X",
+                "ts": round(rec.start * 1e6, 3),
+                "dur": round((rec.end - rec.start) * 1e6, 3),
+                "pid": 1,
+                "tid": rec.tid,
+            }
+        )
+    return events
+
+
+def write_chrome_trace(tracer: "SimTracer", path: str) -> int:
+    """Write the trace JSON array; returns the number of events."""
+    events = chrome_trace_events(tracer)
+    with open(path, "w") as fh:
+        json.dump(events, fh, sort_keys=True, separators=(",", ":"))
+        fh.write("\n")
+    return len(events)
+
+
+# --------------------------------------------------------------------------- #
+# JSONL metrics snapshots
+# --------------------------------------------------------------------------- #
+def registry_jsonl_lines(registry: "MetricsRegistry") -> list[str]:
+    """One compact JSON object per component, sorted by name."""
+    lines = []
+    for name, snap in registry.snapshot().items():
+        lines.append(
+            json.dumps({"component": name, **snap}, sort_keys=True, separators=(",", ":"))
+        )
+    return lines
+
+
+def write_metrics_jsonl(registry: "MetricsRegistry", path: str) -> int:
+    """Write one JSON line per component; returns the line count."""
+    lines = registry_jsonl_lines(registry)
+    with open(path, "w") as fh:
+        for line in lines:
+            fh.write(line + "\n")
+    return len(lines)
+
+
+# --------------------------------------------------------------------------- #
+# Per-tier latency breakdown
+# --------------------------------------------------------------------------- #
+def tier_summaries(tracer: "SimTracer") -> dict[str, dict[str, float]]:
+    """tier -> ``{n, p50, p95, p99, mean, max, total}`` of exclusive time,
+    ordered client → network → MCD → server → disk."""
+    out: dict[str, dict[str, float]] = {}
+    known = [t for t in TIERS if t in tracer.tier_stats]
+    extra = sorted(t for t in tracer.tier_stats if t not in TIERS)
+    for tier in [*known, *extra]:
+        hist = tracer.tier_stats[tier]
+        out[tier] = {"n": hist.n, **hist.summary(), "total": hist.stats.total}
+    return out
+
+
+def render_tier_breakdown(tracer: "SimTracer", title: Optional[str] = None) -> str:
+    """ASCII table decomposing traced time across the five tiers.
+
+    Shares are of the total *exclusive* time over all tiers.  Because
+    background work (update threads, pipelined multi-gets) overlaps the
+    foreground op, tier totals can legitimately exceed end-to-end wall
+    time; the table decomposes where simulated time was spent, not a
+    single op's critical path.
+    """
+    summaries = tier_summaries(tracer)
+    if not summaries:
+        return "(no spans recorded — tracing disabled or no ops ran)"
+    grand_total = sum(s["total"] for s in summaries.values()) or 1.0
+    header = (
+        f"{'tier':<12} {'spans':>8} {'mean':>10} {'p50':>10} "
+        f"{'p95':>10} {'p99':>10} {'total':>10} {'share':>7}"
+    )
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for tier, s in summaries.items():
+        lines.append(
+            f"{TIER_LABELS.get(tier, tier):<12} {s['n']:>8} "
+            f"{fmt_time(s['mean']):>10} {fmt_time(s['p50']):>10} "
+            f"{fmt_time(s['p95']):>10} {fmt_time(s['p99']):>10} "
+            f"{fmt_time(s['total']):>10} {s['total'] / grand_total:>6.1%}"
+        )
+    return "\n".join(lines)

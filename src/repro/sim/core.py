@@ -40,6 +40,10 @@ class Simulator:
         self._now = float(initial_time)
         self._heap: list[tuple[float, int, int, Event]] = []
         self._seq = 0
+        #: Monotone process counter; gives every Process a stable per-sim
+        #: serial so observers (the span tracer) can key per-process
+        #: state deterministically across runs.
+        self._proc_seq = 0
         self._active_process: Process | None = None
 
     # -- public clock/state ----------------------------------------------

@@ -36,7 +36,7 @@ class Initialize(Event):
 class Process(Event):
     """A running simulation process; also an event (fires on return)."""
 
-    __slots__ = ("_generator", "_target", "name")
+    __slots__ = ("_generator", "_target", "name", "serial")
 
     def __init__(
         self, sim: "Simulator", generator: ProcessGenerator, name: str | None = None
@@ -47,6 +47,9 @@ class Process(Event):
         self._generator = generator
         self._target: Event | None = Initialize(sim, self)
         self.name = name or getattr(generator, "__name__", "process")
+        sim._proc_seq += 1
+        #: Per-sim creation serial (deterministic across identical runs).
+        self.serial = sim._proc_seq
 
     @property
     def is_alive(self) -> bool:

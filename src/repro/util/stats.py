@@ -106,19 +106,54 @@ class Histogram:
         return self.stats.n
 
     def percentile(self, p: float) -> float:
-        """Approximate p-th percentile (0 < p <= 100): upper edge of the
-        bucket containing that rank."""
+        """Approximate p-th percentile (0 < p <= 100).
+
+        Returns the *upper edge* of the bucket containing that rank —
+        ``lo * base**i`` for bucket ``i`` — clamped to the observed
+        maximum, so the result never exceeds any recorded sample.  The
+        clamp matters at both extremes: bucket 0 collects values at or
+        below ``lo`` (which may be far below it), and the overflow
+        bucket collects everything above ``hi``; without it those
+        buckets would report edges no sample ever reached.
+        ``percentile(100)`` therefore equals the exact maximum.
+        """
         if not 0 < p <= 100:
             raise ValueError("p must be in (0, 100]")
         if self.n == 0:
             return 0.0
         rank = math.ceil(self.n * p / 100.0)
         seen = 0
+        edge = self.lo * self.base ** (len(self.counts) - 1)
         for i, c in enumerate(self.counts):
             seen += c
             if seen >= rank:
-                return self.lo * self.base ** i
-        return self.lo * self.base ** (len(self.counts) - 1)
+                edge = self.lo * self.base ** i
+                break
+        return min(edge, self.stats.max)
+
+    def summary(self) -> dict[str, float]:
+        """``{p50, p95, p99, mean, max}`` — the exporters' digest."""
+        if self.n == 0:
+            return {"p50": 0.0, "p95": 0.0, "p99": 0.0, "mean": 0.0, "max": 0.0}
+        return {
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+            "mean": self.stats.mean,
+            "max": self.stats.max,
+        }
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold *other* into *self*; bucketings must be identical."""
+        if (
+            other.lo != self.lo
+            or other.base != self.base
+            or len(other.counts) != len(self.counts)
+        ):
+            raise ValueError("cannot merge histograms with different bucketings")
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+        self.stats.merge(other.stats)
 
 
 @dataclass

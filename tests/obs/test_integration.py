@@ -1,0 +1,99 @@
+"""End-to-end observability: zero-overhead guarantee, tier coverage,
+capture-context plumbing."""
+
+import pytest
+
+from repro.cluster import TestbedConfig, build_gluster_testbed
+from repro.obs import Observability
+from repro.obs.context import ObsRequest, make_observability, observing
+from repro.sim.core import Simulator
+from repro.workloads.statbench import run_stat_bench
+
+
+def _config():
+    return TestbedConfig(num_clients=4, num_mcds=1)
+
+
+def test_traced_run_matches_untraced_run_exactly():
+    # Tracing must be pure observation: same seed, same workload, same
+    # reported latencies whether or not spans are recorded.
+    results = []
+    for obs in (None, Observability("t", trace=True)):
+        tb = build_gluster_testbed(_config(), obs=obs)
+        stats = run_stat_bench(tb.sim, tb.clients, num_files=20)
+        results.append((tb.sim.now, stats))
+    (now_plain, stats_plain), (now_traced, stats_traced) = results
+    assert now_plain == now_traced
+    assert stats_plain.max_node_time == stats_traced.max_node_time
+    assert stats_plain.node_times == stats_traced.node_times
+    assert stats_plain.op_latency.n == stats_traced.op_latency.n
+    assert stats_plain.op_latency.mean == stats_traced.op_latency.mean
+    assert stats_plain.op_latency.max == stats_traced.op_latency.max
+
+
+def test_trace_covers_all_tiers():
+    obs = Observability("t", trace=True)
+    tb = build_gluster_testbed(_config(), obs=obs)
+    run_stat_bench(tb.sim, tb.clients, num_files=20)
+    tiers = {rec.tier for rec in obs.tracer.spans}
+    assert {"client", "network", "mcd", "server", "disk"} <= tiers
+
+
+def test_snapshot_metrics_includes_tier_and_op_histograms():
+    obs = Observability("t", trace=True)
+    tb = build_gluster_testbed(_config(), obs=obs)
+    run_stat_bench(tb.sim, tb.clients, num_files=20)
+    reg = tb.snapshot_metrics()
+    snap = reg.snapshot()
+    assert "tiers" in snap and "ops" in snap
+    assert snap["tiers"]["histograms"]["disk"]["n"] > 0
+    assert any(name.startswith("client.") for name in snap["ops"]["histograms"])
+    assert snap["mcd"]["counters"].get("cmd_get", 0) > 0
+    # Idempotent: snapshotting twice must not double-count.
+    again = tb.snapshot_metrics().snapshot()
+    assert again["mcd"]["counters"] == snap["mcd"]["counters"]
+    assert again["tiers"]["histograms"]["disk"]["n"] == (
+        snap["tiers"]["histograms"]["disk"]["n"]
+    )
+
+
+def test_bind_rejects_second_simulator():
+    obs = Observability("t", trace=True)
+    obs.bind(Simulator())
+    with pytest.raises(ValueError):
+        obs.bind(Simulator())
+
+
+def test_make_observability_publishes_to_active_request():
+    req = ObsRequest(trace=True, sample_interval=0.5)
+    with observing(req):
+        obs = make_observability("fig5")
+        assert obs.trace_requested is True
+        assert obs.sample_interval == 0.5
+    assert req.captures == [obs]
+    # Outside any request: plain disabled bundle, nothing captured.
+    plain = make_observability("fig5")
+    assert plain.trace_requested is False
+    assert plain.sample_interval is None
+    assert req.captures == [obs]
+
+
+def test_observing_restores_previous_request():
+    from repro.obs.context import active_request
+
+    outer, inner = ObsRequest(), ObsRequest(trace=True)
+    assert active_request() is None
+    with observing(outer):
+        with observing(inner):
+            assert active_request() is inner
+        assert active_request() is outer
+    assert active_request() is None
+
+
+def test_sm_stats_aggregates_server_side_caches():
+    obs = Observability("t", trace=True)
+    tb = build_gluster_testbed(_config(), obs=obs)
+    run_stat_bench(tb.sim, tb.clients, num_files=20)
+    sm = tb.sm_stats()
+    assert sm, "expected smcache counters after a stat workload"
+    assert sum(sm.values()) > 0

@@ -1,0 +1,85 @@
+"""MetricsRegistry / ComponentMetrics: instruments, merge, snapshots."""
+
+import pytest
+
+from repro.obs.registry import ComponentMetrics, MetricsRegistry, merged_counters
+from repro.util.stats import Counter
+
+
+def test_component_get_or_create_is_stable():
+    reg = MetricsRegistry()
+    a = reg.component("cmcache.client0")
+    assert reg.component("cmcache.client0") is a
+    assert reg.component("cmcache.client1") is not a
+
+
+def test_prefix_aggregation_merges_components():
+    reg = MetricsRegistry()
+    reg.component("cmcache.client0").inc("stat_hits", 3)
+    reg.component("cmcache.client1").inc("stat_hits", 4)
+    reg.component("cmcache.client1").inc("read_misses")
+    reg.component("smcache.s0").inc("stat_pushes", 9)
+
+    cm = reg.counters("cmcache")
+    assert cm == {"stat_hits": 7, "read_misses": 1}
+    # Exact-name match also counts; unrelated prefixes are excluded.
+    assert reg.counters("smcache") == {"stat_pushes": 9}
+    assert "stat_pushes" not in cm
+    # Prefix matching is dotted, not substring: "cm" matches nothing.
+    assert reg.counters("cm") == {}
+    everything = reg.counters()
+    assert everything["stat_hits"] == 7 and everything["stat_pushes"] == 9
+
+
+def test_component_merge_folds_all_instruments():
+    a = ComponentMetrics("a")
+    b = ComponentMetrics("b")
+    a.inc("ops", 2)
+    b.inc("ops", 5)
+    a.observe("latency", 1.0)
+    b.observe("latency", 3.0)
+    b.record("hist", 0.25)
+    b.sample("util", 1.0, 0.5)
+    a.merge(b)
+    assert a.counters.get("ops") == 7
+    assert a.timer("latency").n == 2
+    assert a.timer("latency").mean == pytest.approx(2.0)
+    assert a.histogram("hist").n == 1
+    assert a.series["util"] == [(1.0, 0.5)]
+    # b untouched.
+    assert b.counters.get("ops") == 5
+
+
+def test_registry_merge_and_snapshot_shape():
+    r1, r2 = MetricsRegistry("x"), MetricsRegistry("y")
+    r1.component("net").inc("messages", 10)
+    r2.component("net").inc("messages", 5)
+    r2.component("mcd").inc("get_hits", 2)
+    r1.merge(r2)
+    snap = r1.snapshot()
+    assert snap["net"]["counters"]["messages"] == 15
+    assert snap["mcd"]["counters"]["get_hits"] == 2
+    # JSON-safe: only plain containers/scalars.
+    import json
+
+    json.dumps(snap)
+
+
+def test_snapshot_includes_histogram_summaries():
+    comp = ComponentMetrics("tiers")
+    for v in (0.001, 0.002, 0.004):
+        comp.record("network", v)
+    snap = comp.snapshot()
+    h = snap["histograms"]["network"]
+    assert h["n"] == 3
+    assert {"p50", "p95", "p99", "mean", "max"} <= set(h)
+    assert h["max"] == pytest.approx(0.004)
+
+
+def test_merged_counters_skips_none():
+    a, b = Counter(), Counter()
+    a.inc("hits", 2)
+    b.inc("hits", 3)
+    b.inc("misses")
+    assert merged_counters([a, None, b]) == {"hits": 5, "misses": 1}
+    assert merged_counters([]) == {}

@@ -1,0 +1,98 @@
+"""SimTracer span nesting, exclusive time, tracks and limits."""
+
+import pytest
+
+from repro.obs.trace import NULL_TRACER, NullTracer, SimTracer
+from repro.sim.core import Simulator
+
+
+def test_null_tracer_is_inert():
+    t = NULL_TRACER
+    assert t.enabled is False
+    with t.span("client", "anything"):
+        pass
+    assert t.spans == []
+    assert t.tier_stats == {}
+    assert t.op_stats == {}
+    assert t.track_names() == []
+    # One shared context manager: no per-span allocation.
+    assert t.span("a", "b") is t.span("c", "d")
+
+
+def test_nested_spans_split_exclusive_time():
+    sim = Simulator()
+    tracer = SimTracer(sim)
+
+    def proc():
+        with tracer.span("client", "client.op"):
+            yield sim.timeout(1.0)  # 1s exclusive client
+            with tracer.span("network", "net.req"):
+                yield sim.timeout(2.0)  # 2s network
+            yield sim.timeout(0.5)  # 0.5s exclusive client
+
+    sim.process(proc(), name="p")
+    sim.run()
+
+    assert len(tracer.spans) == 2
+    inner, outer = tracer.spans  # close order: inner first
+    assert inner.name == "net.req" and outer.name == "client.op"
+    assert inner.duration == pytest.approx(2.0)
+    assert outer.duration == pytest.approx(3.5)
+    assert outer.exclusive == pytest.approx(1.5)
+    assert tracer.tier_totals()["network"] == pytest.approx(2.0)
+    assert tracer.tier_totals()["client"] == pytest.approx(1.5)
+    # Only the root span feeds op_stats, with its full duration.
+    assert list(tracer.op_stats) == ["client.op"]
+    assert tracer.op_stats["client.op"].stats.max == pytest.approx(3.5)
+
+
+def test_concurrent_processes_get_independent_stacks():
+    sim = Simulator()
+    tracer = SimTracer(sim)
+
+    def proc(name, delay):
+        with tracer.span("client", name):
+            yield sim.timeout(delay)
+
+    sim.process(proc("op.a", 1.0), name="a")
+    sim.process(proc("op.b", 3.0), name="b")
+    sim.run()
+
+    # Interleaved spans must not nest into each other.
+    assert {r.name for r in tracer.spans} == {"op.a", "op.b"}
+    assert all(r.exclusive == r.duration for r in tracer.spans)
+    names = [name for _tid, name in tracer.track_names()]
+    assert names == ["a", "b"]
+
+
+def test_span_without_active_process_uses_main_track():
+    sim = Simulator()
+    tracer = SimTracer(sim)
+    with tracer.span("client", "setup"):
+        pass
+    assert tracer.track_names() == [(0, "main")]
+
+
+def test_span_limit_drops_but_keeps_stats():
+    sim = Simulator()
+    tracer = SimTracer(sim, limit=2)
+
+    def proc():
+        for _ in range(5):
+            with tracer.span("client", "op"):
+                yield sim.timeout(0.1)
+
+    sim.process(proc(), name="p")
+    sim.run()
+    assert len(tracer.spans) == 2
+    assert tracer.dropped == 3
+    assert tracer.tier_stats["client"].n == 5
+
+
+def test_tracer_never_schedules_events():
+    sim = Simulator()
+    tracer = SimTracer(sim)
+    with tracer.span("client", "noop"):
+        pass
+    assert sim.peek() == float("inf")
+    assert isinstance(NULL_TRACER, NullTracer)

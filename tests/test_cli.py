@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -44,3 +46,52 @@ def test_report_writes_file(tmp_path, capsys):
 def test_requires_subcommand():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_run_json_output(capsys):
+    rc = main(["run", "fig6c", "--scale", "smoke", "--json"])
+    out = capsys.readouterr().out
+    doc = json.loads(out)
+    assert rc == 0
+    assert doc["experiment_id"] == "fig6c"
+    assert doc["scale"] == "smoke"
+    assert doc["x_values"] and doc["series"]
+    assert all({"name", "passed", "detail"} <= set(c) for c in doc["checks"])
+    assert doc["all_passed"] is True
+
+
+def test_run_trace_and_metrics_artifacts(tmp_path, capsys):
+    trace = tmp_path / "trace.json"
+    metrics = tmp_path / "metrics.jsonl"
+    main(
+        [
+            "run",
+            "fig5",
+            "--scale",
+            "smoke",
+            "--trace-out",
+            str(trace),
+            "--metrics-out",
+            str(metrics),
+        ]
+    )
+    err = capsys.readouterr().err
+    assert "wrote" in err
+
+    events = json.loads(trace.read_text())
+    assert events and all(e["ph"] in ("X", "M") for e in events)
+    assert {"client", "network", "mcd", "server", "disk"} <= {
+        e["cat"] for e in events if e["ph"] == "X"
+    }
+
+    components = [json.loads(line) for line in metrics.read_text().splitlines()]
+    names = {c["component"] for c in components}
+    assert "mcd" in names and "tiers" in names
+    assert any(n.startswith("cmcache.") for n in names)
+
+
+def test_run_prints_tier_breakdown(capsys):
+    main(["run", "fig5", "--scale", "smoke"])
+    out = capsys.readouterr().out
+    assert "per-tier latency breakdown" in out
+    assert "disk" in out

@@ -45,6 +45,7 @@ def test_subpackages_importable_standalone():
         "repro.core",
         "repro.workloads",
         "repro.harness",
+        "repro.obs",
     ):
         assert importlib.import_module(mod) is not None
 

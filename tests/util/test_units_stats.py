@@ -117,6 +117,32 @@ def test_merge_into_empty():
     assert a.n == 2 and a.mean == 4.0
 
 
+def test_merge_from_empty_is_noop():
+    a, b = OnlineStats(), OnlineStats()
+    a.add(3.0)
+    a.add(5.0)
+    a.merge(b)
+    assert a.n == 2
+    assert a.mean == 4.0
+    assert a.min == 3.0 and a.max == 5.0
+    assert a.total == pytest.approx(8.0)
+
+
+def test_merge_folds_min_max_total():
+    a, b = OnlineStats(), OnlineStats()
+    for x in (5.0, 7.0):
+        a.add(x)
+    for y in (1.0, 11.0):
+        b.add(y)
+    a.merge(b)
+    assert a.n == 4
+    assert a.min == 1.0
+    assert a.max == 11.0
+    assert a.total == pytest.approx(24.0)
+    # The source is left intact.
+    assert b.n == 2 and b.min == 1.0 and b.max == 11.0
+
+
 # -- Histogram ---------------------------------------------------------------
 def test_histogram_percentiles_monotone():
     h = Histogram(lo=1e-6, hi=1.0)
@@ -133,6 +159,54 @@ def test_histogram_extremes_clamp():
     h.add(10.0)  # above hi
     assert h.n == 2
     assert h.percentile(100) >= 1e-3
+
+
+def test_histogram_percentile_never_exceeds_max():
+    h = Histogram(lo=1e-6, hi=1.0)
+    for v in (3e-4, 3e-4, 5e-4):
+        h.add(v)
+    # Bucket upper edges overshoot the samples; the clamp keeps every
+    # percentile at or below the observed maximum, and p100 exact.
+    for p in (50, 95, 99, 100):
+        assert h.percentile(p) <= 5e-4
+    assert h.percentile(100) == 5e-4
+
+
+def test_histogram_summary():
+    empty = Histogram()
+    assert empty.summary() == {
+        "p50": 0.0,
+        "p95": 0.0,
+        "p99": 0.0,
+        "mean": 0.0,
+        "max": 0.0,
+    }
+    h = Histogram(lo=1e-6, hi=1.0)
+    for i in range(1, 101):
+        h.add(i * 1e-4)
+    s = h.summary()
+    assert set(s) == {"p50", "p95", "p99", "mean", "max"}
+    assert s["p50"] <= s["p95"] <= s["p99"] <= s["max"]
+    assert s["mean"] == pytest.approx(50.5e-4)
+    assert s["max"] == pytest.approx(1e-2)
+
+
+def test_histogram_merge():
+    a = Histogram(lo=1e-6, hi=1.0)
+    b = Histogram(lo=1e-6, hi=1.0)
+    for v in (1e-4, 2e-4):
+        a.add(v)
+    for v in (4e-4, 8e-4, 1.6e-3):
+        b.add(v)
+    a.merge(b)
+    assert a.n == 5
+    assert a.stats.max == pytest.approx(1.6e-3)
+    assert a.percentile(100) == pytest.approx(1.6e-3)
+    assert b.n == 3  # source untouched
+
+    incompatible = Histogram(lo=1e-3, hi=1.0)
+    with pytest.raises(ValueError):
+        a.merge(incompatible)
 
 
 def test_histogram_validation():
