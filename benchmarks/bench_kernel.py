@@ -1,0 +1,48 @@
+"""Wall-clock kernel microbenchmarks (events/sec), pytest-benchmark view.
+
+These wrap the same frozen workloads as ``repro bench`` /
+``repro.bench.kernel`` — the bare DES kernel, the five-station network
+hop, and a fixed fig6-style harness sweep — so the kernel's throughput
+shows up alongside the figure benchmarks.  The authoritative trajectory
+lives in ``BENCH_kernel.json`` (written by ``repro bench``); this file
+exists for interactive profiling::
+
+    PYTHONPATH=src pytest benchmarks/bench_kernel.py --benchmark-only
+"""
+
+from repro.bench.kernel import (
+    HOP_MSGS,
+    HOP_SENDERS,
+    KERNEL_ITERS,
+    KERNEL_PROCS,
+    SWEEP_EXPERIMENT,
+    SWEEP_SCALE,
+    _hop_workload,
+    _kernel_workload,
+)
+from repro.harness import get
+
+
+def test_kernel_events_per_sec(benchmark):
+    events = benchmark(_kernel_workload)
+    benchmark.extra_info["events_per_run"] = events
+    benchmark.extra_info["workload"] = (
+        f"{KERNEL_PROCS} procs x {KERNEL_ITERS} station reservations"
+    )
+    assert events > 0
+
+
+def test_hop_events_per_sec(benchmark):
+    events = benchmark(_hop_workload)
+    benchmark.extra_info["events_per_run"] = events
+    benchmark.extra_info["workload"] = (
+        f"{HOP_SENDERS} senders x {HOP_MSGS} five-station transfers"
+    )
+    assert events > 0
+
+
+def test_sweep_seconds(benchmark):
+    exp = get(SWEEP_EXPERIMENT)
+    result = benchmark.pedantic(exp.run, args=(SWEEP_SCALE,), rounds=3, iterations=1)
+    benchmark.extra_info["experiment"] = f"{SWEEP_EXPERIMENT}@{SWEEP_SCALE}"
+    assert result.checks

@@ -1,0 +1,40 @@
+"""Wall-clock benchmark subsystem: the repo's performance trajectory.
+
+``repro bench`` runs three fixed workloads against the discrete-event
+kernel and writes ``BENCH_kernel.json`` — median-of-k events/sec plus
+machine info and git sha — so every PR can prove (or disprove) a
+speedup against the committed baseline:
+
+* **kernel** — the bare DES kernel: processes yielding analytic
+  station reservations on one shared :class:`FifoStation` (heap churn,
+  process resume, timeout scheduling; no network, no harness).
+* **hop** — the five-station network hop: concurrent senders pushing
+  messages through ``CPU -> NIC tx -> wire -> NIC rx -> CPU``.
+* **sweep** — a fixed fig6-style harness sweep (``fig6a`` at smoke
+  scale) timed end to end.
+
+The workloads are frozen: any change to their shape invalidates the
+trajectory.  Tune the kernel, not the benchmark.
+"""
+
+from repro.bench.kernel import (
+    BENCH_FILE,
+    BenchResult,
+    attach_baseline,
+    baseline_from,
+    check_against_baseline,
+    load_report,
+    run_benchmarks,
+    write_report,
+)
+
+__all__ = [
+    "BENCH_FILE",
+    "BenchResult",
+    "attach_baseline",
+    "baseline_from",
+    "check_against_baseline",
+    "load_report",
+    "run_benchmarks",
+    "write_report",
+]

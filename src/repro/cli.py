@@ -7,11 +7,16 @@ Usage::
     python -m repro run fig5 --trace-out trace.json --metrics-out m.jsonl
     python -m repro run fig6a --json
     python -m repro run-all --scale smoke
+    python -m repro run-all --scale paper --jobs 8
+    python -m repro bench --quick
     python -m repro report --scale default --output EXPERIMENTS.md
 
 ``--trace-out`` writes the instrumented pass's spans as Chrome
 ``trace_event`` JSON (open in chrome://tracing or https://ui.perfetto.dev);
 ``--metrics-out`` writes one JSON line per metrics-registry component.
+``--jobs N`` fans each experiment's per-configuration sweep over N
+worker processes (0 = all cores); results merge deterministically by
+configuration index, so the output is identical to ``--jobs 1``.
 """
 
 from __future__ import annotations
@@ -124,9 +129,16 @@ def _export_artifacts(capture, args) -> None:
 
 
 def cmd_run(args) -> int:
+    from repro.harness.parallel import job_pool, resolve_jobs
+
     try:
         exp = get(args.experiment)
     except KeyError as e:
+        print(e, file=sys.stderr)
+        return 2
+    try:
+        jobs = resolve_jobs(args.jobs)
+    except ValueError as e:
         print(e, file=sys.stderr)
         return 2
     if not args.json:
@@ -134,7 +146,8 @@ def cmd_run(args) -> int:
         print(exp.description)
         print()
     t0 = time.time()
-    result, capture = _run_observed(exp, args)
+    with job_pool(jobs):
+        result, capture = _run_observed(exp, args)
     _export_artifacts(capture, args)
     if args.json:
         print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
@@ -144,24 +157,81 @@ def cmd_run(args) -> int:
 
 
 def cmd_run_all(args) -> int:
+    from repro.harness.parallel import job_pool, resolve_jobs
+
+    try:
+        jobs = resolve_jobs(args.jobs)
+    except ValueError as e:
+        print(e, file=sys.stderr)
+        return 2
     failures = 0
     collected = []
-    for exp in all_experiments():
-        t0 = time.time()
-        result = exp.run(args.scale)
-        ok = sum(1 for c in result.checks if c.passed)
-        status = "ok" if result.all_passed else "CHECK-FAILURES"
-        line = (
-            f"{exp.id:<22} {ok}/{len(result.checks)} checks "
-            f"({time.time() - t0:.1f}s) {status}"
-        )
-        print(line, file=sys.stderr if args.json else sys.stdout)
-        if args.json:
-            collected.append(result.to_dict())
-        failures += not result.all_passed
+    # One pool for the whole run: worker startup is paid once.
+    with job_pool(jobs):
+        for exp in all_experiments():
+            t0 = time.time()
+            result = exp.run(args.scale)
+            ok = sum(1 for c in result.checks if c.passed)
+            status = "ok" if result.all_passed else "CHECK-FAILURES"
+            line = (
+                f"{exp.id:<22} {ok}/{len(result.checks)} checks "
+                f"({time.time() - t0:.1f}s) {status}"
+            )
+            print(line, file=sys.stderr if args.json else sys.stdout)
+            if args.json:
+                collected.append(result.to_dict())
+            failures += not result.all_passed
     if args.json:
         print(json.dumps(collected, indent=2, sort_keys=True))
     return 0 if failures == 0 else 1
+
+
+def cmd_bench(args) -> int:
+    from repro.bench import (
+        attach_baseline,
+        check_against_baseline,
+        load_report,
+        run_benchmarks,
+        write_report,
+    )
+
+    report = run_benchmarks(quick=args.quick, rounds=args.rounds)
+    committed = None
+    try:
+        committed = load_report(args.out)
+    except (OSError, json.JSONDecodeError):
+        pass
+
+    if args.check:
+        if committed is None:
+            print(f"error: no committed report at {args.out}", file=sys.stderr)
+            return 2
+        failures = check_against_baseline(report, committed, tolerance=args.tolerance)
+        for name, doc in report["results"].items():
+            print(f"{name:<8} {doc['median']:.0f} {doc['metric']}")
+        if failures:
+            for f in failures:
+                print(f"REGRESSION: {f}", file=sys.stderr)
+            return 1
+        print(f"no regression beyond {args.tolerance:.0%} vs {args.out}")
+        return 0
+
+    if args.rebaseline or committed is None:
+        from repro.bench import baseline_from
+
+        baseline = baseline_from(report, note="rebaselined from this run")
+    else:
+        # Carry the original baseline forward so speedups always compare
+        # against the pre-optimisation kernel.
+        baseline = committed.get("baseline")
+    attach_baseline(report, baseline)
+    write_report(args.out, report)
+    for name, doc in report["results"].items():
+        speed = report.get("speedup_vs_baseline", {}).get(name)
+        extra = f"  ({speed:.2f}x vs baseline)" if speed else ""
+        print(f"{name:<8} {doc['median']:.0f} {doc['metric']}{extra}")
+    print(f"wrote {args.out}")
+    return 0
 
 
 def cmd_report(args) -> int:
@@ -206,6 +276,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--sample-interval", type=_positive_float, metavar="SECONDS",
         help="sample NIC/queue/memory time series at this sim-time interval",
     )
+    run.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for sweep configurations (0 = all cores, "
+        "default 1 = sequential; output is identical either way)",
+    )
     run.set_defaults(func=cmd_run)
 
     run_all = sub.add_parser("run-all", help="run every experiment")
@@ -213,7 +288,44 @@ def build_parser() -> argparse.ArgumentParser:
     run_all.add_argument(
         "--json", action="store_true", help="print all results as a JSON array on stdout"
     )
+    run_all.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for sweep configurations (0 = all cores, "
+        "default 1 = sequential; output is identical either way)",
+    )
     run_all.set_defaults(func=cmd_run_all)
+
+    bench = sub.add_parser(
+        "bench", help="run kernel wall-clock benchmarks (BENCH_kernel.json)"
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="fewer rounds and no harness sweep (same workload sizes, so "
+        "events/sec stays comparable to full runs)",
+    )
+    bench.add_argument(
+        "--rounds", type=int, default=None, metavar="K",
+        help="override the number of rounds per benchmark",
+    )
+    bench.add_argument(
+        "--out", default="BENCH_kernel.json", metavar="PATH",
+        help="report path (default: BENCH_kernel.json)",
+    )
+    bench.add_argument(
+        "--check", action="store_true",
+        help="compare a fresh run against the committed report instead of "
+        "writing; exit 1 on a regression beyond --tolerance",
+    )
+    bench.add_argument(
+        "--tolerance", type=_positive_float, default=0.30, metavar="FRAC",
+        help="allowed events/sec regression for --check (default 0.30)",
+    )
+    bench.add_argument(
+        "--rebaseline", action="store_true",
+        help="record this run as the new baseline instead of carrying the "
+        "committed one forward",
+    )
+    bench.set_defaults(func=cmd_bench)
 
     report = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
     report.add_argument("--scale", choices=SCALES, default="default")

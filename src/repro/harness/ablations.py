@@ -3,6 +3,11 @@
 These probe the design decisions §4.3/§4.4 discusses and the §7 future
 work: block-size tradeoff, hashing scheme, threaded updates, MCD
 failures, and RDMA transport for the cache bank.
+
+Independent sweeps (blocksize/hashing/threading/transport) dispatch
+their per-configuration jobs through :func:`repro.harness.parallel.pmap`;
+the failure, client-cache and elasticity ablations mutate a single
+stateful simulation mid-run and stay sequential by construction.
 """
 
 from __future__ import annotations
@@ -10,6 +15,7 @@ from __future__ import annotations
 from repro.cluster import TestbedConfig, build_gluster_testbed
 from repro.core.config import IMCaConfig
 from repro.harness.experiment import ExperimentResult, register
+from repro.harness.parallel import pmap
 from repro.harness.report import pct_change
 from repro.util.units import KiB, MiB
 from repro.workloads.iozone import run_iozone
@@ -38,6 +44,14 @@ def _build(num_clients=1, num_mcds=1, **imca_kw):
     )
 
 
+def _blocksize_job(bs: int, records: int) -> tuple[float, float]:
+    tb = _build(block_size=bs)
+    res = run_latency_bench(
+        tb.sim, tb.clients, [1, 64 * KiB], records_per_size=records
+    )
+    return res.mean_read(1), res.mean_read(64 * KiB)
+
+
 @register(
     "ablation-blocksize",
     "§4.3.1 / Fig 6",
@@ -51,14 +65,9 @@ def run_blocksize(scale: str = "default") -> ExperimentResult:
     result = ExperimentResult(
         "ablation-blocksize", scale, x_name="block size", x_values=block_sizes
     )
-    small_lat, large_lat = [], []
-    for bs in block_sizes:
-        tb = _build(block_size=bs)
-        res = run_latency_bench(
-            tb.sim, tb.clients, [1, 64 * KiB], records_per_size=p["records"]
-        )
-        small_lat.append(res.mean_read(1))
-        large_lat.append(res.mean_read(64 * KiB))
+    rows = pmap(_blocksize_job, [(bs, p["records"]) for bs in block_sizes])
+    small_lat = [row[0] for row in rows]
+    large_lat = [row[1] for row in rows]
     result.series["read r=1B"] = small_lat
     result.series["read r=64K"] = large_lat
     result.check(
@@ -74,6 +83,17 @@ def run_blocksize(scale: str = "default") -> ExperimentResult:
     return result
 
 
+def _hashing_job(sel: str, iozone_file: int) -> tuple[float, float]:
+    tb = _build(num_clients=4, num_mcds=4, selector=sel)
+    io = run_iozone(
+        tb.sim, tb.clients, file_size=iozone_file, record_size=64 * KiB
+    )
+    # Cumulative stores, not current items: the benchmark's closes
+    # purge data blocks, which would leave only stat keys behind.
+    items = [m.engine.stats.get("total_items") for m in tb.mcds]
+    return io.read_throughput, max(items) / max(1, min(items))
+
+
 @register(
     "ablation-hashing",
     "§5.5 / §7",
@@ -84,17 +104,9 @@ def run_hashing(scale: str = "default") -> ExperimentResult:
     p = _SCALE[scale]
     selectors = ["crc32", "modulo"]
     result = ExperimentResult("ablation-hashing", scale, x_name="selector", x_values=selectors)
-    tputs, imbalance = [], []
-    for sel in selectors:
-        tb = _build(num_clients=4, num_mcds=4, selector=sel)
-        io = run_iozone(
-            tb.sim, tb.clients, file_size=p["iozone_file"], record_size=64 * KiB
-        )
-        tputs.append(io.read_throughput)
-        # Cumulative stores, not current items: the benchmark's closes
-        # purge data blocks, which would leave only stat keys behind.
-        items = [m.engine.stats.get("total_items") for m in tb.mcds]
-        imbalance.append(max(items) / max(1, min(items)))
+    rows = pmap(_hashing_job, [(sel, p["iozone_file"]) for sel in selectors])
+    tputs = [row[0] for row in rows]
+    imbalance = [row[1] for row in rows]
     result.series["read throughput"] = tputs
     result.series["placement imbalance (max/min)"] = imbalance
     result.check(
@@ -110,6 +122,16 @@ def run_hashing(scale: str = "default") -> ExperimentResult:
     return result
 
 
+def _threading_job(threaded: bool, records: int) -> tuple[float, float]:
+    tb = _build(threaded_updates=threaded)
+    res = run_latency_bench(
+        tb.sim, tb.clients, [2 * KiB], records_per_size=records
+    )
+    cm = tb.cmcaches[0]
+    total = cm.metrics.get("read_hits") + cm.metrics.get("read_misses")
+    return res.mean_write(2 * KiB), cm.metrics.get("read_hits") / max(1, total)
+
+
 @register(
     "ablation-threading",
     "§4.3.2 / Fig 6(c)",
@@ -120,16 +142,9 @@ def run_threading(scale: str = "default") -> ExperimentResult:
     p = _SCALE[scale]
     modes = ["sync", "threaded"]
     result = ExperimentResult("ablation-threading", scale, x_name="mode", x_values=modes)
-    writes, hits = [], []
-    for threaded in (False, True):
-        tb = _build(threaded_updates=threaded)
-        res = run_latency_bench(
-            tb.sim, tb.clients, [2 * KiB], records_per_size=p["records"]
-        )
-        writes.append(res.mean_write(2 * KiB))
-        cm = tb.cmcaches[0]
-        total = cm.metrics.get("read_hits") + cm.metrics.get("read_misses")
-        hits.append(cm.metrics.get("read_hits") / max(1, total))
+    rows = pmap(_threading_job, [(threaded, p["records"]) for threaded in (False, True)])
+    writes = [row[0] for row in rows]
+    hits = [row[1] for row in rows]
     result.series["write latency"] = writes
     result.series["read hit rate"] = hits
     result.check(
@@ -368,6 +383,14 @@ def run_elasticity(scale: str = "default") -> ExperimentResult:
     return result
 
 
+def _transport_job(t: str, records: int) -> float:
+    tb = _build(mcd_transport=None if t == "ipoib" else t)
+    res = run_latency_bench(
+        tb.sim, tb.clients, [1, 2 * KiB], records_per_size=records
+    )
+    return res.mean_read(1)
+
+
 @register(
     "ablation-transport",
     "§7 future work",
@@ -381,13 +404,7 @@ def run_transport(scale: str = "default") -> ExperimentResult:
     result = ExperimentResult(
         "ablation-transport", scale, x_name="cache transport", x_values=transports
     )
-    reads = []
-    for t in transports:
-        tb = _build(mcd_transport=None if t == "ipoib" else t)
-        res = run_latency_bench(
-            tb.sim, tb.clients, [1, 2 * KiB], records_per_size=p["records"]
-        )
-        reads.append(res.mean_read(1))
+    reads = pmap(_transport_job, [(t, p["records"]) for t in transports])
     result.series["1-byte read latency"] = reads
     result.check(
         "RDMA cache transport cuts cache-hit latency by >= 25%",

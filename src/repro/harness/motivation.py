@@ -11,6 +11,7 @@ from __future__ import annotations
 from repro.cluster import TestbedConfig, build_gluster_testbed, build_lustre_testbed
 from repro.core.config import IMCaConfig
 from repro.harness.experiment import ExperimentResult, register
+from repro.harness.parallel import pmap
 from repro.harness.report import pct_change
 from repro.util.units import KiB, MiB
 from repro.workloads.smallfiles import run_small_files
@@ -29,6 +30,19 @@ _TRACE_SCALE = {
 }
 
 
+def _smallfiles_job(kind: str, clients: int, files: int) -> tuple[float, float]:
+    if kind == "nocache":
+        tb = build_gluster_testbed(TestbedConfig(num_clients=clients))
+    elif kind == "imca":
+        tb = build_gluster_testbed(TestbedConfig(num_clients=clients, num_mcds=2))
+    else:
+        tb = build_lustre_testbed(
+            TestbedConfig(num_clients=clients, num_data_servers=4)
+        )
+    res = run_small_files(tb.sim, tb.clients, num_files=files, file_size=4 * KiB)
+    return res.per_file_latency.mean, res.files_per_second
+
+
 @register(
     "motivation-smallfiles",
     "§3 (small files)",
@@ -42,23 +56,15 @@ def run_smallfiles(scale: str = "default") -> ExperimentResult:
     result = ExperimentResult(
         "motivation-smallfiles", scale, x_name="configuration", x_values=configs
     )
-    lat, rate = [], []
-    for label in configs:
-        if label == "NoCache":
-            tb = build_gluster_testbed(TestbedConfig(num_clients=p["clients"]))
-        elif label.startswith("IMCa"):
-            tb = build_gluster_testbed(
-                TestbedConfig(num_clients=p["clients"], num_mcds=2)
-            )
-        else:
-            tb = build_lustre_testbed(
-                TestbedConfig(num_clients=p["clients"], num_data_servers=4)
-            )
-        res = run_small_files(
-            tb.sim, tb.clients, num_files=p["files"], file_size=4 * KiB
-        )
-        lat.append(res.per_file_latency.mean)
-        rate.append(res.files_per_second)
+    rows = pmap(
+        _smallfiles_job,
+        [
+            (kind, p["clients"], p["files"])
+            for kind in ("nocache", "imca", "lustre")
+        ],
+    )
+    lat = [row[0] for row in rows]
+    rate = [row[1] for row in rows]
     result.series["per-file latency"] = lat
     result.series["files/s (aggregate)"] = rate
 
@@ -76,6 +82,28 @@ def run_smallfiles(scale: str = "default") -> ExperimentResult:
     return result
 
 
+def _trace_job(
+    num_mcds: int, clients: int, files: int, operations: int
+) -> tuple[float, float, float, float | None]:
+    cfg = TraceConfig(
+        num_files=files,
+        operations=operations,
+        read_ratio=0.9,
+        stat_ratio=0.2,
+    )
+    tb = build_gluster_testbed(
+        TestbedConfig(num_clients=clients, num_mcds=num_mcds)
+    )
+    res = replay_trace(tb.sim, tb.clients, cfg)
+    hit_rate = None
+    if num_mcds:
+        cm = tb.cm_stats()
+        hits = cm.get("read_hits", 0) + cm.get("stat_hits", 0)
+        misses = cm.get("read_misses", 0) + cm.get("stat_misses", 0)
+        hit_rate = hits / max(1, hits + misses)
+    return res.ops_per_second, res.read_latency.mean, res.stat_latency.mean, hit_rate
+
+
 @register(
     "motivation-trace",
     "§1/§3 (data-center access)",
@@ -89,28 +117,17 @@ def run_trace(scale: str = "default") -> ExperimentResult:
     result = ExperimentResult(
         "motivation-trace", scale, x_name="configuration", x_values=configs
     )
-    cfg = TraceConfig(
-        num_files=p["files"],
-        operations=p["operations"],
-        read_ratio=0.9,
-        stat_ratio=0.2,
+    rows = pmap(
+        _trace_job,
+        [
+            (num_mcds, p["clients"], p["files"], p["operations"])
+            for num_mcds in (0, 2)
+        ],
     )
-    ops_rate, read_lat, stat_lat = [], [], []
-    hit_rates = []
-    for label in configs:
-        num_mcds = 0 if label == "NoCache" else 2
-        tb = build_gluster_testbed(
-            TestbedConfig(num_clients=p["clients"], num_mcds=num_mcds)
-        )
-        res = replay_trace(tb.sim, tb.clients, cfg)
-        ops_rate.append(res.ops_per_second)
-        read_lat.append(res.read_latency.mean)
-        stat_lat.append(res.stat_latency.mean)
-        if num_mcds:
-            cm = tb.cm_stats()
-            hits = cm.get("read_hits", 0) + cm.get("stat_hits", 0)
-            misses = cm.get("read_misses", 0) + cm.get("stat_misses", 0)
-            hit_rates.append(hits / max(1, hits + misses))
+    ops_rate = [row[0] for row in rows]
+    read_lat = [row[1] for row in rows]
+    stat_lat = [row[2] for row in rows]
+    hit_rates = [row[3] for row in rows if row[3] is not None]
     result.series["ops/s"] = ops_rate
     result.series["mean read latency"] = read_lat
     result.series["mean stat latency"] = stat_lat

@@ -1,0 +1,92 @@
+"""Parallel sweep execution for the experiment harness.
+
+Every paper figure is a sweep of *independent* deterministic
+simulations: one testbed per configuration, no shared state.  Runners
+therefore declare each sweep point as a picklable job — a module-level
+function plus primitive arguments — and fan them through :func:`pmap`.
+
+With no active pool (the default, and always under ``--jobs 1``),
+:func:`pmap` degenerates to an in-process loop, so results are
+*byte-identical* to the historical sequential code.  Inside a
+:func:`job_pool` block, jobs are distributed over a
+``ProcessPoolExecutor`` and results are collected **by submission
+index**, never by completion order — each job builds its own
+:class:`~repro.sim.core.Simulator`, so a worker process returns exactly
+what the in-process call would have, and the reassembled series,
+metrics and checks are deterministic regardless of worker scheduling.
+
+Usage (the CLI does this for ``repro run/run-all --jobs N``)::
+
+    from repro.harness.parallel import job_pool, pmap
+
+    with job_pool(4):
+        results = get("fig5").run("default")   # runner pmaps internally
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+#: Active worker count; 1 means "run jobs inline".
+_jobs: int = 1
+#: Live executor while inside a :func:`job_pool` block.
+_executor: ProcessPoolExecutor | None = None
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalise a ``--jobs`` value: ``None``/1 → sequential, 0 → all
+    cores, otherwise the requested count."""
+    if jobs is None:
+        return 1
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def configured_jobs() -> int:
+    """The worker count of the innermost active :func:`job_pool` (1 when
+    no pool is active)."""
+    return _jobs
+
+
+@contextmanager
+def job_pool(jobs: int) -> Iterator[int]:
+    """Activate a worker pool for all :func:`pmap` calls in the block.
+
+    ``jobs <= 1`` activates nothing (sequential execution); the pool is
+    created eagerly so worker startup cost is paid once and shared by
+    every sweep in the block (e.g. all of ``run-all``).
+    """
+    global _jobs, _executor
+    jobs = int(jobs)
+    previous = (_jobs, _executor)
+    executor = ProcessPoolExecutor(max_workers=jobs) if jobs > 1 else None
+    _jobs, _executor = max(1, jobs), executor
+    try:
+        yield _jobs
+    finally:
+        _jobs, _executor = previous
+        if executor is not None:
+            executor.shutdown()
+
+
+def pmap(fn: Callable[..., Any], argtuples: Iterable[Sequence[Any]]) -> list[Any]:
+    """Run ``fn(*args)`` for every argument tuple, in order.
+
+    *fn* must be a module-level function and every argument picklable
+    (primitives, lists, dataclasses).  Results are returned ordered by
+    input index.  A job's exception propagates to the caller in both
+    modes; under a pool the remaining submitted jobs still run but
+    their results are discarded.
+    """
+    items = [tuple(args) for args in argtuples]
+    executor = _executor
+    if executor is None or len(items) <= 1:
+        return [fn(*args) for args in items]
+    futures = [executor.submit(fn, *args) for args in items]
+    return [future.result() for future in futures]

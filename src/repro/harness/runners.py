@@ -5,11 +5,19 @@ corresponding §5 workload, collects the figure's series, and evaluates
 the paper's qualitative claims as :class:`Check`s (who wins, by roughly
 what factor, where crossovers fall).  Absolute microseconds are not
 compared — the substrate is a simulator, not the authors' testbed.
+
+Sweep structure: every per-configuration measurement is a module-level
+*job function* (picklable: primitive arguments in, primitive results
+out) dispatched through :func:`repro.harness.parallel.pmap`.  Outside a
+``job_pool`` block the jobs run inline in declaration order — exactly
+the historical sequential behaviour; under ``repro run --jobs N`` they
+fan out over worker processes and reassemble by index, which preserves
+the output bit for bit because each job owns an isolated simulator.
+Instrumented passes (tracing) always run in-process so the CLI can
+export their artifacts.
 """
 
 from __future__ import annotations
-
-from typing import Optional
 
 from repro.cluster import (
     TestbedConfig,
@@ -19,11 +27,12 @@ from repro.cluster import (
 )
 from repro.core.config import IMCaConfig
 from repro.harness.experiment import ExperimentResult, register
+from repro.harness.parallel import pmap
 from repro.harness.params import params_for
 from repro.harness.report import pct_change
 from repro.obs.context import make_observability
 from repro.obs.export import render_tier_breakdown, tier_summaries
-from repro.util.units import GiB, KiB, MiB
+from repro.util.units import GiB, KiB
 from repro.workloads.iozone import run_iozone
 from repro.workloads.latency import run_latency_bench
 from repro.workloads.statbench import run_stat_bench
@@ -79,6 +88,26 @@ def _tier_extras(result: ExperimentResult, tb) -> None:
 # --------------------------------------------------------------------------- #
 # Fig 1 — NFS multi-client IOzone read bandwidth (motivation)
 # --------------------------------------------------------------------------- #
+def _fig1_job(
+    transport: str,
+    mem_bytes: int,
+    n: int,
+    file_size: int,
+    record_size: int,
+    raid_disks: int,
+) -> float:
+    tb = build_nfs_testbed(
+        TestbedConfig(
+            num_clients=n,
+            transport=transport,
+            server_cache_bytes=mem_bytes,
+            raid_disks=raid_disks,
+        )
+    )
+    io = run_iozone(tb.sim, tb.clients, file_size=file_size, record_size=record_size)
+    return io.read_throughput
+
+
 @register(
     "fig1",
     "Fig 1(a)/(b)",
@@ -91,23 +120,24 @@ def run_fig1(scale: str = "default") -> ExperimentResult:
     p = params_for("fig1", scale)
     result = ExperimentResult("fig1", scale, x_name="clients", x_values=list(p["clients"]))
 
-    for mem_name, mem_bytes in p["memories"].items():
-        for transport in p["transports"]:
-            series = []
-            for n in p["clients"]:
-                tb = build_nfs_testbed(
-                    TestbedConfig(
-                        num_clients=n,
-                        transport=transport,
-                        server_cache_bytes=mem_bytes,
-                        raid_disks=p["raid_disks"],
-                    )
-                )
-                io = run_iozone(
-                    tb.sim, tb.clients, file_size=p["file_size"], record_size=p["record_size"]
-                )
-                series.append(io.read_throughput)
-            result.series[f"{transport}-{mem_name}"] = series
+    configs = [
+        (mem_name, mem_bytes, transport)
+        for mem_name, mem_bytes in p["memories"].items()
+        for transport in p["transports"]
+    ]
+    throughputs = pmap(
+        _fig1_job,
+        [
+            (transport, mem_bytes, n, p["file_size"], p["record_size"], p["raid_disks"])
+            for _, mem_bytes, transport in configs
+            for n in p["clients"]
+        ],
+    )
+    stride = len(p["clients"])
+    for i, (mem_name, _, transport) in enumerate(configs):
+        result.series[f"{transport}-{mem_name}"] = throughputs[
+            i * stride : (i + 1) * stride
+        ]
 
     clients = p["clients"]
     mem_names = list(p["memories"])
@@ -156,6 +186,18 @@ def run_fig1(scale: str = "default") -> ExperimentResult:
 # --------------------------------------------------------------------------- #
 # Fig 5 — stat latency with multiple clients and MCDs
 # --------------------------------------------------------------------------- #
+def _fig5_gluster_job(n: int, num_mcds: int, files: int) -> float:
+    tb = _gluster(n, num_mcds)
+    res = run_stat_bench(tb.sim, tb.clients, num_files=files)
+    return res.max_node_time
+
+
+def _fig5_lustre_job(n: int, num_ds: int, files: int) -> float:
+    tb = _lustre(n, num_ds)
+    res = run_stat_bench(tb.sim, tb.clients, num_files=files)
+    return res.max_node_time
+
+
 @register(
     "fig5",
     "Fig 5",
@@ -168,23 +210,19 @@ def run_fig5(scale: str = "default") -> ExperimentResult:
     clients_axis = list(p["clients"])
     result = ExperimentResult("fig5", scale, x_name="clients", x_values=clients_axis)
 
-    def gluster_series(num_mcds: int) -> list[float]:
-        out = []
-        for n in clients_axis:
-            tb = _gluster(n, num_mcds)
-            res = run_stat_bench(tb.sim, tb.clients, num_files=p["files"])
-            out.append(res.max_node_time)
-        return out
+    mcd_configs = [0] + list(p["mcd_counts"])
+    gluster_times = pmap(
+        _fig5_gluster_job,
+        [(n, m, p["files"]) for m in mcd_configs for n in clients_axis],
+    )
+    stride = len(clients_axis)
+    for i, m in enumerate(mcd_configs):
+        label = "NoCache" if m == 0 else f"MCD({m})"
+        result.series[label] = gluster_times[i * stride : (i + 1) * stride]
 
-    result.series["NoCache"] = gluster_series(0)
-    for m in p["mcd_counts"]:
-        result.series[f"MCD({m})"] = gluster_series(m)
-
-    lustre_times = []
-    for n in clients_axis:
-        tb = _lustre(n, p["lustre_ds"])
-        res = run_stat_bench(tb.sim, tb.clients, num_files=p["files"])
-        lustre_times.append(res.max_node_time)
+    lustre_times = pmap(
+        _fig5_lustre_job, [(n, p["lustre_ds"], p["files"]) for n in clients_axis]
+    )
     result.series[f"Lustre-{p['lustre_ds']}DS"] = lustre_times
 
     no_cache = result.series["NoCache"]
@@ -235,6 +273,25 @@ def run_fig5(scale: str = "default") -> ExperimentResult:
 # --------------------------------------------------------------------------- #
 # Fig 6(a)/(b) — single-client read latency; Fig 6(c) — write latency
 # --------------------------------------------------------------------------- #
+def _fig6_gluster_read_job(
+    num_mcds: int, block_size: int, sizes: list[int], records: int
+) -> list[float]:
+    tb = _gluster(1, num_mcds, block_size=block_size)
+    res = run_latency_bench(tb.sim, tb.clients, sizes, records_per_size=records)
+    return [res.mean_read(r) for r in sizes]
+
+
+def _fig6_lustre_read_job(
+    num_ds: int, cold: bool, sizes: list[int], records: int
+) -> list[float]:
+    tb = _lustre(1, num_ds)
+    res = run_latency_bench(
+        tb.sim, tb.clients, sizes, records_per_size=records,
+        drop_caches_before_read=cold,
+    )
+    return [res.mean_read(r) for r in sizes]
+
+
 @register(
     "fig6a",
     "Fig 6(a)",
@@ -263,24 +320,27 @@ def _run_fig6_reads(exp_id: str, scale: str, small: bool) -> ExperimentResult:
     records = p["records"]
     result = ExperimentResult(exp_id, scale, x_name="record size", x_values=sizes)
 
-    def gluster_reads(num_mcds: int, block_size: int = 2 * KiB) -> list[float]:
-        tb = _gluster(1, num_mcds, block_size=block_size)
-        res = run_latency_bench(tb.sim, tb.clients, sizes, records_per_size=records)
-        return [res.mean_read(r) for r in sizes]
-
-    result.series["NoCache"] = gluster_reads(0)
-    for bs in p["block_sizes"]:
+    gluster_configs = [(0, 2 * KiB)] + [(1, bs) for bs in p["block_sizes"]]
+    gluster_series = pmap(
+        _fig6_gluster_read_job,
+        [(m, bs, sizes, records) for m, bs in gluster_configs],
+    )
+    result.series["NoCache"] = gluster_series[0]
+    for (_, bs), series in zip(gluster_configs[1:], gluster_series[1:]):
         label = f"IMCa-{bs // KiB}K" if bs >= KiB else f"IMCa-{bs}"
-        result.series[label] = gluster_reads(1, block_size=bs)
+        result.series[label] = series
 
-    for ds in (1, 4):
-        for mode, cold in (("Warm", False), ("Cold", True)):
-            tb = _lustre(1, ds)
-            res = run_latency_bench(
-                tb.sim, tb.clients, sizes, records_per_size=records,
-                drop_caches_before_read=cold,
-            )
-            result.series[f"Lustre-{ds}DS ({mode})"] = [res.mean_read(r) for r in sizes]
+    lustre_configs = [
+        (ds, mode, cold)
+        for ds in (1, 4)
+        for mode, cold in (("Warm", False), ("Cold", True))
+    ]
+    lustre_series = pmap(
+        _fig6_lustre_read_job,
+        [(ds, cold, sizes, records) for ds, _, cold in lustre_configs],
+    )
+    for (ds, mode, _), series in zip(lustre_configs, lustre_series):
+        result.series[f"Lustre-{ds}DS ({mode})"] = series
 
     nocache = result.series["NoCache"]
     imca_2k = result.series["IMCa-2K"]
@@ -330,6 +390,14 @@ def _run_fig6_reads(exp_id: str, scale: str, small: bool) -> ExperimentResult:
     return result
 
 
+def _fig6c_write_job(
+    num_mcds: int, threaded: bool, sizes: list[int], records: int
+) -> list[float]:
+    tb = _gluster(1, num_mcds, threaded=threaded)
+    res = run_latency_bench(tb.sim, tb.clients, sizes, records_per_size=records)
+    return [res.mean_write(r) for r in sizes]
+
+
 @register(
     "fig6c",
     "Fig 6(c)",
@@ -343,14 +411,17 @@ def run_fig6c(scale: str = "default") -> ExperimentResult:
     records = p["records"]
     result = ExperimentResult("fig6c", scale, x_name="record size", x_values=sizes)
 
-    def writes(num_mcds: int, threaded: bool = False) -> list[float]:
-        tb = _gluster(1, num_mcds, threaded=threaded)
-        res = run_latency_bench(tb.sim, tb.clients, sizes, records_per_size=records)
-        return [res.mean_write(r) for r in sizes]
-
-    result.series["NoCache"] = writes(0)
-    result.series["IMCa (sync)"] = writes(1, threaded=False)
-    result.series["IMCa (threaded)"] = writes(1, threaded=True)
+    series = pmap(
+        _fig6c_write_job,
+        [
+            (0, False, sizes, records),
+            (1, False, sizes, records),
+            (1, True, sizes, records),
+        ],
+    )
+    result.series["NoCache"] = series[0]
+    result.series["IMCa (sync)"] = series[1]
+    result.series["IMCa (threaded)"] = series[2]
 
     nocache, sync, thr = (
         result.series["NoCache"],
@@ -380,6 +451,25 @@ def run_fig6c(scale: str = "default") -> ExperimentResult:
 # --------------------------------------------------------------------------- #
 # Fig 7 — multi-client read latency with varying MCD counts
 # --------------------------------------------------------------------------- #
+def _fig7_gluster_job(
+    n: int, num_mcds: int, mcd_memory: int, sizes: list[int], records: int
+) -> list[float]:
+    tb = _gluster(n, num_mcds, mcd_memory=mcd_memory)
+    res = run_latency_bench(tb.sim, tb.clients, sizes, records_per_size=records)
+    return [res.mean_read(r) for r in sizes]
+
+
+def _fig7_lustre_job(
+    n: int, num_ds: int, cold: bool, sizes: list[int], records: int
+) -> list[float]:
+    tb = _lustre(n, num_ds)
+    res = run_latency_bench(
+        tb.sim, tb.clients, sizes, records_per_size=records,
+        drop_caches_before_read=cold,
+    )
+    return [res.mean_read(r) for r in sizes]
+
+
 @register(
     "fig7",
     "Fig 7(a)/(b)",
@@ -394,22 +484,27 @@ def run_fig7(scale: str = "default") -> ExperimentResult:
     result = ExperimentResult("fig7", scale, x_name="record size", x_values=sizes)
     result.notes.append(f"{n} clients (paper: 32); records/size={p['records']}")
 
-    def gluster_reads(num_mcds: int) -> list[float]:
-        tb = _gluster(n, num_mcds, mcd_memory=p["mcd_memory"] if num_mcds else 6 * GiB)
-        res = run_latency_bench(tb.sim, tb.clients, sizes, records_per_size=p["records"])
-        return [res.mean_read(r) for r in sizes]
+    mcd_configs = [0] + list(p["mcd_counts"])
+    gluster_series = pmap(
+        _fig7_gluster_job,
+        [
+            (n, m, p["mcd_memory"] if m else 6 * GiB, sizes, p["records"])
+            for m in mcd_configs
+        ],
+    )
+    result.series["NoCache"] = gluster_series[0]
+    for m, series in zip(mcd_configs[1:], gluster_series[1:]):
+        result.series[f"IMCa ({m} MCD)"] = series
 
-    result.series["NoCache"] = gluster_reads(0)
-    for m in p["mcd_counts"]:
-        result.series[f"IMCa ({m} MCD)"] = gluster_reads(m)
-
-    for mode, cold in (("Warm", False), ("Cold", True)):
-        tb = _lustre(n, p["lustre_ds"])
-        res = run_latency_bench(
-            tb.sim, tb.clients, sizes, records_per_size=p["records"],
-            drop_caches_before_read=cold,
-        )
-        result.series[f"Lustre ({mode})"] = [res.mean_read(r) for r in sizes]
+    lustre_series = pmap(
+        _fig7_lustre_job,
+        [
+            (n, p["lustre_ds"], cold, sizes, p["records"])
+            for _, cold in (("Warm", False), ("Cold", True))
+        ],
+    )
+    for (mode, _), series in zip((("Warm", False), ("Cold", True)), lustre_series):
+        result.series[f"Lustre ({mode})"] = series
 
     nocache = result.series["NoCache"]
     best_mcd = result.series[f"IMCa ({p['mcd_counts'][-1]} MCD)"]
@@ -465,6 +560,28 @@ def run_fig7(scale: str = "default") -> ExperimentResult:
 # --------------------------------------------------------------------------- #
 # Fig 8 — read latency varying clients, single MCD
 # --------------------------------------------------------------------------- #
+def _fig8_gluster_job(
+    n: int, mcd_memory: int, sizes: list[int], records: int
+) -> tuple[list[float], int, int]:
+    tb = _gluster(n, 1, mcd_memory=mcd_memory)
+    res = run_latency_bench(tb.sim, tb.clients, sizes, records_per_size=records)
+    stats = tb.mcd_stats()
+    return (
+        [res.mean_read(r) for r in sizes],
+        stats.get("evictions", 0),
+        tb.cm_stats().get("read_misses", 0),
+    )
+
+
+def _fig8_lustre_job(n: int, num_ds: int, sizes: list[int], records: int) -> float:
+    tb = _lustre(n, num_ds)
+    res = run_latency_bench(
+        tb.sim, tb.clients, sizes, records_per_size=records,
+        drop_caches_before_read=True,
+    )
+    return res.mean_read(sizes[-1])
+
+
 @register(
     "fig8",
     "Fig 8(a)-(d)",
@@ -478,28 +595,23 @@ def run_fig8(scale: str = "default") -> ExperimentResult:
     sizes = list(p["sizes"])
     result = ExperimentResult("fig8", scale, x_name="clients", x_values=clients_axis)
 
+    for r in sizes:
+        result.series[f"IMCa r={r}"] = []
     evictions: list[int] = []
     misses: list[int] = []
-    for label, series_sizes in (("", sizes),):
-        for r in series_sizes:
-            result.series[f"IMCa r={r}"] = []
-    for n in clients_axis:
-        tb = _gluster(n, 1, mcd_memory=p["mcd_memory"])
-        res = run_latency_bench(tb.sim, tb.clients, sizes, records_per_size=p["records"])
-        for r in sizes:
-            result.series[f"IMCa r={r}"].append(res.mean_read(r))
-        stats = tb.mcd_stats()
-        evictions.append(stats.get("evictions", 0))
-        misses.append(tb.cm_stats().get("read_misses", 0))
+    for means, evicted, missed in pmap(
+        _fig8_gluster_job,
+        [(n, p["mcd_memory"], sizes, p["records"]) for n in clients_axis],
+    ):
+        for r, mean in zip(sizes, means):
+            result.series[f"IMCa r={r}"].append(mean)
+        evictions.append(evicted)
+        misses.append(missed)
     # Lustre-cold comparison at the largest record size.
-    lustre = []
-    for n in clients_axis:
-        tb = _lustre(n, p["lustre_ds"])
-        res = run_latency_bench(
-            tb.sim, tb.clients, sizes, records_per_size=p["records"],
-            drop_caches_before_read=True,
-        )
-        lustre.append(res.mean_read(sizes[-1]))
+    lustre = pmap(
+        _fig8_lustre_job,
+        [(n, p["lustre_ds"], sizes, p["records"]) for n in clients_axis],
+    )
     result.series[f"Lustre-cold r={sizes[-1]}"] = lustre
     result.extras["mcd_evictions"] = evictions
     result.extras["cmcache_read_misses"] = misses
@@ -528,6 +640,21 @@ def run_fig8(scale: str = "default") -> ExperimentResult:
 # --------------------------------------------------------------------------- #
 # Fig 9 — IOzone read throughput with varying MCDs
 # --------------------------------------------------------------------------- #
+def _fig9_gluster_job(t: int, num_mcds: int, file_size: int, record_size: int) -> float:
+    tb = _gluster(t, num_mcds, selector="modulo")
+    io = run_iozone(tb.sim, tb.clients, file_size=file_size, record_size=record_size)
+    return io.read_throughput
+
+
+def _fig9_lustre_job(t: int, file_size: int, record_size: int) -> float:
+    tb = _lustre(t, 1)
+    io = run_iozone(
+        tb.sim, tb.clients, file_size=file_size, record_size=record_size,
+        drop_caches_before_read=True,
+    )
+    return io.read_throughput
+
+
 @register(
     "fig9",
     "Fig 9",
@@ -540,25 +667,23 @@ def run_fig9(scale: str = "default") -> ExperimentResult:
     threads_axis = list(p["threads"])
     result = ExperimentResult("fig9", scale, x_name="threads", x_values=threads_axis)
 
-    for m in p["mcd_counts"]:
-        series = []
-        for t in threads_axis:
-            tb = _gluster(t, m, selector="modulo")
-            io = run_iozone(
-                tb.sim, tb.clients, file_size=p["file_size"], record_size=p["record_size"]
-            )
-            series.append(io.read_throughput)
+    throughputs = pmap(
+        _fig9_gluster_job,
+        [
+            (t, m, p["file_size"], p["record_size"])
+            for m in p["mcd_counts"]
+            for t in threads_axis
+        ],
+    )
+    stride = len(threads_axis)
+    for i, m in enumerate(p["mcd_counts"]):
         label = "NoCache" if m == 0 else f"IMCa ({m} MCD)"
-        result.series[label] = series
+        result.series[label] = throughputs[i * stride : (i + 1) * stride]
 
-    lustre = []
-    for t in threads_axis:
-        tb = _lustre(t, 1)
-        io = run_iozone(
-            tb.sim, tb.clients, file_size=p["file_size"], record_size=p["record_size"],
-            drop_caches_before_read=True,
-        )
-        lustre.append(io.read_throughput)
+    lustre = pmap(
+        _fig9_lustre_job,
+        [(t, p["file_size"], p["record_size"]) for t in threads_axis],
+    )
     result.series["Lustre-1DS (Cold)"] = lustre
 
     nocache = result.series["NoCache"]
@@ -587,6 +712,23 @@ def run_fig9(scale: str = "default") -> ExperimentResult:
 # --------------------------------------------------------------------------- #
 # Fig 10 — shared-file read latency
 # --------------------------------------------------------------------------- #
+def _fig10_job(kind: str, n: int, record_size: int, records: int) -> float:
+    if kind == "nocache":
+        tb = _gluster(n, 0)
+        cold = False
+    elif kind == "imca":
+        tb = _gluster(n, 1)
+        cold = False
+    else:  # lustre
+        tb = _lustre(n, 1)
+        cold = True
+    res = run_latency_bench(
+        tb.sim, tb.clients, [record_size], records_per_size=records,
+        shared_file=True, drop_caches_before_read=cold,
+    )
+    return res.mean_read(record_size)
+
+
 @register(
     "fig10",
     "Fig 10",
@@ -600,22 +742,14 @@ def run_fig10(scale: str = "default") -> ExperimentResult:
     r = p["record_size"]
     result = ExperimentResult("fig10", scale, x_name="nodes", x_values=nodes_axis)
 
-    def shared_read(builder, **bench_kw) -> list[float]:
-        out = []
-        for n in nodes_axis:
-            tb = builder(n)
-            res = run_latency_bench(
-                tb.sim, tb.clients, [r], records_per_size=p["records"],
-                shared_file=True, **bench_kw,
-            )
-            out.append(res.mean_read(r))
-        return out
-
-    result.series["NoCache"] = shared_read(lambda n: _gluster(n, 0))
-    result.series["IMCa (1 MCD)"] = shared_read(lambda n: _gluster(n, 1))
-    result.series["Lustre-1DS (Cold)"] = shared_read(
-        lambda n: _lustre(n, 1), drop_caches_before_read=True
+    kinds = [("nocache", "NoCache"), ("imca", "IMCa (1 MCD)"), ("lustre", "Lustre-1DS (Cold)")]
+    latencies = pmap(
+        _fig10_job,
+        [(kind, n, r, p["records"]) for kind, _ in kinds for n in nodes_axis],
     )
+    stride = len(nodes_axis)
+    for i, (_, label) in enumerate(kinds):
+        result.series[label] = latencies[i * stride : (i + 1) * stride]
 
     nocache = result.series["NoCache"]
     imca = result.series["IMCa (1 MCD)"]

@@ -103,31 +103,42 @@ class Network:
         src_nic = self.nic(src)
         dst_nic = self.nic(dst)
 
-        ser = p.serialization(size)
-        t = self.sim.now
+        # Profile maths inlined (same expressions as TransportProfile's
+        # host_cost/serialization, so timestamps stay float-identical).
+        wire = p.wire_latency
+        copy_cost = p.cpu_per_byte * size
+        ser = size / p.bandwidth
+        t = self.sim._now
         # Sender host CPU (protocol + copy for non-RDMA transports).
-        _, t = src.cpu.reserve(p.host_cost(size, send=True), arrival=t)
+        _, t = src.cpu.reserve(p.cpu_send + copy_cost, arrival=t)
         # Sender NIC serialisation.
         tx_start, tx_end = src_nic.tx.reserve(ser, arrival=t)
         # Cut-through: the receiver NIC starts taking bytes one wire
         # latency after the first byte leaves, and finishes no earlier
         # than one wire latency after the last byte leaves.
-        _, rx_end = dst_nic.rx.reserve(ser, arrival=tx_start + p.wire_latency)
-        t = max(tx_end + p.wire_latency, rx_end)
+        _, rx_end = dst_nic.rx.reserve(ser, arrival=tx_start + wire)
+        tx_end += wire
+        t = tx_end if tx_end > rx_end else rx_end
         # Receiver host CPU.
-        _, t = dst.cpu.reserve(p.host_cost(size, send=False), arrival=t)
+        _, t = dst.cpu.reserve(p.cpu_recv + copy_cost, arrival=t)
 
-        self.stats.inc("messages")
-        self.stats.inc("bytes", size)
+        values = self.stats.values
+        values["messages"] = values.get("messages", 0) + 1
+        values["bytes"] = values.get("bytes", 0) + size
         return t
 
     def transfer(self, src: Node, dst: Node, size: int) -> Timeout:
         """One-way message: event fires when the last byte lands in the
-        receiver's memory.  ``yield net.transfer(a, b, nbytes)``."""
+        receiver's memory.  ``yield net.transfer(a, b, nbytes)``.
+
+        The returned timeout is recycled through the simulator's pool:
+        yield it immediately and do not retain it past its firing.
+        """
         if size < 0:
             raise ValueError("negative message size")
+        sim = self.sim
         t = self.delivery_time(src, dst, size)
-        return Timeout(self.sim, t - self.sim.now)
+        return sim.pooled_timeout(t - sim._now)
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<Network {self.name} ({self.transport.name}) nodes={len(self._nics)}>"

@@ -69,6 +69,12 @@ class Observability:
                     raise ValueError("Observability already bound to another simulator")
             else:
                 self.tracer = SimTracer(sim, limit=self.trace_limit)
+        # Stations only pay for per-visit wait statistics when someone
+        # can observe them; a fully disabled bundle turns them off for
+        # every station built against this simulator.
+        sim.track_station_waits = bool(
+            self.trace_requested or self.sample_interval
+        )
         return self
 
     @property

@@ -9,7 +9,15 @@ barriers.
 
 from repro.sim.core import Simulator
 from repro.sim.errors import EmptySchedule, Interrupt, SimulationError, StopSimulation
-from repro.sim.events import AllOf, AnyOf, Condition, ConditionValue, Event, Timeout
+from repro.sim.events import (
+    AllOf,
+    AnyOf,
+    Condition,
+    ConditionValue,
+    Event,
+    PooledTimeout,
+    Timeout,
+)
 from repro.sim.monitor import Metrics, Tracer
 from repro.sim.process import Process, ProcessGenerator
 from repro.sim.rand import RandomStreams
@@ -22,6 +30,7 @@ __all__ = [
     "Simulator",
     "Event",
     "Timeout",
+    "PooledTimeout",
     "Condition",
     "ConditionValue",
     "AllOf",

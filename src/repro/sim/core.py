@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Any, Iterable
 
 from repro.sim.errors import EmptySchedule, StopSimulation
@@ -12,6 +12,8 @@ from repro.sim.events import (
     Event,
     NORMAL,
     PENDING,
+    PooledTimeout,
+    STOP,
     Timeout,
 )
 from repro.sim.process import Process, ProcessGenerator
@@ -45,6 +47,15 @@ class Simulator:
         #: state deterministically across runs.
         self._proc_seq = 0
         self._active_process: Process | None = None
+        #: Free list of processed :class:`PooledTimeout` events; the run
+        #: loop refills it, :meth:`pooled_timeout` drains it.
+        self._timeout_pool: list[PooledTimeout] = []
+        #: Whether analytic stations should accumulate per-visit wait
+        #: statistics.  Observability bundles flip this on when a tracer
+        #: or sampler is attached; unobserved experiment runs skip the
+        #: bookkeeping on every reservation.  Bare simulators keep it on
+        #: so direct station users (tests, notebooks) see their stats.
+        self.track_station_waits = True
 
     # -- public clock/state ----------------------------------------------
     @property
@@ -62,6 +73,25 @@ class Simulator:
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         return Timeout(self, delay, value)
 
+    def pooled_timeout(self, delay: float) -> Timeout:
+        """A recycled valueless timeout for internal one-shot waits.
+
+        Semantically ``timeout(delay)``, but the event object is reused
+        once processed (see :class:`PooledTimeout`).  Callers must yield
+        it immediately and never retain it past its firing; *delay* is
+        trusted to be non-negative.
+        """
+        pool = self._timeout_pool
+        if pool:
+            ev = pool.pop()
+            ev.callbacks = []
+            ev._value = None
+            ev.delay = delay
+            self._seq += 1
+            heappush(self._heap, (self._now + delay, NORMAL, self._seq, ev))
+            return ev
+        return PooledTimeout(self, delay)
+
     def process(self, generator: ProcessGenerator, name: str | None = None) -> Process:
         return Process(self, generator, name=name)
 
@@ -72,9 +102,23 @@ class Simulator:
         return AnyOf(self, events)
 
     # -- scheduling --------------------------------------------------------
-    def _schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
+    def _schedule(
+        self,
+        event: Event,
+        priority: int = NORMAL,
+        delay: float = 0.0,
+        *,
+        at: float | None = None,
+    ) -> None:
+        """Schedule *event*; every heap entry's sequence number is minted
+        here.  ``at`` pins an exact absolute timestamp (``now + delay``
+        is not float-exact when ``delay`` was derived from ``at - now``).
+        """
         self._seq += 1
-        heapq.heappush(self._heap, (self._now + delay, priority, self._seq, event))
+        heappush(
+            self._heap,
+            (self._now + delay if at is None else at, priority, self._seq, event),
+        )
 
     def peek(self) -> float:
         """Time of the next scheduled event (``inf`` if none)."""
@@ -83,17 +127,19 @@ class Simulator:
     def step(self) -> None:
         """Process exactly one event (advance the clock to it)."""
         try:
-            when, _, _, event = heapq.heappop(self._heap)
+            when, _, _, event = heappop(self._heap)
         except IndexError:
             raise EmptySchedule("no more events") from None
         self._now = when
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)
-        if not event._ok and not event._defused:
+        if event._ok:
+            if event.__class__ is PooledTimeout:
+                self._timeout_pool.append(event)
+        elif not event._defused:
             # Nobody handled the failure: surface it.
-            exc = event._value
-            raise exc
+            raise event._value
 
     def run(self, until: float | Event | None = None) -> Any:
         """Run until the heap empties, *until* time passes, or *until*
@@ -114,14 +160,31 @@ class Simulator:
             stop_event = Event(self)
             stop_event._ok = True
             stop_event._value = None
-            # Urgent so the clock stops *before* normal events at `at`.
-            self._seq += 1
-            heapq.heappush(self._heap, (at, -1, self._seq, stop_event))
+            # STOP priority: the clock halts *before* any user event
+            # scheduled at `at`.
+            self._schedule(stop_event, STOP, at=at)
             stop_event.callbacks.append(self._stop_on)
 
+        # Hot loop: step() inlined with the heap, pop and pool bound to
+        # locals.  `heap` and `pool` are never rebound elsewhere, so the
+        # local aliases stay valid while callbacks schedule new events.
+        heap = self._heap
+        pool = self._timeout_pool
+        pop = heappop
+        pooled_cls = PooledTimeout
         try:
-            while self._heap:
-                self.step()
+            while heap:
+                when, _, _, event = pop(heap)
+                self._now = when
+                callbacks, event.callbacks = event.callbacks, None
+                for callback in callbacks:
+                    callback(event)
+                if event._ok:
+                    if event.__class__ is pooled_cls:
+                        pool.append(event)
+                elif not event._defused:
+                    # Nobody handled the failure: surface it.
+                    raise event._value
         except StopSimulation as stop:
             return stop.value
 

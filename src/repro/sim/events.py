@@ -23,6 +23,10 @@ if TYPE_CHECKING:  # pragma: no cover
 PENDING = object()
 
 #: Scheduling priorities: urgent events at the same timestamp run first.
+#: STOP outranks even URGENT — it is reserved for the engine's own
+#: run-until markers, which must fire before any user event at the
+#: same instant.
+STOP = -1
 URGENT = 0
 NORMAL = 1
 
@@ -120,6 +124,22 @@ class Timeout(Event):
         self._ok = True
         self._value = value
         sim._schedule(self, NORMAL, delay)
+
+
+class PooledTimeout(Timeout):
+    """A :class:`Timeout` recycled through the simulator's free list.
+
+    The run loop returns every processed ``PooledTimeout`` to
+    ``Simulator._timeout_pool``, where :meth:`Simulator.pooled_timeout`
+    re-arms it instead of allocating a fresh event.  That makes it
+    strictly single-use from the caller's perspective: yield it once
+    and drop it.  Holding a reference past its firing reads whatever
+    the *next* reservation wrote into it.  Internal fast paths
+    (:meth:`FifoStation.run`, :meth:`Network.transfer`) honour this;
+    user code should keep calling :meth:`Simulator.timeout`.
+    """
+
+    __slots__ = ()
 
 
 class Condition(Event):

@@ -93,17 +93,22 @@ class Process(Event):
         self._resume(event)
 
     def _resume(self, event: Event) -> None:
+        # The engine's hottest code path: every event delivery to every
+        # process lands here.  The generator's bound methods and our own
+        # resume callback are hoisted into locals once per delivery.
         sim = self.sim
         sim._active_process = self
+        gen = self._generator
+        send = gen.send
         try:
             while True:
                 try:
                     if event._ok:
-                        next_event = self._generator.send(event._value)
+                        next_event = send(event._value)
                     else:
                         # The process handles (or not) the failure itself.
                         event._defused = True
-                        next_event = self._generator.throw(event._value)
+                        next_event = gen.throw(event._value)
                 except StopIteration as stop:
                     self.succeed(stop.value)
                     break
@@ -116,16 +121,17 @@ class Process(Event):
                         f"process {self.name!r} yielded a non-event: {next_event!r}"
                     )
                     try:
-                        self._generator.throw(exc)
+                        gen.throw(exc)
                     except StopIteration as stop:
                         self.succeed(stop.value)
                     except BaseException as e:
                         self.fail(e)
                     break
 
-                if next_event.callbacks is not None:
+                callbacks = next_event.callbacks
+                if callbacks is not None:
                     # Pending or triggered-but-unprocessed: wait for it.
-                    next_event.callbacks.append(self._resume)
+                    callbacks.append(self._resume)
                     self._target = next_event
                     break
                 # Already processed: continue immediately with its value.

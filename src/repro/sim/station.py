@@ -19,10 +19,10 @@ busy time — aggregate latency/throughput statistics are unaffected.
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import TYPE_CHECKING
 
-from repro.sim.events import Timeout
+from repro.sim.events import NORMAL, PooledTimeout, Timeout
 from repro.util.stats import OnlineStats
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -37,9 +37,11 @@ class FifoStation:
         "name",
         "servers",
         "_free",
+        "_latest_free",
         "busy_time",
         "jobs",
         "wait_stats",
+        "_track_waits",
         "_created_at",
     )
 
@@ -52,9 +54,17 @@ class FifoStation:
         # Earliest-free-server heap; server assignment by earliest free
         # time is exact for FIFO multi-server queues.
         self._free = [0.0] * servers
+        #: Latest free time across all servers, maintained incrementally:
+        #: every reservation's end is >= the popped minimum, so the max
+        #: never decreases and ``max(latest, end)`` is exact.
+        self._latest_free = 0.0
         self.busy_time = 0.0
         self.jobs = 0
         self.wait_stats = OnlineStats()
+        # Per-visit wait statistics are skipped when the owning
+        # simulator is unobserved (no tracer/sampler attached); bare
+        # simulators default to tracking.
+        self._track_waits = getattr(sim, "track_station_waits", True)
         self._created_at = sim.now
 
     def reserve(self, service: float, arrival: float | None = None) -> tuple[float, float]:
@@ -67,33 +77,81 @@ class FifoStation:
         if service < 0:
             raise ValueError(f"negative service time: {service}")
         if arrival is None:
-            arrival = self.sim.now
-        free = heapq.heappop(self._free)
-        start = free if free > arrival else arrival
-        end = start + service
-        heapq.heappush(self._free, end)
+            arrival = self.sim._now
+        free_heap = self._free
+        if self.servers == 1:
+            # Single-server fast path: the one-entry "heap" is a plain cell.
+            free = free_heap[0]
+            start = free if free > arrival else arrival
+            end = start + service
+            free_heap[0] = end
+        else:
+            free = heappop(free_heap)
+            start = free if free > arrival else arrival
+            end = start + service
+            heappush(free_heap, end)
+        if end > self._latest_free:
+            self._latest_free = end
         self.busy_time += service
         self.jobs += 1
-        self.wait_stats.add(start - arrival)
+        if self._track_waits:
+            self.wait_stats.add(start - arrival)
         return start, end
 
     def run(self, service: float) -> Timeout:
         """Reserve and return a timeout that fires at completion.
 
         ``yield station.run(cost)`` is the one-event replacement for the
-        request/timeout/release pattern.
+        request/timeout/release pattern.  The returned timeout is drawn
+        from the simulator's recycling pool: yield it immediately and do
+        not retain it past its firing.
+
+        This is :meth:`reserve` plus :meth:`Simulator.pooled_timeout`
+        fused into one call — the kernel's single hottest entry point.
         """
-        _, end = self.reserve(service)
-        return Timeout(self.sim, end - self.sim.now)
+        if service < 0:
+            raise ValueError(f"negative service time: {service}")
+        sim = self.sim
+        arrival = sim._now
+        free_heap = self._free
+        if self.servers == 1:
+            free = free_heap[0]
+            start = free if free > arrival else arrival
+            end = start + service
+            free_heap[0] = end
+        else:
+            free = heappop(free_heap)
+            start = free if free > arrival else arrival
+            end = start + service
+            heappush(free_heap, end)
+        if end > self._latest_free:
+            self._latest_free = end
+        self.busy_time += service
+        self.jobs += 1
+        if self._track_waits:
+            self.wait_stats.add(start - arrival)
+        # Inlined sim.pooled_timeout(end - arrival); `arrival + delay`
+        # (not `end`) preserves the seed's float arithmetic exactly.
+        delay = end - arrival
+        pool = sim._timeout_pool
+        if pool:
+            ev = pool.pop()
+            ev.callbacks = []
+            ev.delay = delay
+            sim._seq += 1
+            heappush(sim._heap, (arrival + delay, NORMAL, sim._seq, ev))
+            return ev
+        return PooledTimeout(sim, delay)
 
     def next_free(self) -> float:
         """Earliest time a server becomes available."""
-        return min(self._free)
+        # The earliest-free heap invariant keeps the minimum at index 0.
+        return self._free[0]
 
     def backlog(self) -> float:
         """Seconds until *all* servers are free (queue depth proxy)."""
-        latest = max(self._free)
-        return max(0.0, latest - self.sim.now)
+        remaining = self._latest_free - self.sim._now
+        return remaining if remaining > 0.0 else 0.0
 
     def utilization(self, since: float | None = None) -> float:
         """Busy fraction of total server-time since *since* (creation

@@ -1,0 +1,198 @@
+"""Tests for the kernel fast path: timeout pooling, station O(1)
+queries, STOP-priority run-until markers, and wait-stats gating."""
+
+import pytest
+
+from repro.sim import FifoStation, PooledTimeout, Simulator
+from repro.sim.events import NORMAL, STOP, URGENT
+
+
+# --------------------------------------------------------------------------- #
+# timeout pooling
+# --------------------------------------------------------------------------- #
+def test_pooled_timeout_fires_like_a_timeout():
+    sim = Simulator()
+    seen = []
+
+    def proc():
+        yield sim.pooled_timeout(1.5)
+        seen.append(sim.now)
+        yield sim.pooled_timeout(0.5)
+        seen.append(sim.now)
+
+    sim.process(proc())
+    sim.run()
+    assert seen == [1.5, 2.0]
+
+
+def test_pooled_timeout_objects_are_recycled():
+    sim = Simulator()
+    ids = []
+
+    def proc():
+        for _ in range(5):
+            ev = sim.pooled_timeout(1.0)
+            ids.append(id(ev))
+            yield ev
+
+    sim.process(proc())
+    sim.run()
+    # An event returns to the pool after its callbacks run, so a process
+    # re-yielding immediately alternates between two recycled objects.
+    assert len(set(ids)) == 2
+    assert len(sim._timeout_pool) == 2
+
+
+def test_plain_timeouts_are_never_pooled():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(1.0)
+        yield sim.timeout(1.0)
+
+    sim.process(proc())
+    sim.run()
+    assert sim._timeout_pool == []
+
+
+def test_station_run_draws_from_the_pool():
+    sim = Simulator()
+    st = FifoStation(sim)
+
+    def proc():
+        ev = st.run(1.0)
+        assert isinstance(ev, PooledTimeout)
+        yield ev
+        yield st.run(1.0)
+
+    sim.process(proc())
+    sim.run()
+    assert sim.now == 2.0
+    assert len(sim._timeout_pool) == 2
+
+
+def test_pooling_preserves_fifo_ordering_of_simultaneous_events():
+    # Two processes hammering pooled timeouts with identical delays must
+    # resume in scheduling order, exactly as with fresh Timeout objects.
+    def trace(factory):
+        sim = Simulator()
+        order = []
+
+        def proc(tag):
+            for i in range(4):
+                yield factory(sim)(0.25)
+                order.append((tag, sim.now))
+
+        sim.process(proc("a"))
+        sim.process(proc("b"))
+        sim.run()
+        return order
+
+    pooled = trace(lambda sim: sim.pooled_timeout)
+    plain = trace(lambda sim: sim.timeout)
+    assert pooled == plain
+
+
+# --------------------------------------------------------------------------- #
+# station O(1) queries
+# --------------------------------------------------------------------------- #
+def test_next_free_is_the_heap_minimum():
+    sim = Simulator()
+    st = FifoStation(sim, servers=3)
+    st.reserve(5.0)
+    st.reserve(1.0)
+    st.reserve(3.0)
+    assert st.next_free() == 1.0 == min(st._free)
+    st.reserve(1.0)  # lands on the server free at 1.0
+    assert st.next_free() == 2.0 == min(st._free)
+
+
+def test_backlog_matches_recomputed_latest_free():
+    sim = Simulator()
+    st = FifoStation(sim, servers=3)
+    # Deterministic pseudo-random reservation pattern.
+    x = 1
+    for _ in range(200):
+        x = (x * 1103515245 + 12345) % (1 << 31)
+        st.reserve((x % 997) / 100.0)
+        assert st._latest_free == max(st._free)
+        assert st.backlog() == max(0.0, max(st._free) - sim.now)
+
+
+def test_backlog_zero_when_idle():
+    sim = Simulator()
+    st = FifoStation(sim, servers=2)
+    assert st.backlog() == 0.0
+    st.reserve(2.0)
+
+    def proc():
+        yield sim.timeout(5.0)
+
+    sim.process(proc())
+    sim.run()
+    # Reservation ended at t=2, now t=5: backlog clamps at zero.
+    assert st.backlog() == 0.0
+
+
+# --------------------------------------------------------------------------- #
+# STOP priority / run(until=...)
+# --------------------------------------------------------------------------- #
+def test_priority_constants_are_ordered():
+    assert STOP < URGENT < NORMAL
+
+
+def test_run_until_halts_before_same_time_events():
+    sim = Simulator()
+    fired = []
+
+    def proc():
+        yield sim.timeout(1.0)
+        fired.append(sim.now)
+
+    sim.process(proc())
+    sim.run(until=1.0)
+    # The STOP marker outranks the user timeout at the same instant.
+    assert fired == []
+    assert sim.now == 1.0
+    sim.run()
+    assert fired == [1.0]
+
+
+def test_run_until_lands_on_the_exact_float():
+    sim = Simulator(initial_time=0.1)
+    target = 0.30000000000000004  # not representable as 0.1 + 0.2's neighbour
+    sim.run(until=target)
+    assert sim.now == target
+
+
+def test_run_until_past_raises():
+    sim = Simulator(initial_time=10.0)
+    with pytest.raises(ValueError):
+        sim.run(until=1.0)
+
+
+# --------------------------------------------------------------------------- #
+# wait-stats gating
+# --------------------------------------------------------------------------- #
+def test_bare_simulator_tracks_wait_stats_by_default():
+    sim = Simulator()
+    st = FifoStation(sim)
+    st.reserve(1.0)
+    st.reserve(1.0)
+    assert st.wait_stats.n == 2
+
+
+def test_untracked_simulator_skips_wait_stats():
+    sim = Simulator()
+    sim.track_station_waits = False
+    st = FifoStation(sim)
+    st.reserve(1.0)
+    st.reserve(1.0)
+
+    def proc():
+        yield st.run(1.0)
+
+    sim.process(proc())
+    sim.run()
+    assert st.wait_stats.n == 0
+    assert st.jobs == 3  # job accounting itself is unaffected

@@ -1,0 +1,80 @@
+"""Tests for the wall-clock benchmark subsystem and its report schema."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    attach_baseline,
+    baseline_from,
+    check_against_baseline,
+    load_report,
+    run_benchmarks,
+    write_report,
+)
+
+
+@pytest.fixture(scope="module")
+def quick_report():
+    # One round keeps this a smoke test; workload sizes are the real ones.
+    return run_benchmarks(quick=True, rounds=1)
+
+
+def test_quick_report_schema(quick_report):
+    assert quick_report["schema"] == 1
+    assert quick_report["mode"] == "quick"
+    assert quick_report["rounds"] == 1
+    assert "platform" in quick_report["machine"]
+    results = quick_report["results"]
+    assert set(results) == {"kernel", "hop"}  # quick mode skips the sweep
+    for doc in results.values():
+        assert doc["metric"] == "events_per_sec"
+        assert doc["median"] > 0
+        assert len(doc["runs"]) == 1
+        assert doc["events_per_run"] > 0
+
+
+def test_report_round_trips_through_json(tmp_path, quick_report):
+    path = tmp_path / "bench.json"
+    write_report(str(path), quick_report)
+    assert load_report(str(path)) == quick_report
+
+
+def test_attach_baseline_computes_speedups(quick_report):
+    report = json.loads(json.dumps(quick_report))
+    baseline = baseline_from(report, note="self")
+    attach_baseline(report, baseline)
+    assert report["baseline"]["note"] == "self"
+    # Self-comparison is exactly 1.0x.
+    for name in report["results"]:
+        assert report["speedup_vs_baseline"][name] == pytest.approx(1.0)
+
+
+def test_check_against_baseline_flags_regressions(quick_report):
+    committed = json.loads(json.dumps(quick_report))
+    # Identical run: no failures.
+    assert check_against_baseline(quick_report, committed) == []
+    # A >30% slowdown in the fresh run gates.
+    slow = json.loads(json.dumps(quick_report))
+    slow["results"]["kernel"]["median"] *= 0.5
+    failures = check_against_baseline(slow, committed, tolerance=0.30)
+    assert len(failures) == 1 and "kernel" in failures[0]
+    # Within tolerance passes.
+    near = json.loads(json.dumps(quick_report))
+    near["results"]["kernel"]["median"] *= 0.8
+    assert check_against_baseline(near, committed, tolerance=0.30) == []
+    # Missing benchmarks are reported.
+    empty = {"results": {}}
+    failures = check_against_baseline(empty, committed)
+    assert {f.split(":")[0] for f in failures} == {"kernel", "hop"}
+
+
+def test_committed_report_claims_the_required_speedup():
+    """The repo's committed BENCH_kernel.json must document >= 1.5x on
+    the bare kernel versus the recorded pre-PR baseline."""
+    import os
+
+    path = os.path.join(os.path.dirname(__file__), "..", "BENCH_kernel.json")
+    report = load_report(path)
+    assert report["baseline"]["results"]["kernel"]["median"] > 0
+    assert report["speedup_vs_baseline"]["kernel"] >= 1.5
