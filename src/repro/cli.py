@@ -156,6 +156,12 @@ def cmd_run(args) -> int:
     return 0 if result.all_passed else 1
 
 
+def cmd_chaos(args) -> int:
+    """`repro chaos` — sugar for `repro run chaos`."""
+    args.experiment = "chaos"
+    return cmd_run(args)
+
+
 def cmd_run_all(args) -> int:
     from repro.harness.parallel import job_pool, resolve_jobs
 
@@ -282,6 +288,39 @@ def build_parser() -> argparse.ArgumentParser:
         "default 1 = sequential; output is identical either way)",
     )
     run.set_defaults(func=cmd_run)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run the fault-injection / graceful-degradation experiment",
+        description="Crash k of n MCDs, sweep seeded-random failure rates, "
+        "and drive a healthy/degraded/recovered phase pass; equivalent to "
+        "`repro run chaos` with the same flags.",
+    )
+    chaos.add_argument("--scale", choices=SCALES, default="smoke")
+    chaos.add_argument(
+        "--chart", action="store_true", help="render an ASCII chart of the series"
+    )
+    chaos.add_argument(
+        "--json", action="store_true", help="print the result as JSON on stdout"
+    )
+    chaos.add_argument(
+        "--trace-out", metavar="PATH",
+        help="write the instrumented phase pass's spans as Chrome trace_event JSON",
+    )
+    chaos.add_argument(
+        "--metrics-out", metavar="PATH",
+        help="write metrics-registry snapshots as JSON lines (one per component)",
+    )
+    chaos.add_argument(
+        "--sample-interval", type=_positive_float, metavar="SECONDS",
+        help="sample NIC/queue/memory time series at this sim-time interval",
+    )
+    chaos.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the sweep configurations (0 = all cores, "
+        "default 1 = sequential; output is identical either way)",
+    )
+    chaos.set_defaults(func=cmd_chaos)
 
     run_all = sub.add_parser("run-all", help="run every experiment")
     run_all.add_argument("--scale", choices=SCALES, default="smoke")

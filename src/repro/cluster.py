@@ -27,12 +27,12 @@ from repro.lustre.client import LustreClient
 from repro.lustre.mds import MetadataServer
 from repro.lustre.ost import ObjectServer
 from repro.lustre.striping import StripeLayout
-from repro.memcached.client import MemcacheClient
+from repro.memcached.client import HealthPolicy, MemcacheClient
 from repro.memcached.daemon import MemcachedDaemon
 from repro.memcached.hashing import selector as make_selector
 from repro.net.fabric import Network, Node
 from repro.net.profiles import profile
-from repro.net.rpc import Endpoint
+from repro.net.rpc import Endpoint, RetryPolicy
 from repro.nfs.client import NfsClient
 from repro.nfs.server import NfsServer
 from repro.obs.context import Observability
@@ -41,9 +41,47 @@ from repro.obs.samplers import Sampler, gluster_probes
 from repro.obs.trace import NULL_TRACER
 from repro.oscache.pagecache import PageCache
 from repro.sim.core import Simulator
+from repro.sim.rand import RandomStreams
 from repro.storage.raid import Raid0
 from repro.util.stats import Counter
 from repro.util.units import GiB, MiB
+
+
+@dataclass
+class ResilienceConfig:
+    """Failure-handling knobs for a testbed (all default-off: a config
+    without one behaves byte-identically to the pre-fault-layer code).
+
+    MCD traffic gets per-call deadlines plus health tracking (a slow or
+    dead daemon is ejected and treated as a miss); brick traffic gets a
+    deadline-free bounded-backoff retry loop (a brick holds the only
+    copy of its data, so the client stalls through a flap rather than
+    degrading).  All jitter/loss randomness derives from ``seed`` via
+    named :class:`~repro.sim.rand.RandomStreams`.
+    """
+
+    #: Per-attempt deadline for MCD RPCs (seconds).
+    mcd_timeout: float = 2e-3
+    #: Retries after the first MCD attempt.
+    mcd_retries: int = 1
+    #: Retry budget for brick fops (must ride out a server flap).
+    server_retries: int = 10
+    backoff: float = 2e-4
+    backoff_factor: float = 2.0
+    max_backoff: float = 5e-3
+    jitter: float = 0.1
+    # -- MCD health tracking ------------------------------------------------
+    eject_after: int = 2
+    cooldown: float = 0.02
+    purge_on_rejoin: bool = True
+    #: Master seed for jitter and message-loss streams.
+    seed: int = 0xFA17
+
+    def __post_init__(self) -> None:
+        if self.mcd_timeout <= 0:
+            raise ValueError("mcd_timeout must be > 0")
+        if min(self.mcd_retries, self.server_retries) < 0:
+            raise ValueError("retry counts must be >= 0")
 
 
 @dataclass
@@ -75,6 +113,9 @@ class TestbedConfig:
     #: moving MCD traffic to native RDMA.
     mcd_transport: Optional[str] = None
     imca: IMCaConfig = field(default_factory=IMCaConfig)
+    #: Failure handling (timeouts/retries/health tracking); ``None``
+    #: keeps the historical fail-fast behaviour byte-identically.
+    resilience: Optional[ResilienceConfig] = None
 
     # -- Lustre ------------------------------------------------------------------
     #: Data servers (1DS / 4DS in §5).
@@ -123,10 +164,30 @@ class GlusterTestbed:
     cmcaches: list[Optional[CMCacheXlator]]
     smcaches: list[Optional[SMCacheXlator]]
     obs: Observability = field(default_factory=Observability)
+    #: Named random streams (only when ``config.resilience`` is set).
+    streams: Optional[RandomStreams] = None
 
     @property
     def server(self) -> GlusterServer:
         return self.servers[0]
+
+    def arm_faults(self, schedule):
+        """Arm a :class:`~repro.faults.schedule.FaultSchedule` against
+        this testbed; returns the :class:`FaultInjector`."""
+        from repro.faults.injector import FaultInjector
+
+        disks = []
+        for s in self.servers:
+            disks.extend(getattr(s.fs.device, "members", [s.fs.device]))
+        injector = FaultInjector(
+            self.sim,
+            mcds=self.mcds,
+            server_nodes=[s.node for s in self.servers],
+            net=self.net,
+            disks=disks,
+            metrics=self.obs.registry.component("faults"),
+        )
+        return injector.arm(schedule)
 
     def mcd_stats(self) -> dict[str, int]:
         """Aggregated engine statistics across the MCD array (untimed)."""
@@ -190,6 +251,43 @@ def build_gluster_testbed(
         else Network(sim, profile(cfg.mcd_transport), name="cache-net")
     )
 
+    # Failure handling (opt-in; absent = historical fail-fast timing).
+    res = cfg.resilience
+    streams: Optional[RandomStreams] = None
+    mcd_health: Optional[HealthPolicy] = None
+    server_retry: Optional[RetryPolicy] = None
+    if res is not None:
+        streams = RandomStreams(res.seed)
+        jitter_rng = streams.stream("rpc.jitter")
+        mcd_health = HealthPolicy(
+            eject_after=res.eject_after,
+            cooldown=res.cooldown,
+            purge_on_rejoin=res.purge_on_rejoin,
+            retry=RetryPolicy(
+                timeout=res.mcd_timeout,
+                max_retries=res.mcd_retries,
+                backoff=res.backoff,
+                backoff_factor=res.backoff_factor,
+                max_backoff=res.max_backoff,
+                jitter=res.jitter,
+                rng=jitter_rng,
+            ),
+        )
+        # No deadline for brick fops: a loaded disk legitimately takes
+        # tens of milliseconds, and a dead brick fails fast at the
+        # fabric anyway.  The retry loop is what rides out a flap.
+        server_retry = RetryPolicy(
+            max_retries=res.server_retries,
+            backoff=res.backoff,
+            backoff_factor=res.backoff_factor,
+            max_backoff=res.max_backoff,
+            jitter=res.jitter,
+            rng=jitter_rng,
+        )
+        net.loss_rng = streams.stream("net.loss")
+        if cache_net is not net:
+            cache_net.loss_rng = streams.stream("cachenet.loss")
+
     # MCD array.
     mcds = [
         MemcachedDaemon(
@@ -211,7 +309,7 @@ def build_gluster_testbed(
         if use_imca:
             mc = MemcacheClient(
                 Endpoint(cache_net, snode, tracer=tracer), mcds,
-                make_selector(cfg.imca.selector),
+                make_selector(cfg.imca.selector), health=mcd_health,
             )
             smcache = SMCacheXlator(
                 sim, mc, cfg.imca, metrics=reg.component(f"smcache.{snode.name}")
@@ -231,13 +329,15 @@ def build_gluster_testbed(
     for i in range(cfg.num_clients):
         cnode = Node(sim, f"client{i}", cores=cfg.cores)
         ep = Endpoint(net, cnode, tracer=tracer)
-        protocols = [ClientProtocol(ep, server) for server in servers]
+        protocols = [ClientProtocol(ep, server, retry=server_retry) for server in servers]
         bottom: Xlator = protocols[0] if len(protocols) == 1 else DistributeXlator(protocols)
         stack: list[Xlator] = []
         cmcache: Optional[CMCacheXlator] = None
         if use_imca:
             mc_ep = ep if cache_net is net else Endpoint(cache_net, cnode, tracer=tracer)
-            mc = MemcacheClient(mc_ep, mcds, make_selector(cfg.imca.selector))
+            mc = MemcacheClient(
+                mc_ep, mcds, make_selector(cfg.imca.selector), health=mcd_health
+            )
             cmcache = CMCacheXlator(
                 mc, cfg.imca, metrics=reg.component(f"cmcache.{cnode.name}")
             )
@@ -246,7 +346,10 @@ def build_gluster_testbed(
         clients.append(GlusterClient(sim, cnode, Xlator.build_stack(stack), tracer=tracer))
         cmcaches.append(cmcache)
 
-    tb = GlusterTestbed(sim, net, cfg, servers, mcds, clients, cmcaches, smcaches, obs)
+    tb = GlusterTestbed(
+        sim, net, cfg, servers, mcds, clients, cmcaches, smcaches, obs,
+        streams=streams,
+    )
     if obs.sample_interval:
         obs.samplers.append(
             Sampler(sim, reg.component("samples"), gluster_probes(tb), obs.sample_interval)

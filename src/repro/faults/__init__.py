@@ -1,0 +1,38 @@
+"""Deterministic fault injection for the IMCa testbed.
+
+The paper's robustness story (§4.4) — "IMCa can transparently account
+for failures in MCDs" — is only demonstrable with a way to *cause*
+failures.  This package provides it, driven entirely by the DES clock:
+
+* :class:`FaultSchedule` — a sorted, serialisable list of
+  :class:`FaultEvent`\\ s: scripted by hand (builder methods) or drawn
+  from a seeded random process (:func:`random_schedule`).  Same
+  schedule + seed ⇒ byte-identical runs.
+* :class:`FaultInjector` — arms a schedule as simulator processes
+  against a testbed's components: MCD crash + cold restart, GlusterFS
+  server flap, link degradation (latency/loss), slow-disk episodes.
+"""
+
+from repro.faults.schedule import (
+    FAULT_KINDS,
+    LINK_DEGRADE,
+    MCD_CRASH,
+    SERVER_FLAP,
+    SLOW_DISK,
+    FaultEvent,
+    FaultSchedule,
+    random_schedule,
+)
+from repro.faults.injector import FaultInjector
+
+__all__ = [
+    "FAULT_KINDS",
+    "MCD_CRASH",
+    "SERVER_FLAP",
+    "LINK_DEGRADE",
+    "SLOW_DISK",
+    "FaultEvent",
+    "FaultSchedule",
+    "FaultInjector",
+    "random_schedule",
+]

@@ -1,0 +1,140 @@
+"""The fault injector: replays a schedule against live components.
+
+Each :class:`~repro.faults.schedule.FaultEvent` becomes one simulator
+process — wait until ``at``, apply the fault, wait ``duration``,
+recover — so faults interleave with the workload purely through the
+event heap and the whole run stays deterministic.
+
+Recovery semantics per kind:
+
+* ``mcd-crash``    — ``MemcachedDaemon.kill()`` then ``restart()``:
+  the node revives with a **fresh engine** (provably cold; no item,
+  slab page, or CAS value survives).
+* ``server-flap``  — ``Node.fail()`` / ``Node.recover()`` on a brick
+  server: RPCs error while down; on-disk state is durable, so nothing
+  is lost — exactly the paper's "writes are server-first" argument.
+* ``link-degrade`` — :meth:`Network.degrade` / :meth:`Network.restore`
+  around one node: added wire latency and/or message loss.
+* ``slow-disk``    — a service-time multiplier on one spindle (an
+  array member rebuilding or retrying sectors), then back to 1.0.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.faults.schedule import (
+    FaultEvent,
+    FaultSchedule,
+    LINK_DEGRADE,
+    MCD_CRASH,
+    SERVER_FLAP,
+    SLOW_DISK,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.memcached.daemon import MemcachedDaemon
+    from repro.net.fabric import Network, Node
+    from repro.obs.registry import ComponentMetrics
+    from repro.sim.core import Simulator
+    from repro.storage.disk import Disk
+
+
+class FaultInjector:
+    """Arms :class:`FaultSchedule`\\ s against a set of components.
+
+    The injector is testbed-agnostic: it holds plain lists of the
+    things that can fail.  ``GlusterTestbed.arm_faults`` wires one up
+    with the right handles.  ``log`` records every applied transition
+    as ``(time, action, kind, target)`` tuples in simulation order —
+    the determinism tests hash it.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        *,
+        mcds: Sequence["MemcachedDaemon"] = (),
+        server_nodes: Sequence["Node"] = (),
+        net: Optional["Network"] = None,
+        disks: Sequence["Disk"] = (),
+        metrics: Optional["ComponentMetrics"] = None,
+    ) -> None:
+        self.sim = sim
+        self.mcds = list(mcds)
+        self.server_nodes = list(server_nodes)
+        self.net = net
+        self.disks = list(disks)
+        self.metrics = metrics
+        #: (sim time, "inject"/"recover", kind, target) in event order.
+        self.log: list[tuple[float, str, str, object]] = []
+        #: Currently-active fault count (sampled into metrics).
+        self.active = 0
+
+    # -- arming -----------------------------------------------------------
+    def arm(self, schedule: FaultSchedule) -> "FaultInjector":
+        """Spawn one process per event; returns self for chaining."""
+        for ev in schedule:
+            self._validate(ev)
+            self.sim.process(self._episode(ev), name=f"fault.{ev.kind}.{ev.target}")
+        return self
+
+    def _validate(self, ev: FaultEvent) -> None:
+        if ev.kind == MCD_CRASH:
+            if not 0 <= int(ev.target) < len(self.mcds):
+                raise ValueError(f"no MCD {ev.target} (have {len(self.mcds)})")
+        elif ev.kind == SERVER_FLAP:
+            if not 0 <= int(ev.target) < len(self.server_nodes):
+                raise ValueError(
+                    f"no server {ev.target} (have {len(self.server_nodes)})"
+                )
+        elif ev.kind == SLOW_DISK:
+            if not 0 <= int(ev.target) < len(self.disks):
+                raise ValueError(f"no disk {ev.target} (have {len(self.disks)})")
+        elif ev.kind == LINK_DEGRADE:
+            if self.net is None:
+                raise ValueError("link-degrade needs a network handle")
+
+    # -- the episode process ----------------------------------------------
+    def _episode(self, ev: FaultEvent):
+        sim = self.sim
+        delay = ev.at - sim.now
+        if delay > 0:
+            yield sim.timeout(delay)
+        self._apply(ev)
+        yield sim.timeout(ev.duration)
+        self._recover(ev)
+
+    def _record(self, action: str, ev: FaultEvent) -> None:
+        self.log.append((self.sim.now, action, ev.kind, ev.target))
+        if self.metrics is not None:
+            self.metrics.inc(f"{ev.kind}.{action}")
+            self.metrics.sample("active_faults", self.sim.now, float(self.active))
+
+    def _apply(self, ev: FaultEvent) -> None:
+        if ev.kind == MCD_CRASH:
+            self.mcds[int(ev.target)].kill()
+        elif ev.kind == SERVER_FLAP:
+            self.server_nodes[int(ev.target)].fail()
+        elif ev.kind == LINK_DEGRADE:
+            self.net.degrade(
+                str(ev.target),
+                extra_latency=ev.extra_latency,
+                loss_prob=ev.loss_prob,
+            )
+        elif ev.kind == SLOW_DISK:
+            self.disks[int(ev.target)].set_slowdown(ev.slowdown)
+        self.active += 1
+        self._record("inject", ev)
+
+    def _recover(self, ev: FaultEvent) -> None:
+        if ev.kind == MCD_CRASH:
+            self.mcds[int(ev.target)].restart()
+        elif ev.kind == SERVER_FLAP:
+            self.server_nodes[int(ev.target)].recover()
+        elif ev.kind == LINK_DEGRADE:
+            self.net.restore(str(ev.target))
+        elif ev.kind == SLOW_DISK:
+            self.disks[int(ev.target)].set_slowdown(1.0)
+        self.active -= 1
+        self._record("recover", ev)

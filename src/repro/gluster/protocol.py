@@ -1,26 +1,45 @@
-"""protocol/client translator: winds fops over the network to a brick."""
+"""protocol/client translator: winds fops over the network to a brick.
+
+With a :class:`~repro.net.rpc.RetryPolicy` the connection rides out
+server flaps: a dead brick fails fast at the fabric and the fop is
+retried with backoff until the brick returns (or the budget runs out,
+at which point the error surfaces to the application — a brick is the
+*only* copy of its data, unlike an MCD, so there is no degraded path).
+"""
 
 from __future__ import annotations
 
-from typing import Generator
+from typing import Generator, Optional
 
 from repro.gluster.server import GlusterServer, SERVICE, request_size
 from repro.gluster.xlator import Xlator
-from repro.net.rpc import Endpoint
+from repro.net.rpc import Endpoint, RetryPolicy
 
 
 class ClientProtocol(Xlator):
     """The bottom of a client-side stack: one connection to one brick."""
 
-    def __init__(self, endpoint: Endpoint, server: GlusterServer) -> None:
+    def __init__(
+        self,
+        endpoint: Endpoint,
+        server: GlusterServer,
+        retry: Optional[RetryPolicy] = None,
+    ) -> None:
         super().__init__(f"client-protocol/{server.node.name}")
         self.endpoint = endpoint
         self.server = server
+        self.retry = retry
 
     def _call(self, fop: str, args: tuple) -> Generator:
-        reply = yield from self.endpoint.call(
-            self.server.node, SERVICE, (fop, args), req_size=request_size(fop, args)
-        )
+        if self.retry is None:
+            reply = yield from self.endpoint.call(
+                self.server.node, SERVICE, (fop, args), req_size=request_size(fop, args)
+            )
+        else:
+            reply = yield from self.endpoint.call_retry(
+                self.server.node, SERVICE, (fop, args),
+                req_size=request_size(fop, args), policy=self.retry,
+            )
         return reply
 
     def lookup(self, path):

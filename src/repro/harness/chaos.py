@@ -1,0 +1,395 @@
+"""The chaos experiment: graceful degradation under injected faults.
+
+§4.4's claim — "IMCa can transparently account for failures in MCDs" —
+is exercised here with the :mod:`repro.faults` machinery in three
+passes:
+
+1. **Dead-MCD sweep** (the figure): with ``k`` of ``n`` MCDs crashed at
+   the start of the measured phase (k = 0..n) plus a cache-off
+   baseline, every configuration must return byte-identical file
+   contents and stat sizes, the hit rate must fall roughly in
+   proportion to the dead fraction, and with *all* MCDs dead latency
+   must land back on the no-IMCa curve.
+2. **Failure-rate sweep**: seeded-random crash/restart schedules at
+   increasing rates; correctness holds at every rate, and the highest
+   rate is run twice to prove schedule + seed ⇒ identical metrics.
+3. **Phase pass** (instrumented): healthy → half-dead → recovered on
+   one timeline, with per-phase latency/hit-rate recorded through the
+   metrics registry and the usual tier breakdown attached.
+
+Every pass drives the same private-file stat+read workload so numbers
+are comparable across configurations.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.cluster import ResilienceConfig, TestbedConfig, build_gluster_testbed
+from repro.faults.schedule import FaultSchedule, MCD_CRASH, random_schedule
+from repro.harness.experiment import ExperimentResult, register
+from repro.harness.params import params_for
+from repro.harness.parallel import pmap
+from repro.obs.context import make_observability
+from repro.obs.export import metrics_fingerprint, render_tier_breakdown
+from repro.util.stats import OnlineStats
+from repro.workloads.base import drive, run_clients
+
+
+# --------------------------------------------------------------------------- #
+# Shared workload: per-client private files, stat+read measured phase
+# --------------------------------------------------------------------------- #
+def _payload(rank: int, j: int, size: int) -> bytes:
+    """Deterministic, distinct-per-file contents."""
+    phase = (37 * rank + 11 * j + 5) % 251
+    return bytes((phase + i) % 256 for i in range(size))
+
+
+def _build(p: dict, num_mcds: int) -> "object":
+    res = (
+        ResilienceConfig(
+            mcd_timeout=p["mcd_timeout"],
+            mcd_retries=0,
+            cooldown=p["cooldown"],
+            eject_after=2,
+            seed=p["seed"],
+        )
+        if num_mcds
+        else None
+    )
+    return build_gluster_testbed(
+        TestbedConfig(
+            num_clients=p["num_clients"],
+            num_mcds=num_mcds,
+            mcd_memory=p["mcd_memory"],
+            resilience=res,
+        )
+    )
+
+
+def _setup_files(tb, p: dict) -> list[list[tuple[str, int]]]:
+    """Untimed: each client creates and writes its private files."""
+    fds: list[list[tuple[str, int]]] = []
+
+    def body():
+        for rank, c in enumerate(tb.clients):
+            row = []
+            for j in range(p["files_per_client"]):
+                path = f"/chaos/r{rank}/f{j}"
+                fd = yield from c.create(path)
+                data = _payload(rank, j, p["file_size"])
+                yield from c.write(fd, 0, len(data), data)
+                row.append((path, fd))
+            fds.append(row)
+
+    drive(tb.sim, body())
+    return fds
+
+
+def _measure(tb, fds, p: dict, *, until: float = 0.0) -> dict:
+    """The measured phase: every client stats and reads its own files.
+
+    Fixed-work mode (``until == 0``) loops ``rounds`` times — used where
+    runs must be byte-comparable.  Time-bounded mode loops until the
+    deadline — used under random fault schedules.  Returns pooled
+    latencies, an order-independent content fingerprint (per-rank
+    digests over stat size + read bytes, combined in rank order), a
+    mismatch count against the known payloads, and an error count.
+    """
+    sim = tb.sim
+    rec = p["record_size"]
+    per_file = p["file_size"] // rec
+    stat_lat, read_lat = OnlineStats(), OnlineStats()
+    digests: list[str] = ["" for _ in tb.clients]
+    counts = {"ops": 0, "errors": 0, "mismatches": 0}
+
+    def body(client, rank, barrier):
+        h = hashlib.sha256()
+        yield barrier.wait()
+        r = 0
+        while True:
+            if until:
+                if sim.now >= until:
+                    break
+            elif r >= p["rounds"]:
+                break
+            for j, (path, fd) in enumerate(fds[rank]):
+                expected = _payload(rank, j, p["file_size"])
+                try:
+                    t0 = sim.now
+                    st = yield from client.stat(path)
+                    stat_lat.add(sim.now - t0)
+                    h.update(st.size.to_bytes(8, "big"))
+                    if st.size != len(expected):
+                        counts["mismatches"] += 1
+                    off = (r % per_file) * rec
+                    t0 = sim.now
+                    res = yield from client.read(fd, off, rec)
+                    read_lat.add(sim.now - t0)
+                    h.update(res.data or b"")
+                    if res.data != expected[off : off + rec]:
+                        counts["mismatches"] += 1
+                    counts["ops"] += 2
+                except Exception:
+                    counts["errors"] += 1
+            r += 1
+        digests[rank] = h.hexdigest()
+
+    run_clients(sim, tb.clients, body)
+    combined = hashlib.sha256("".join(digests).encode("ascii")).hexdigest()
+    return {
+        "fingerprint": combined,
+        "stat_lat": stat_lat.mean,
+        "read_lat": read_lat.mean,
+        **counts,
+    }
+
+
+def _hit_rate(tb) -> float:
+    cm = tb.cm_stats()
+    hits = cm.get("read_hits", 0)
+    total = hits + cm.get("read_misses", 0)
+    return hits / total if total else 0.0
+
+
+# --------------------------------------------------------------------------- #
+# Pass 1: dead-MCD sweep (pmap jobs)
+# --------------------------------------------------------------------------- #
+def _dead_mcd_job(p: dict, num_mcds: int, dead: int) -> dict:
+    """One sweep point: *dead* of *num_mcds* MCDs crash for the whole
+    measured phase (num_mcds == 0 is the cache-off baseline)."""
+    tb = _build(p, num_mcds)
+    fds = _setup_files(tb, p)
+    if dead:
+        sched = FaultSchedule()
+        for i in range(dead):
+            # Effectively forever: recovery lands after the run ends.
+            sched.mcd_crash(0.0, mcd=i, down_for=1e6)
+        tb.arm_faults(sched.shifted(tb.sim.now))
+    out = _measure(tb, fds, p)
+    out["hit_rate"] = _hit_rate(tb)
+    return out
+
+
+# --------------------------------------------------------------------------- #
+# Pass 2: random failure-rate sweep (pmap jobs)
+# --------------------------------------------------------------------------- #
+def _rate_job(p: dict, rate: float, _repeat: int) -> dict:
+    """One seeded-random crash/restart schedule at *rate* failures/s.
+
+    ``_repeat`` only distinguishes determinism-check duplicates; the
+    run itself depends solely on the schedule seed in ``p``.
+    """
+    n = p["num_mcds"]
+    tb = _build(p, n)
+    fds = _setup_files(tb, p)
+    sched = random_schedule(
+        p["seed"],
+        p["window"],
+        rate=rate,
+        num_targets=n,
+        kinds=(MCD_CRASH,),
+        mean_downtime=p["mean_downtime"],
+    )
+    injector = tb.arm_faults(sched.shifted(tb.sim.now)) if len(sched) else None
+    out = _measure(tb, fds, p, until=tb.sim.now + p["window"])
+    out["hit_rate"] = _hit_rate(tb)
+    out["faults"] = len(sched)
+    out["fault_log"] = len(injector.log) if injector else 0
+    out["metrics_hash"] = metrics_fingerprint(tb.snapshot_metrics())
+    out["schedule_hash"] = sched.fingerprint()
+    return out
+
+
+# --------------------------------------------------------------------------- #
+# Pass 3: instrumented healthy → degraded → recovered phases
+# --------------------------------------------------------------------------- #
+def _phase_pass(p: dict) -> tuple[dict, object]:
+    """One timeline: half the MCDs die for the middle third and rejoin
+    (cold + purged) for the last third; per-phase numbers go through
+    the metrics registry."""
+    n = p["num_mcds"]
+    obs = make_observability("chaos", trace=True)
+    res = ResilienceConfig(
+        mcd_timeout=p["mcd_timeout"],
+        mcd_retries=0,
+        cooldown=p["cooldown"],
+        eject_after=2,
+        seed=p["seed"],
+    )
+    tb = build_gluster_testbed(
+        TestbedConfig(
+            num_clients=1, num_mcds=n, mcd_memory=p["mcd_memory"], resilience=res
+        ),
+        obs=obs,
+    )
+    fds = _setup_files(tb, p)
+    sim = tb.sim
+    phase_len = p["window"] / 3.0
+    t0 = sim.now
+    sched = FaultSchedule()
+    for i in range(max(1, n // 2)):
+        # Recover mid-phase-2: ejection cooldown, the purged rejoin and
+        # cache re-warming all land *inside* the degraded phase, so the
+        # recovered phase measures steady state again.
+        sched.mcd_crash(phase_len, mcd=i, down_for=phase_len / 2)
+    tb.arm_faults(sched.shifted(t0))
+
+    comp = tb.obs.registry.component("chaos.phases")
+    phases = ["healthy", "degraded", "recovered"]
+    rec = p["record_size"]
+    client = tb.clients[0]
+    marks: list[dict] = []
+
+    def snap() -> dict:
+        cm = tb.cm_stats()
+        return {
+            "hits": cm.get("read_hits", 0),
+            "misses": cm.get("read_misses", 0),
+        }
+
+    def body():
+        # Re-read a hot working set (first block of each file) every
+        # round: the phase hit rate then reflects *current* cache
+        # health rather than the warm-up history of a rotating offset.
+        for k, name in enumerate(phases):
+            marks.append(snap())
+            end = t0 + (k + 1) * phase_len
+            while sim.now < end:
+                for path, fd in fds[0]:
+                    ts = sim.now
+                    yield from client.stat(path)
+                    comp.observe(f"{name}.stat_s", sim.now - ts)
+                    ts = sim.now
+                    yield from client.read(fd, 0, rec)
+                    comp.observe(f"{name}.read_s", sim.now - ts)
+                    comp.inc(f"{name}.ops", 2)
+        marks.append(snap())
+
+    drive(sim, body())
+    rows = {"stat latency": [], "read latency": [], "hit rate": []}
+    for k, name in enumerate(phases):
+        rows["stat latency"].append(comp.timer(f"{name}.stat_s").mean)
+        rows["read latency"].append(comp.timer(f"{name}.read_s").mean)
+        dh = marks[k + 1]["hits"] - marks[k]["hits"]
+        dm = marks[k + 1]["misses"] - marks[k]["misses"]
+        rows["hit rate"].append(dh / (dh + dm) if dh + dm else 0.0)
+    return rows, tb
+
+
+# --------------------------------------------------------------------------- #
+# The experiment
+# --------------------------------------------------------------------------- #
+@register(
+    "chaos",
+    "§4.4 robustness",
+    "Fault injection and graceful degradation",
+    "Crash k of n MCDs and sweep random failure rates: contents stay "
+    "byte-identical to the cache-off baseline, hit rate degrades in "
+    "proportion to the dead fraction, all-dead latency returns to the "
+    "no-IMCa curve, and identical schedules + seeds reproduce identical "
+    "metrics.",
+)
+def run_chaos(scale: str = "default") -> ExperimentResult:
+    p = params_for("chaos", scale)
+    n = p["num_mcds"]
+    dead_counts = list(range(n + 1))
+    result = ExperimentResult(
+        "chaos", scale, x_name="dead MCDs (of %d)" % n, x_values=dead_counts
+    )
+
+    # ---- pass 1: dead-MCD sweep (+ cache-off baseline) -------------------
+    jobs = [(p, 0, 0)] + [(p, n, k) for k in dead_counts]
+    rows = pmap(_dead_mcd_job, jobs)
+    baseline, sweep = rows[0], rows[1:]
+    result.series["stat latency"] = [r["stat_lat"] for r in sweep]
+    result.series["read latency"] = [r["read_lat"] for r in sweep]
+    result.series["hit rate"] = [r["hit_rate"] for r in sweep]
+    result.extras["baseline"] = {
+        "stat latency": baseline["stat_lat"],
+        "read latency": baseline["read_lat"],
+    }
+
+    result.check(
+        "degraded-mode correctness: every k (and the baseline) returns "
+        "byte-identical contents and stat sizes",
+        all(r["fingerprint"] == baseline["fingerprint"] for r in sweep)
+        and all(r["mismatches"] == 0 for r in rows),
+        f"baseline fp={baseline['fingerprint'][:12]}; "
+        f"sweep fps={[r['fingerprint'][:12] for r in sweep]}",
+    )
+    result.check(
+        "no op errors surface to the application at any k",
+        all(r["errors"] == 0 for r in rows),
+        f"errors per config: {[r['errors'] for r in rows]}",
+    )
+    hit = result.series["hit rate"]
+    expected = [hit[0] * (n - k) / n for k in dead_counts]
+    result.check(
+        "hit rate degrades in proportion to the dead fraction (~k/n)",
+        all(abs(h - e) <= 0.18 for h, e in zip(hit, expected)),
+        "measured vs k/n-scaled: "
+        + ", ".join(f"k={k}: {h:.2f}/{e:.2f}" for k, h, e in zip(dead_counts, hit, expected)),
+    )
+    all_dead = sweep[-1]
+    slack = p["all_dead_slack"]
+    result.check(
+        "with all MCDs dead, latency returns to the no-IMCa curve "
+        f"(within {slack:.0%})",
+        all_dead["read_lat"] <= baseline["read_lat"] * (1 + slack)
+        and all_dead["stat_lat"] <= baseline["stat_lat"] * (1 + slack),
+        f"read: all-dead={all_dead['read_lat']:.3g}s baseline={baseline['read_lat']:.3g}s; "
+        f"stat: all-dead={all_dead['stat_lat']:.3g}s baseline={baseline['stat_lat']:.3g}s",
+    )
+
+    # ---- pass 2: failure-rate sweep + determinism double-run -------------
+    rates = p["rates"]
+    rate_rows = pmap(_rate_job, [(p, r, 0) for r in rates] + [(p, rates[-1], 1)])
+    repeat = rate_rows.pop()
+    result.extras["failure_rate_sweep"] = {
+        "rates": rates,
+        "hit_rate": [r["hit_rate"] for r in rate_rows],
+        "read_latency": [r["read_lat"] for r in rate_rows],
+        "faults_injected": [r["fault_log"] for r in rate_rows],
+    }
+    result.check(
+        "correctness holds at every failure rate",
+        all(r["mismatches"] == 0 and r["errors"] == 0 for r in rate_rows),
+        f"mismatches={[r['mismatches'] for r in rate_rows]} "
+        f"errors={[r['errors'] for r in rate_rows]}",
+    )
+    result.check(
+        "rising failure rate degrades the hit rate",
+        rate_rows[-1]["hit_rate"] < rate_rows[0]["hit_rate"],
+        f"rate={rates[0]}/s: {rate_rows[0]['hit_rate']:.2f} -> "
+        f"rate={rates[-1]}/s: {rate_rows[-1]['hit_rate']:.2f} "
+        f"({rate_rows[-1]['fault_log']} fault transitions)",
+    )
+    result.check(
+        "identical schedule + seed reproduce identical metrics",
+        repeat["metrics_hash"] == rate_rows[-1]["metrics_hash"]
+        and repeat["schedule_hash"] == rate_rows[-1]["schedule_hash"]
+        and repeat["fingerprint"] == rate_rows[-1]["fingerprint"],
+        f"metrics hash {rate_rows[-1]['metrics_hash'][:12]} == "
+        f"{repeat['metrics_hash'][:12]}",
+    )
+
+    # ---- pass 3: instrumented phase pass ---------------------------------
+    phase_rows, tb = _phase_pass(p)
+    result.extras["phases"] = {"x": ["healthy", "degraded", "recovered"], **phase_rows}
+    tracer = tb.obs.tracer
+    if tracer.enabled:
+        tb.snapshot_metrics()
+        result.extras["tier_breakdown"] = render_tier_breakdown(tracer)
+    result.check(
+        "the degraded phase loses hit rate; the recovered phase regains it",
+        phase_rows["hit rate"][1] < phase_rows["hit rate"][0]
+        and phase_rows["hit rate"][2] > phase_rows["hit rate"][1],
+        "hit rate per phase: "
+        + ", ".join(f"{v:.2f}" for v in phase_rows["hit rate"]),
+    )
+    result.notes.append(
+        "MCD crashes are cold restarts: a rejoining daemon is purged before "
+        "first use, so no pre-crash data can ever be served."
+    )
+    return result

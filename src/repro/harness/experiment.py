@@ -119,3 +119,4 @@ def _ensure_loaded() -> None:
     import repro.harness.runners  # noqa: F401  (registers on import)
     import repro.harness.ablations  # noqa: F401
     import repro.harness.motivation  # noqa: F401
+    import repro.harness.chaos  # noqa: F401

@@ -68,6 +68,14 @@ PAPER_CLAIMS: dict[str, list[str]] = {
         "benefit grows with node count; time still rises linearly (single "
         "MCD serialises the synchronized readers).",
     ],
+    "chaos": [
+        "§4.4: data is written to the file system before the MCDs, so an MCD "
+        "crash can never lose data — 'the failure of one or more MCDs will "
+        "not impact the correct functioning of the file system'.",
+        "Keys on a failed MCD simply miss and requests fall through to the "
+        "server path; performance degrades with the number of failed "
+        "daemons and recovers when they return (cold).",
+    ],
 }
 
 

@@ -162,6 +162,61 @@ PARAMS: dict[str, dict[str, dict]] = {
         "default": dict(nodes=[2, 4, 8, 16, 32], record_size=2 * KiB, records=64),
         "paper": dict(nodes=[2, 4, 8, 16, 32], record_size=2 * KiB, records=256),
     },
+    # ---- chaos: fault injection / graceful degradation (§4.4) ---------------
+    # window / rates / mean_downtime are simulated seconds; ops take ~100 µs,
+    # so a 10 ms window is ~100 ops per client.  all_dead_slack bounds how far
+    # above the cache-off baseline the fully-degraded path may sit (residual
+    # cost: ejection probes + xlator overhead).
+    "chaos": {
+        "smoke": dict(
+            num_clients=2,
+            num_mcds=4,
+            files_per_client=3,
+            file_size=16 * KiB,
+            record_size=2 * KiB,
+            rounds=10,
+            mcd_memory=16 * MiB,
+            window=0.012,
+            rates=[0.0, 200.0, 800.0],
+            mean_downtime=1.5e-3,
+            mcd_timeout=2e-3,
+            cooldown=2e-3,
+            seed=0xC405,
+            all_dead_slack=0.25,
+        ),
+        "default": dict(
+            num_clients=4,
+            num_mcds=4,
+            files_per_client=6,
+            file_size=32 * KiB,
+            record_size=2 * KiB,
+            rounds=32,
+            mcd_memory=32 * MiB,
+            window=0.05,
+            rates=[0.0, 100.0, 300.0, 1000.0],
+            mean_downtime=2e-3,
+            mcd_timeout=2e-3,
+            cooldown=3e-3,
+            seed=0xC405,
+            all_dead_slack=0.20,
+        ),
+        "paper": dict(
+            num_clients=8,
+            num_mcds=6,
+            files_per_client=8,
+            file_size=64 * KiB,
+            record_size=2 * KiB,
+            rounds=96,
+            mcd_memory=64 * MiB,
+            window=0.2,
+            rates=[0.0, 100.0, 300.0, 1000.0, 3000.0],
+            mean_downtime=2e-3,
+            mcd_timeout=2e-3,
+            cooldown=3e-3,
+            seed=0xC405,
+            all_dead_slack=0.20,
+        ),
+    },
 }
 
 

@@ -5,20 +5,61 @@ The client owns the key→server mapping (CRC32 by default, modulo for
 the §5.5 striping experiment) and degrades gracefully when daemons die:
 a failed server makes gets miss and stores no-ops, never an error —
 "IMCa can transparently account for failures in MCDs" (§4.4).
+
+With a :class:`HealthPolicy` the client also *tracks* daemon health:
+after ``eject_after`` consecutive RPC errors a server is ejected and
+skipped outright (zero simulated cost — the fast degraded path), then
+re-probed after ``cooldown``.  Rejoin mandates a purge (``flush_all``)
+so a daemon that merely blinked — recovered without a cold restart —
+can never serve pre-crash data.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Generator, Optional
 
 from repro.memcached.daemon import McValue, MemcachedDaemon, SERVICE, request_size
 from repro.memcached.hashing import Crc32Selector, ServerSelector
 from repro.net.fabric import Node
-from repro.net.rpc import Endpoint, RpcUnavailable
+from repro.net.rpc import Endpoint, RetryPolicy, RpcError, RpcUnavailable
 from repro.util.stats import Counter
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.core import Simulator
+
+
+@dataclass
+class HealthPolicy:
+    """Client-side MCD health tracking knobs.
+
+    ``retry`` (optional) adds per-call deadlines/backoff to every MCD
+    RPC; ejection counts a call as one error after its retries are
+    exhausted.  ``purge_on_rejoin`` is the coherence guarantee: the
+    probe that readmits a server first wipes it, forcing cold-start
+    semantics even when the daemon recovered with its memory intact.
+    """
+
+    eject_after: int = 3
+    cooldown: float = 0.02
+    purge_on_rejoin: bool = True
+    retry: Optional[RetryPolicy] = None
+
+    def __post_init__(self) -> None:
+        if self.eject_after < 1:
+            raise ValueError(f"eject_after must be >= 1: {self.eject_after}")
+        if self.cooldown < 0:
+            raise ValueError(f"cooldown must be >= 0: {self.cooldown}")
+
+
+class _ServerHealth:
+    """Per-server error tracking (ejected when ``ejected_until >= 0``)."""
+
+    __slots__ = ("consecutive_errors", "ejected_until")
+
+    def __init__(self) -> None:
+        self.consecutive_errors = 0
+        self.ejected_until = -1.0
 
 
 class MemcacheClient:
@@ -29,12 +70,15 @@ class MemcacheClient:
         endpoint: Endpoint,
         servers: list[MemcachedDaemon],
         selector: Optional[ServerSelector] = None,
+        health: Optional[HealthPolicy] = None,
     ) -> None:
         if not servers:
             raise ValueError("need at least one memcached server")
         self.endpoint = endpoint
         self.servers = list(servers)
         self.selector = selector or Crc32Selector()
+        self.health = health
+        self._health = [_ServerHealth() for _ in self.servers]
         self.stats = Counter()
         # Spans share the endpoint's tracer; MCD time observed from the
         # client side (RPC wait included) is attributed to the mcd tier.
@@ -46,30 +90,99 @@ class MemcacheClient:
         easily added").  Keys re-map according to the selector — modulo
         N remaps almost everything; ketama only ~1/(N+1)."""
         self.servers.append(server)
+        self._health.append(_ServerHealth())
 
     def server_for(self, key: str, hint: Optional[int] = None) -> MemcachedDaemon:
-        idx = self.selector.select(key, len(self.servers), hint)
-        return self.servers[idx]
+        return self.servers[self._idx_for(key, hint)]
 
-    def _call(self, server: MemcachedDaemon, op: str, payload: Any) -> Generator:
-        reply = yield from self.endpoint.call(
-            server.node, SERVICE, (op, payload), req_size=request_size(op, payload)
-        )
+    def _idx_for(self, key: str, hint: Optional[int] = None) -> int:
+        return self.selector.select(key, len(self.servers), hint)
+
+    def ejected(self, idx: int) -> bool:
+        """Whether server *idx* is currently ejected (for observers)."""
+        return self._health[idx].ejected_until >= 0.0
+
+    def _call(self, idx: int, op: str, payload: Any) -> Generator:
+        server = self.servers[idx]
+        policy = self.health
+        h: Optional[_ServerHealth] = None
+        if policy is not None:
+            h = self._health[idx]
+            if h.ejected_until >= 0.0:
+                if self.endpoint.net.sim.now < h.ejected_until:
+                    # Fast degraded path: no RPC, no simulated time —
+                    # the caller sees a miss instantly.
+                    self.stats.inc("ejected_skips")
+                    raise RpcUnavailable(
+                        f"{server.node.name} ejected (cooldown in progress)"
+                    )
+                yield from self._probe_rejoin(idx, op)
+        try:
+            reply = yield from self.endpoint.call_retry(
+                server.node,
+                SERVICE,
+                (op, payload),
+                req_size=request_size(op, payload),
+                policy=policy.retry if policy is not None else None,
+            )
+        except RpcError:
+            if h is not None:
+                self._note_failure(h)
+            raise
+        if h is not None:
+            h.consecutive_errors = 0
         return reply
+
+    def _note_failure(self, h: _ServerHealth) -> None:
+        h.consecutive_errors += 1
+        if h.consecutive_errors >= self.health.eject_after and h.ejected_until < 0.0:
+            h.ejected_until = self.endpoint.net.sim.now + self.health.cooldown
+            h.consecutive_errors = 0
+            self.stats.inc("ejections")
+
+    def _probe_rejoin(self, idx: int, op: str) -> Generator:
+        """Half-open probe after cooldown: purge, then readmit.
+
+        The purge is mandatory (unless the op *is* the purge): a server
+        that revived without a cold restart still holds pre-crash items,
+        and SMCache updates issued while it was ejected never reached
+        it, so anything it holds is potentially stale.  A failed probe
+        re-ejects for another cooldown.
+        """
+        policy = self.health
+        server = self.servers[idx]
+        h = self._health[idx]
+        if policy.purge_on_rejoin and op != "flush_all":
+            try:
+                yield from self.endpoint.call_retry(
+                    server.node,
+                    SERVICE,
+                    ("flush_all", None),
+                    req_size=request_size("flush_all", None),
+                    policy=policy.retry,
+                )
+            except RpcError:
+                h.ejected_until = self.endpoint.net.sim.now + policy.cooldown
+                self.stats.inc("failed_probes")
+                raise
+            self.stats.inc("rejoin_purges")
+        h.ejected_until = -1.0
+        h.consecutive_errors = 0
+        self.stats.inc("rejoins")
 
     # -- retrieval -------------------------------------------------------------
     def get(self, key: str, hint: Optional[int] = None) -> Generator:
         """Fetch one value; returns :class:`McValue` or None on miss.
 
         A dead server counts as a miss (plus an ``errors`` stat)."""
-        server = self.server_for(key, hint)
+        idx = self._idx_for(key, hint)
         try:
             if self.tracer.enabled:
                 with self.tracer.span("mcd", "mc.get"):
-                    reply = yield from self._call(server, "get_multi", [key])
+                    reply = yield from self._call(idx, "get_multi", [key])
             else:
-                reply = yield from self._call(server, "get_multi", [key])
-        except RpcUnavailable:
+                reply = yield from self._call(idx, "get_multi", [key])
+        except RpcError:
             self.stats.inc("errors")
             self.stats.inc("misses")
             return None
@@ -113,10 +226,10 @@ class MemcacheClient:
         try:
             if self.tracer.enabled:
                 with self.tracer.span("mcd", "mc.batch"):
-                    reply = yield from self._call(self.servers[idx], "get_multi", keys)
+                    reply = yield from self._call(idx, "get_multi", keys)
             else:
-                reply = yield from self._call(self.servers[idx], "get_multi", keys)
-        except RpcUnavailable:
+                reply = yield from self._call(idx, "get_multi", keys)
+        except RpcError:
             self.stats.inc("errors")
             return {}
         return reply
@@ -132,14 +245,14 @@ class MemcacheClient:
         hint: Optional[int] = None,
     ) -> Generator:
         """Store; False when the server is down or rejected the item."""
-        server = self.server_for(key, hint)
+        idx = self._idx_for(key, hint)
         try:
             if self.tracer.enabled:
                 with self.tracer.span("mcd", "mc.set"):
-                    ok = yield from self._call(server, "set", (key, value, nbytes, flags, ttl))
+                    ok = yield from self._call(idx, "set", (key, value, nbytes, flags, ttl))
             else:
-                ok = yield from self._call(server, "set", (key, value, nbytes, flags, ttl))
-        except RpcUnavailable:
+                ok = yield from self._call(idx, "set", (key, value, nbytes, flags, ttl))
+        except RpcError:
             self.stats.inc("errors")
             return False
         self.stats.inc("sets")
@@ -159,10 +272,10 @@ class MemcacheClient:
 
     def _storage(self, op: str, key: str, value: Any, nbytes: int, flags: int,
                  ttl: float, hint: Optional[int]) -> Generator:
-        server = self.server_for(key, hint)
+        idx = self._idx_for(key, hint)
         try:
-            ok = yield from self._call(server, op, (key, value, nbytes, flags, ttl))
-        except RpcUnavailable:
+            ok = yield from self._call(idx, op, (key, value, nbytes, flags, ttl))
+        except RpcError:
             self.stats.inc("errors")
             return False
         self.stats.inc("sets")
@@ -172,10 +285,10 @@ class MemcacheClient:
             ttl: float = 0, hint: Optional[int] = None) -> Generator:
         """Compare-and-swap; returns 'STORED' / 'EXISTS' / 'NOT_FOUND',
         or 'NOT_FOUND' when the server is down."""
-        server = self.server_for(key, hint)
+        idx = self._idx_for(key, hint)
         try:
-            verdict = yield from self._call(server, "cas", (key, value, nbytes, cas, flags, ttl))
-        except RpcUnavailable:
+            verdict = yield from self._call(idx, "cas", (key, value, nbytes, cas, flags, ttl))
+        except RpcError:
             self.stats.inc("errors")
             return "NOT_FOUND"
         return verdict
@@ -190,48 +303,48 @@ class MemcacheClient:
 
     def _concat(self, op: str, key: str, value: Any, nbytes: int,
                 hint: Optional[int]) -> Generator:
-        server = self.server_for(key, hint)
+        idx = self._idx_for(key, hint)
         try:
-            ok = yield from self._call(server, op, (key, value, nbytes))
-        except RpcUnavailable:
+            ok = yield from self._call(idx, op, (key, value, nbytes))
+        except RpcError:
             self.stats.inc("errors")
             return False
         return ok
 
     def incr(self, key: str, delta: int = 1, hint: Optional[int] = None) -> Generator:
         """Numeric increment; None on miss or dead server."""
-        server = self.server_for(key, hint)
+        idx = self._idx_for(key, hint)
         try:
-            value = yield from self._call(server, "incr", (key, delta))
-        except RpcUnavailable:
+            value = yield from self._call(idx, "incr", (key, delta))
+        except RpcError:
             self.stats.inc("errors")
             return None
         return value
 
     def decr(self, key: str, delta: int = 1, hint: Optional[int] = None) -> Generator:
-        server = self.server_for(key, hint)
+        idx = self._idx_for(key, hint)
         try:
-            value = yield from self._call(server, "decr", (key, delta))
-        except RpcUnavailable:
+            value = yield from self._call(idx, "decr", (key, delta))
+        except RpcError:
             self.stats.inc("errors")
             return None
         return value
 
     def touch(self, key: str, ttl: float, hint: Optional[int] = None) -> Generator:
-        server = self.server_for(key, hint)
+        idx = self._idx_for(key, hint)
         try:
-            ok = yield from self._call(server, "touch", (key, ttl))
-        except RpcUnavailable:
+            ok = yield from self._call(idx, "touch", (key, ttl))
+        except RpcError:
             self.stats.inc("errors")
             return False
         return ok
 
     def delete(self, key: str, hint: Optional[int] = None) -> Generator:
-        server = self.server_for(key, hint)
+        idx = self._idx_for(key, hint)
         try:
             with self.tracer.span("mcd", "mc.delete"):
-                ok = yield from self._call(server, "delete", key)
-        except RpcUnavailable:
+                ok = yield from self._call(idx, "delete", key)
+        except RpcError:
             self.stats.inc("errors")
             return False
         self.stats.inc("deletes")
@@ -250,26 +363,26 @@ class MemcacheClient:
         with self.tracer.span("mcd", "mc.delete_multi"):
             for idx, batch in by_server.items():
                 try:
-                    deleted += yield from self._call(self.servers[idx], "delete_multi", batch)
-                except RpcUnavailable:
+                    deleted += yield from self._call(idx, "delete_multi", batch)
+                except RpcError:
                     self.stats.inc("errors")
         self.stats.inc("deletes", deleted)
         return deleted
 
     def flush_all(self) -> Generator:
-        for server in self.servers:
+        for idx in range(len(self.servers)):
             try:
-                yield from self._call(server, "flush_all", None)
-            except RpcUnavailable:
+                yield from self._call(idx, "flush_all", None)
+            except RpcError:
                 self.stats.inc("errors")
 
     def stats_all(self) -> Generator:
         """Collect engine stats from every live server."""
         out = []
-        for server in self.servers:
+        for idx in range(len(self.servers)):
             try:
-                d = yield from self._call(server, "stats", None)
-            except RpcUnavailable:
+                d = yield from self._call(idx, "stats", None)
+            except RpcError:
                 d = None
             out.append(d)
         return out

@@ -57,10 +57,14 @@ class MemcachedDaemon:
     ) -> None:
         self.sim = sim
         self.node = node
+        self.mem_limit = mem_limit
         self.engine = MemcachedEngine(mem_limit, clock=lambda: sim.now)
         self.endpoint = Endpoint(net, node, tracer=tracer)
         self.tracer = tracer
         self.endpoint.register(SERVICE, self._handle)
+        #: Lifecycle counters for the fault layer.
+        self.crashes = 0
+        self.restarts = 0
 
     @property
     def alive(self) -> bool:
@@ -71,11 +75,22 @@ class MemcachedDaemon:
 
         §4.4: "Failures in MCDs do not impact correctness" — the client
         treats errors as misses."""
+        if self.node.alive:
+            self.crashes += 1
         self.node.fail()
 
     def restart(self) -> None:
-        """Recover with an empty cache (a restarted daemon is cold)."""
-        self.engine.flush_all()
+        """Recover with an empty cache (a restarted daemon is cold).
+
+        The engine is *rebuilt*, not flushed: ``flush_all`` unlinks
+        items but keeps slab pages assigned to their classes and the CAS
+        counter running, whereas a real restart loses the process image.
+        A fresh engine makes the cold start provable — no item, page
+        assignment, or CAS value survives.
+        """
+        sim = self.sim
+        self.engine = MemcachedEngine(self.mem_limit, clock=lambda: sim.now)
+        self.restarts += 1
         self.node.recover()
 
     # -- RPC handler ---------------------------------------------------------

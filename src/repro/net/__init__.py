@@ -5,13 +5,22 @@ RDMA, TCP over IPoIB (the transport GlusterFS, IMCa and Lustre use in
 §5), and Gigabit Ethernet (Fig 1) — as chained FIFO stations.
 """
 
-from repro.net.fabric import Network, NetworkError, Node
+from repro.net.fabric import LinkImpairment, Network, NetworkError, Node
 from repro.net.profiles import GIGE, IB_RDMA, IPOIB, PROFILES, TransportProfile, profile
-from repro.net.rpc import HEADER_SIZE, Endpoint, RpcCall, RpcUnavailable
+from repro.net.rpc import (
+    HEADER_SIZE,
+    Endpoint,
+    RetryPolicy,
+    RpcCall,
+    RpcError,
+    RpcTimeout,
+    RpcUnavailable,
+)
 
 __all__ = [
     "Network",
     "NetworkError",
+    "LinkImpairment",
     "Node",
     "TransportProfile",
     "profile",
@@ -20,7 +29,10 @@ __all__ = [
     "IPOIB",
     "GIGE",
     "Endpoint",
+    "RetryPolicy",
     "RpcCall",
+    "RpcError",
+    "RpcTimeout",
     "RpcUnavailable",
     "HEADER_SIZE",
 ]

@@ -17,9 +17,10 @@ IB switch): only end-host NICs and CPUs are capacity-limited.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
 
-from repro.sim.events import Timeout
+from repro.sim.events import Event
 from repro.sim.station import FifoStation
 from repro.util.stats import Counter
 
@@ -30,7 +31,28 @@ if TYPE_CHECKING:  # pragma: no cover
 
 
 class NetworkError(Exception):
-    """A transfer addressed a dead or unknown node."""
+    """A transfer addressed a dead or unknown node, or the message was
+    lost on a degraded link."""
+
+
+@dataclass
+class LinkImpairment:
+    """Degradation applied to every message touching one endpoint.
+
+    ``extra_latency`` is added to the wire latency once per impaired
+    endpoint on the path; ``loss_prob`` is the per-message drop
+    probability (probabilities from both endpoints combine as
+    independent drops).
+    """
+
+    extra_latency: float = 0.0
+    loss_prob: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.extra_latency < 0:
+            raise ValueError(f"negative extra_latency: {self.extra_latency}")
+        if not 0.0 <= self.loss_prob <= 1.0:
+            raise ValueError(f"loss_prob must be in [0, 1]: {self.loss_prob}")
 
 
 class Node:
@@ -74,6 +96,58 @@ class Network:
         self.name = name
         self._nics: dict[str, _Nic] = {}
         self.stats = Counter()
+        #: Per-endpoint impairments (node name -> :class:`LinkImpairment`).
+        #: Empty on a healthy fabric; the delivery-time fast path skips
+        #: the lookup entirely so healthy runs stay float-identical.
+        self._impaired: dict[str, LinkImpairment] = {}
+        #: RNG used for per-message loss draws (a ``numpy`` Generator
+        #: from :class:`~repro.sim.rand.RandomStreams`).  Must be set
+        #: before any non-zero ``loss_prob`` impairment is armed.
+        self.loss_rng = None
+
+    # -- degradation -----------------------------------------------------
+    def degrade(
+        self, node, extra_latency: float = 0.0, loss_prob: float = 0.0
+    ) -> None:
+        """Impair all traffic touching *node* (a :class:`Node` or name)."""
+        name = node.name if isinstance(node, Node) else str(node)
+        if loss_prob > 0.0 and self.loss_rng is None:
+            raise ValueError(
+                f"{self.name}: loss_prob needs a loss_rng (see RandomStreams)"
+            )
+        self._impaired[name] = LinkImpairment(extra_latency, loss_prob)
+        self.stats.inc("degrades")
+
+    def restore(self, node) -> None:
+        """Remove any impairment on *node*; no-op when none is armed."""
+        name = node.name if isinstance(node, Node) else str(node)
+        if self._impaired.pop(name, None) is not None:
+            self.stats.inc("restores")
+
+    def impairment(self, node) -> Optional[LinkImpairment]:
+        name = node.name if isinstance(node, Node) else str(node)
+        return self._impaired.get(name)
+
+    def _extra_wire(self, src: Node, dst: Node) -> float:
+        extra = 0.0
+        imp = self._impaired.get(src.name)
+        if imp is not None:
+            extra += imp.extra_latency
+        imp = self._impaired.get(dst.name)
+        if imp is not None:
+            extra += imp.extra_latency
+        return extra
+
+    def _drop_message(self, src: Node, dst: Node) -> bool:
+        """One Bernoulli draw per impaired endpoint on the path."""
+        if self.loss_rng is None:
+            return False
+        for name in (src.name, dst.name):
+            imp = self._impaired.get(name)
+            if imp is not None and imp.loss_prob > 0.0:
+                if float(self.loss_rng.random()) < imp.loss_prob:
+                    return True
+        return False
 
     # -- membership ------------------------------------------------------
     def attach(self, node: Node) -> None:
@@ -106,6 +180,8 @@ class Network:
         # Profile maths inlined (same expressions as TransportProfile's
         # host_cost/serialization, so timestamps stay float-identical).
         wire = p.wire_latency
+        if self._impaired:
+            wire += self._extra_wire(src, dst)
         copy_cost = p.cpu_per_byte * size
         ser = size / p.bandwidth
         t = self.sim._now
@@ -127,16 +203,56 @@ class Network:
         values["bytes"] = values.get("bytes", 0) + size
         return t
 
-    def transfer(self, src: Node, dst: Node, size: int) -> Timeout:
+    def _undeliverable(self, src: Node, dst: Node, size: int, reason: str) -> Event:
+        """An event that *fails* once the message's one-way traversal has
+        been charged.
+
+        A sender cannot know the far end is dead (or that the switch
+        dropped the frame) at submit time: it pays its own CPU and NIC
+        serialisation, plus one wire latency, before any error can
+        surface.  The receiver-side stations are not charged — nothing
+        arrives there.
+        """
+        p = self.transport
+        src_nic = self.nic(src)
+        wire = p.wire_latency
+        if self._impaired:
+            wire += self._extra_wire(src, dst)
+        t = self.sim._now
+        _, t = src.cpu.reserve(p.cpu_send + p.cpu_per_byte * size, arrival=t)
+        _, tx_end = src_nic.tx.reserve(size / p.bandwidth, arrival=t)
+        self.stats.inc("undeliverable")
+        ev = Event(self.sim)
+        ev._ok = False
+        ev._value = NetworkError(reason)
+        self.sim._schedule(ev, at=tx_end + wire)
+        return ev
+
+    def transfer(self, src: Node, dst: Node, size: int) -> Event:
         """One-way message: event fires when the last byte lands in the
         receiver's memory.  ``yield net.transfer(a, b, nbytes)``.
 
         The returned timeout is recycled through the simulator's pool:
         yield it immediately and do not retain it past its firing.
+
+        A dead *destination* (or a message lost on a degraded link) does
+        not raise here: the returned event **fails** with
+        :class:`NetworkError` only after the one-way traversal has been
+        charged, so failure timing is physical.  A dead *source* still
+        raises synchronously — the sender knows its own state.
         """
         if size < 0:
             raise ValueError("negative message size")
         sim = self.sim
+        if not src.alive:
+            raise NetworkError(f"source {src.name} is down")
+        if not dst.alive:
+            return self._undeliverable(src, dst, size, f"destination {dst.name} is down")
+        if self._impaired and self._drop_message(src, dst):
+            self.stats.inc("lost")
+            return self._undeliverable(
+                src, dst, size, f"message {src.name} -> {dst.name} lost"
+            )
         t = self.delivery_time(src, dst, size)
         return sim.pooled_timeout(t - sim._now)
 

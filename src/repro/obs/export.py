@@ -101,6 +101,19 @@ def write_metrics_jsonl(registry: "MetricsRegistry", path: str) -> int:
     return len(lines)
 
 
+def metrics_fingerprint(registry: "MetricsRegistry") -> str:
+    """sha256 over the sorted JSONL snapshot: a run-identity hash.
+
+    Two runs with equal fingerprints recorded the same counters, timer
+    sums, histogram contents, and sample series — the determinism tests
+    compare these across repeat runs and across ``--jobs N``.
+    """
+    import hashlib
+
+    payload = "\n".join(registry_jsonl_lines(registry)).encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()
+
+
 # --------------------------------------------------------------------------- #
 # Per-tier latency breakdown
 # --------------------------------------------------------------------------- #

@@ -71,7 +71,22 @@ class Disk:
         self.arm = FifoStation(sim, 1, f"{name}.arm")
         # Parked: the first access always pays a seek.
         self._head = -1
+        #: Service-time multiplier for fault injection (slow-disk
+        #: episodes: a rebuilding array member, a failing spindle
+        #: retrying sectors).  1.0 = healthy; never changes healthy
+        #: timestamps because the multiply is skipped entirely.
+        self._slowdown = 1.0
         self.stats = Counter()
+
+    @property
+    def slowdown(self) -> float:
+        return self._slowdown
+
+    def set_slowdown(self, factor: float) -> None:
+        """Scale all subsequent service times by *factor* (>= 1)."""
+        if factor < 1.0:
+            raise ValueError(f"slowdown factor must be >= 1.0: {factor}")
+        self._slowdown = float(factor)
 
     def access_time(self, offset: int, size: int, write: bool = False) -> float:
         """Reserve the arm for one access; return absolute completion time."""
@@ -85,6 +100,8 @@ class Disk:
         seek = offset != self._head
         self._head = offset + size
         service = self.profile.service_time(size, seek=seek)
+        if self._slowdown != 1.0:
+            service *= self._slowdown
         _, end = self.arm.reserve(service)
         self.stats.inc("writes" if write else "reads")
         self.stats.inc("bytes", size)

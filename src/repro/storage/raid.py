@@ -45,6 +45,11 @@ class Raid0:
         self.capacity = profile.capacity * disks
         self.stats = Counter()
 
+    def set_slowdown(self, factor: float) -> None:
+        """Degrade every member (fault injection: slow-disk episodes)."""
+        for disk in self.members:
+            disk.set_slowdown(factor)
+
     def _split(self, offset: int, size: int) -> dict[int, list[tuple[int, int]]]:
         """Map a logical range to per-disk (member_offset, length) runs,
         merging contiguous chunk fragments per member."""

@@ -1,0 +1,107 @@
+"""Tests for fault schedules: validation, serialisation, randomness."""
+
+import pytest
+
+from repro.faults import (
+    FAULT_KINDS,
+    FaultEvent,
+    FaultSchedule,
+    LINK_DEGRADE,
+    MCD_CRASH,
+    SERVER_FLAP,
+    SLOW_DISK,
+    random_schedule,
+)
+
+
+def test_event_validation():
+    with pytest.raises(ValueError):
+        FaultEvent(0.0, "power-surge", 0, 1.0)
+    with pytest.raises(ValueError):
+        FaultEvent(-1.0, MCD_CRASH, 0, 1.0)
+    with pytest.raises(ValueError):
+        FaultEvent(0.0, MCD_CRASH, 0, 0.0)
+    with pytest.raises(ValueError):
+        FaultEvent(0.0, LINK_DEGRADE, "n0", 1.0, loss_prob=1.5)
+    with pytest.raises(ValueError):
+        FaultEvent(0.0, SLOW_DISK, 0, 1.0, slowdown=0.5)
+
+
+def test_until_and_ordering():
+    ev = FaultEvent(2.0, MCD_CRASH, 1, 0.5)
+    assert ev.until == 2.5
+    s = FaultSchedule([FaultEvent(3.0, MCD_CRASH, 0, 1.0), ev])
+    assert [e.at for e in s] == [2.0, 3.0]
+
+
+def test_builders_and_len():
+    s = (
+        FaultSchedule()
+        .mcd_crash(0.5, mcd=1, down_for=0.1)
+        .server_flap(0.2, server=0, down_for=0.1)
+        .link_degrade(0.3, "mcd0", for_=0.1, extra_latency=1e-4)
+        .slow_disk(0.4, disk=2, for_=0.1, slowdown=8.0)
+    )
+    assert len(s) == 4
+    assert [e.kind for e in s] == [SERVER_FLAP, LINK_DEGRADE, SLOW_DISK, MCD_CRASH]
+
+
+def test_shifted_preserves_everything_else():
+    s = FaultSchedule().mcd_crash(0.5, mcd=3, down_for=0.25)
+    t = s.shifted(1.0)
+    assert t.events[0].at == 1.5
+    assert t.events[0].target == 3
+    assert t.events[0].duration == 0.25
+    # The original is untouched.
+    assert s.events[0].at == 0.5
+
+
+def test_json_round_trip_and_fingerprint():
+    s = (
+        FaultSchedule()
+        .mcd_crash(0.1, mcd=0, down_for=0.05)
+        .link_degrade(0.2, "gfs-server", for_=0.1, extra_latency=5e-5, loss_prob=0.01)
+    )
+    restored = FaultSchedule.from_json(s.to_json())
+    assert restored.events == s.events
+    assert restored.fingerprint() == s.fingerprint()
+    assert s.shifted(1.0).fingerprint() != s.fingerprint()
+
+
+def test_random_schedule_deterministic():
+    kw = dict(rate=500.0, num_targets=4, kinds=(MCD_CRASH, SLOW_DISK))
+    a = random_schedule(42, 0.1, **kw)
+    b = random_schedule(42, 0.1, **kw)
+    c = random_schedule(43, 0.1, **kw)
+    assert a.events == b.events
+    assert a.fingerprint() == b.fingerprint()
+    assert a.fingerprint() != c.fingerprint()
+    assert len(a) > 0
+    assert all(0.0 <= e.at < 0.1 for e in a)
+    assert all(e.kind in FAULT_KINDS for e in a)
+
+
+def test_random_schedule_rate_scales_and_zero():
+    lo = random_schedule(7, 1.0, rate=20.0, num_targets=8)
+    hi = random_schedule(7, 1.0, rate=200.0, num_targets=8)
+    assert len(hi) > len(lo) > 0
+    assert len(random_schedule(7, 1.0, rate=0.0, num_targets=8)) == 0
+
+
+def test_random_schedule_no_overlap_per_target():
+    s = random_schedule(3, 1.0, rate=500.0, num_targets=2, mean_downtime=0.05)
+    busy = {}
+    for ev in s:
+        key = (ev.kind, ev.target)
+        assert busy.get(key, -1.0) <= ev.at
+        busy[key] = ev.until
+
+
+def test_random_schedule_link_kind_needs_nodes():
+    with pytest.raises(ValueError):
+        random_schedule(1, 1.0, rate=10.0, num_targets=2, kinds=(LINK_DEGRADE,))
+    s = random_schedule(
+        1, 1.0, rate=50.0, num_targets=2,
+        kinds=(LINK_DEGRADE,), link_nodes=["a", "b"],
+    )
+    assert all(e.target in ("a", "b") for e in s)

@@ -1,0 +1,153 @@
+"""Client-side MCD health tracking: ejection, cooldown, purged rejoin."""
+
+import pytest
+
+from repro.memcached import MemcacheClient, MemcachedDaemon
+from repro.memcached.client import HealthPolicy
+from repro.net import Endpoint, IPOIB, Network, Node
+from repro.sim import Simulator
+from repro.util import MiB
+
+
+def make_cluster(n_mcds=1, health=None, mem=16 * MiB):
+    sim = Simulator()
+    net = Network(sim, IPOIB)
+    cep = Endpoint(net, Node(sim, "client"))
+    daemons = [
+        MemcachedDaemon(sim, net, Node(sim, f"mcd{i}"), mem) for i in range(n_mcds)
+    ]
+    client = MemcacheClient(cep, daemons, health=health)
+    return sim, client, daemons
+
+
+def drive(sim, gen):
+    p = sim.process(gen)
+    sim.run()
+    return p.value
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        HealthPolicy(eject_after=0)
+    with pytest.raises(ValueError):
+        HealthPolicy(cooldown=-1.0)
+
+
+def test_consecutive_errors_eject_the_server():
+    sim, client, (mcd,) = make_cluster(health=HealthPolicy(eject_after=2, cooldown=1.0))
+    mcd.kill()
+
+    def proc():
+        for _ in range(5):
+            yield from client.get("k")
+
+    drive(sim, proc())
+    assert client.stats.get("ejections") == 1
+    assert client.ejected(0)
+    # Only the first eject_after calls paid a network attempt; the rest
+    # were skipped locally at zero cost (still surfacing as op errors).
+    assert client.stats.get("ejected_skips") == 3
+    assert client.stats.get("errors") == 5
+
+
+def test_errors_counter_resets_on_success():
+    sim, client, (mcd,) = make_cluster(health=HealthPolicy(eject_after=3, cooldown=1.0))
+
+    def proc():
+        yield from client.set("k", b"v", 1)
+        mcd.kill()
+        yield from client.get("k")  # error 1
+        mcd.node.recover()
+        yield from client.get("k")  # success resets the streak
+        mcd.node.fail()
+        yield from client.get("k")  # error 1 again
+        yield from client.get("k")  # error 2 — still below the limit
+
+    drive(sim, proc())
+    assert client.stats.get("ejections", 0) == 0
+
+
+def test_rejoin_purges_and_never_serves_pre_crash_data():
+    """Kill an MCD mid-run, bring the *node* back with its stale engine
+    intact (the worst case), and confirm the rejoin purge prevents any
+    pre-crash value from being served."""
+    sim, client, (mcd,) = make_cluster(health=HealthPolicy(eject_after=1, cooldown=0.005))
+    got = []
+
+    def proc():
+        yield from client.set("k", b"pre-crash", 9)
+        # The node dies but its memory is NOT wiped: a stale engine.
+        mcd.node.fail()
+        yield from client.get("k")          # error -> immediate ejection
+        mcd.node.recover()                  # stale daemon comes back
+        yield from client.get("k")          # still in cooldown: skipped
+        yield sim.timeout(0.01)
+        v = yield from client.get("k")      # probe: purge + rejoin
+        got.append(v)
+
+    drive(sim, proc())
+    assert got == [None], "a stale pre-crash value must never be served"
+    assert client.stats.get("rejoin_purges") == 1
+    assert client.stats.get("rejoins") == 1
+    assert not client.ejected(0)
+    assert mcd.engine.get("k") is None
+
+
+def test_failed_probe_reejects():
+    sim, client, (mcd,) = make_cluster(health=HealthPolicy(eject_after=1, cooldown=0.005))
+    mcd.kill()
+
+    def proc():
+        yield from client.get("k")      # eject
+        yield sim.timeout(0.01)
+        yield from client.get("k")      # probe fails: still down
+        assert client.ejected(0)
+        mcd.restart()
+        yield sim.timeout(0.01)
+        v = yield from client.get("k")  # probe succeeds now
+        assert v is None
+        assert not client.ejected(0)
+
+    drive(sim, proc())
+    assert client.stats.get("failed_probes") == 1
+    assert client.stats.get("rejoins") == 1
+
+
+def test_daemon_restart_is_provably_cold():
+    sim = Simulator()
+    net = Network(sim, IPOIB)
+    mcd = MemcachedDaemon(sim, net, Node(sim, "mcd0"), 16 * MiB)
+    mcd.engine.set("a", b"1", 1)
+    mcd.engine.set("b", b"2", 1)
+    old_engine = mcd.engine
+    mcd.kill()
+    mcd.restart()
+    assert mcd.engine is not old_engine
+    assert mcd.engine.get("a") is None
+    assert mcd.engine.get("b") is None
+    assert mcd.engine.stats.get("curr_items", 0) == 0
+    assert mcd.crashes == 1 and mcd.restarts == 1
+    assert mcd.node.alive
+
+
+def test_kill_is_idempotent_on_dead_node():
+    sim = Simulator()
+    net = Network(sim, IPOIB)
+    mcd = MemcachedDaemon(sim, net, Node(sim, "mcd0"), 16 * MiB)
+    mcd.kill()
+    mcd.kill()
+    assert mcd.crashes == 1
+
+
+def test_no_health_policy_keeps_historical_fail_fast():
+    sim, client, (mcd,) = make_cluster(health=None)
+    mcd.kill()
+
+    def proc():
+        for _ in range(4):
+            v = yield from client.get("k")
+            assert v is None
+
+    drive(sim, proc())
+    assert client.stats.get("ejections", 0) == 0
+    assert client.stats.get("errors") == 4
