@@ -83,13 +83,14 @@ def _run_observed(exp, args):
     trace_out = getattr(args, "trace_out", None)
     metrics_out = getattr(args, "metrics_out", None)
     sample_interval = getattr(args, "sample_interval", None)
+    run_kwargs = getattr(args, "run_kwargs", {})
     if not (trace_out or metrics_out or sample_interval):
-        return exp.run(args.scale), None
+        return exp.run(args.scale, **run_kwargs), None
     from repro.obs import ObsRequest, observing
 
     req = ObsRequest(trace=bool(trace_out), sample_interval=sample_interval)
     with observing(req):
-        result = exp.run(args.scale)
+        result = exp.run(args.scale, **run_kwargs)
     traced = [o for o in req.captures if o.tracer.enabled and o.tracer.spans]
     capture = traced[-1] if traced else (req.captures[-1] if req.captures else None)
     return result, capture
@@ -146,8 +147,13 @@ def cmd_run(args) -> int:
         print(exp.description)
         print()
     t0 = time.time()
-    with job_pool(jobs):
-        result, capture = _run_observed(exp, args)
+    try:
+        with job_pool(jobs):
+            result, capture = _run_observed(exp, args)
+    except ValueError as e:
+        # e.g. `chaos --replicas R` outside 1..num_mcds for the scale.
+        print(f"error: {e}", file=sys.stderr)
+        return 2
     _export_artifacts(capture, args)
     if args.json:
         print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
@@ -159,6 +165,13 @@ def cmd_run(args) -> int:
 def cmd_chaos(args) -> int:
     """`repro chaos` — sugar for `repro run chaos`."""
     args.experiment = "chaos"
+    args.run_kwargs = {"replicas": args.replicas}
+    return cmd_run(args)
+
+
+def cmd_hotspot(args) -> int:
+    """`repro hotspot` — sugar for `repro run hotspot`."""
+    args.experiment = "hotspot"
     return cmd_run(args)
 
 
@@ -250,6 +263,34 @@ def cmd_report(args) -> int:
     return 0
 
 
+def _add_run_flags(sub: argparse.ArgumentParser) -> None:
+    """The flags shared by `run` and its per-experiment sugar commands."""
+    sub.add_argument("--scale", choices=SCALES, default="smoke")
+    sub.add_argument(
+        "--chart", action="store_true", help="render an ASCII chart of the series"
+    )
+    sub.add_argument(
+        "--json", action="store_true", help="print the result as JSON on stdout"
+    )
+    sub.add_argument(
+        "--trace-out", metavar="PATH",
+        help="write the instrumented pass's spans as Chrome trace_event JSON",
+    )
+    sub.add_argument(
+        "--metrics-out", metavar="PATH",
+        help="write metrics-registry snapshots as JSON lines (one per component)",
+    )
+    sub.add_argument(
+        "--sample-interval", type=_positive_float, metavar="SECONDS",
+        help="sample NIC/queue/memory time series at this sim-time interval",
+    )
+    sub.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for sweep configurations (0 = all cores, "
+        "default 1 = sequential; output is identical either way)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -263,30 +304,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="run one experiment")
     run.add_argument("experiment", help="experiment id (see `list`)")
-    run.add_argument("--scale", choices=SCALES, default="smoke")
-    run.add_argument(
-        "--chart", action="store_true", help="render an ASCII chart of the series"
-    )
-    run.add_argument(
-        "--json", action="store_true", help="print the result as JSON on stdout"
-    )
-    run.add_argument(
-        "--trace-out", metavar="PATH",
-        help="write the instrumented pass's spans as Chrome trace_event JSON",
-    )
-    run.add_argument(
-        "--metrics-out", metavar="PATH",
-        help="write metrics-registry snapshots as JSON lines (one per component)",
-    )
-    run.add_argument(
-        "--sample-interval", type=_positive_float, metavar="SECONDS",
-        help="sample NIC/queue/memory time series at this sim-time interval",
-    )
-    run.add_argument(
-        "--jobs", type=int, default=1, metavar="N",
-        help="worker processes for sweep configurations (0 = all cores, "
-        "default 1 = sequential; output is identical either way)",
-    )
+    _add_run_flags(run)
     run.set_defaults(func=cmd_run)
 
     chaos = sub.add_parser(
@@ -296,31 +314,24 @@ def build_parser() -> argparse.ArgumentParser:
         "and drive a healthy/degraded/recovered phase pass; equivalent to "
         "`repro run chaos` with the same flags.",
     )
-    chaos.add_argument("--scale", choices=SCALES, default="smoke")
+    _add_run_flags(chaos)
     chaos.add_argument(
-        "--chart", action="store_true", help="render an ASCII chart of the series"
-    )
-    chaos.add_argument(
-        "--json", action="store_true", help="print the result as JSON on stdout"
-    )
-    chaos.add_argument(
-        "--trace-out", metavar="PATH",
-        help="write the instrumented phase pass's spans as Chrome trace_event JSON",
-    )
-    chaos.add_argument(
-        "--metrics-out", metavar="PATH",
-        help="write metrics-registry snapshots as JSON lines (one per component)",
-    )
-    chaos.add_argument(
-        "--sample-interval", type=_positive_float, metavar="SECONDS",
-        help="sample NIC/queue/memory time series at this sim-time interval",
-    )
-    chaos.add_argument(
-        "--jobs", type=int, default=1, metavar="N",
-        help="worker processes for the sweep configurations (0 = all cores, "
-        "default 1 = sequential; output is identical either way)",
+        "--replicas", type=int, default=1, metavar="R",
+        help="store each key on R distinct MCDs (default 1 = the paper's "
+        "unreplicated mapping); killed daemons then change only the hit "
+        "rate, never the returned bytes",
     )
     chaos.set_defaults(func=cmd_chaos)
+
+    hotspot = sub.add_parser(
+        "hotspot",
+        help="run the replicated hot-key caching experiment",
+        description="Sweep Zipf skew and replica count R for per-MCD load "
+        "imbalance, hammer one hot key for tail latency, and kill a replica "
+        "mid-run; equivalent to `repro run hotspot` with the same flags.",
+    )
+    _add_run_flags(hotspot)
+    hotspot.set_defaults(func=cmd_hotspot)
 
     run_all = sub.add_parser("run-all", help="run every experiment")
     run_all.add_argument("--scale", choices=SCALES, default="smoke")

@@ -133,6 +133,13 @@ class TestbedConfig:
             raise ValueError("num_mcds must be >= 0")
         if self.num_bricks < 1:
             raise ValueError("num_bricks must be >= 1")
+        # Replication needs R distinct daemons to hold R copies; a
+        # config asking for more replicas than MCDs is a sizing mistake,
+        # not something to silently clamp.
+        if self.num_mcds and self.imca.replicas > self.num_mcds:
+            raise ValueError(
+                f"imca.replicas={self.imca.replicas} exceeds num_mcds={self.num_mcds}"
+            )
 
 
 def _make_fs(
@@ -203,6 +210,13 @@ class GlusterTestbed:
         """Aggregated SMCache translator counters across all bricks."""
         return merged_counters(sm.metrics if sm else None for sm in self.smcaches)
 
+    def mcclient_stats(self) -> dict[str, int]:
+        """Aggregated MemcacheClient counters (hits/misses/errors and the
+        ``replica_*`` fan-out/spread metrics) across every holder."""
+        stats = [cm.mc.stats for cm in self.cmcaches if cm is not None]
+        stats.extend(sm.mc.stats for sm in self.smcaches if sm is not None)
+        return merged_counters(stats)
+
     def snapshot_metrics(self):
         """Fold live component state into the registry and return it.
 
@@ -215,6 +229,9 @@ class GlusterTestbed:
             mcd = reg.component("mcd")
             for k, v in self.mcd_stats().items():
                 mcd.counters.values[k] = int(v)
+            mcc = reg.component("mcclient")
+            for k, v in self.mcclient_stats().items():
+                mcc.counters.values[k] = int(v)
         net = reg.component("net")
         for k, v in self.net.stats.as_dict().items():
             net.counters.values[k] = v
@@ -307,9 +324,12 @@ def build_gluster_testbed(
         server_xlators: list[Xlator] = []
         smcache: Optional[SMCacheXlator] = None
         if use_imca:
+            # rr_seed staggers the read round-robin start per holder so
+            # concurrent readers don't stampede the same replica first.
             mc = MemcacheClient(
                 Endpoint(cache_net, snode, tracer=tracer), mcds,
                 make_selector(cfg.imca.selector), health=mcd_health,
+                replicas=cfg.imca.replicas, rr_seed=b,
             )
             smcache = SMCacheXlator(
                 sim, mc, cfg.imca, metrics=reg.component(f"smcache.{snode.name}")
@@ -336,7 +356,8 @@ def build_gluster_testbed(
         if use_imca:
             mc_ep = ep if cache_net is net else Endpoint(cache_net, cnode, tracer=tracer)
             mc = MemcacheClient(
-                mc_ep, mcds, make_selector(cfg.imca.selector), health=mcd_health
+                mc_ep, mcds, make_selector(cfg.imca.selector), health=mcd_health,
+                replicas=cfg.imca.replicas, rr_seed=cfg.num_bricks + i,
             )
             cmcache = CMCacheXlator(
                 mc, cfg.imca, metrics=reg.component(f"cmcache.{cnode.name}")

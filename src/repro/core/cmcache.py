@@ -4,6 +4,14 @@ Sits at the top of the GlusterFS client stack.  Intercepts ``stat`` and
 ``Read`` and attempts to satisfy them directly from the MCD array;
 everything else (and every miss) propagates to the server.  ``Write``
 is deliberately not intercepted — writes must be persistent (§4.3.2).
+
+With a replicated :class:`~repro.memcached.client.MemcacheClient`
+(``IMCaConfig.replicas > 1``) each get/multi-get is spread over the
+key's replicas (seeded round-robin, skipping ejected daemons), so a
+Zipf-hot ``abspath:stat`` key no longer pins one MCD.  Correctness
+still rests on SMCache's purge fan-out: CMCache may read *any*
+replica precisely because every server-side update and purge reaches
+*all* of them.
 """
 
 from __future__ import annotations

@@ -40,6 +40,13 @@ class IMCaConfig:
     #: hashing, the §7 future-work direction).
     selector: str = "crc32"
 
+    #: Hot-key scale-out: store each key on this many distinct MCDs
+    #: (primary from ``selector``, the rest via a ketama-ring walk).
+    #: Reads spread over the replicas; writes and purges fan out to all
+    #: of them.  1 = the paper's unreplicated mapping, byte-identical
+    #: to the pre-replication code paths.
+    replicas: int = 1
+
     #: Purge a file's cached blocks when the server sees an Open (§4.3.2).
     purge_on_open: bool = True
 
@@ -65,3 +72,5 @@ class IMCaConfig:
             )
         if self.selector not in ("crc32", "modulo", "ketama"):
             raise ValueError(f"unknown selector {self.selector!r}")
+        if self.replicas < 1:
+            raise ValueError(f"replicas must be >= 1: {self.replicas}")

@@ -15,6 +15,14 @@ i.e. the callback-handler hooks of §4.1 — feeds results to the MCDs:
 
 With ``threaded_updates`` the pushes (and the write read-back) run on
 an update thread off the critical path — the Fig 6(c) optimisation.
+
+**Replication invariant** (``IMCaConfig.replicas > 1``): every push and
+every purge issued here goes through a replica-aware
+:class:`~repro.memcached.client.MemcacheClient`, which fans stores and
+deletes out to *all* replicas of a key.  A purge that skipped a replica
+would leave a stale ``:stat`` or data block serveable to the read
+spreader, so SMCache must never bypass the client's fan-out (e.g. by
+talking to a daemon directly).
 """
 
 from __future__ import annotations
@@ -78,11 +86,18 @@ class SMCacheXlator(Xlator):
             yield from task()
 
     # -- MCD plumbing -------------------------------------------------------------
+    def _fanout_width(self) -> int:
+        """Extra copies each replicated store/purge writes (0 when off)."""
+        return min(self.mc.replicas, len(self.mc.servers)) - 1
+
     def _push_stat(self, path: str, stat: StatBuf) -> Generator:
         key = stat_key(path)
         if key is None or not self.config.cache_stat:
             return
         self.metrics.inc("stat_pushes")
+        width = self._fanout_width()
+        if width:
+            self.metrics.inc("replica_pushes", width)
         yield from self.mc.set(
             key, stat.copy(), nbytes=StatBuf.WIRE_SIZE, ttl=self.config.stat_ttl
         )
@@ -101,6 +116,9 @@ class SMCacheXlator(Xlator):
             todo.append((key, bv, self.mapper.block_index(bv.block_offset)))
         if not todo:
             return
+        width = self._fanout_width()
+        if width:
+            self.metrics.inc("replica_pushes", width * len(todo))
         if len(todo) == 1:
             key, bv, hint = todo[0]
             ok = yield from self.mc.set(
@@ -137,11 +155,20 @@ class SMCacheXlator(Xlator):
         if keys:
             self.metrics.inc("purges")
             self.metrics.inc("purged_blocks", len(keys))
+            width = self._fanout_width()
+            if width:
+                # delete_multi invalidates every replica of every key;
+                # record the fan-out so coherence audits can compare
+                # intended replica purges against the client's deletes.
+                self.metrics.inc("replica_purges", width * len(keys))
             yield from self.mc.delete_multi(keys, hints)
 
     def _purge_stat(self, path: str) -> Generator:
         key = stat_key(path)
         if key is not None:
+            width = self._fanout_width()
+            if width:
+                self.metrics.inc("replica_purges", width)
             yield from self.mc.delete(key)
 
     # -- fops ---------------------------------------------------------------------

@@ -24,8 +24,10 @@ are comparable across configurations.
 from __future__ import annotations
 
 import hashlib
+import math
 
 from repro.cluster import ResilienceConfig, TestbedConfig, build_gluster_testbed
+from repro.core.config import IMCaConfig
 from repro.faults.schedule import FaultSchedule, MCD_CRASH, random_schedule
 from repro.harness.experiment import ExperimentResult, register
 from repro.harness.params import params_for
@@ -62,6 +64,7 @@ def _build(p: dict, num_mcds: int) -> "object":
             num_clients=p["num_clients"],
             num_mcds=num_mcds,
             mcd_memory=p["mcd_memory"],
+            imca=IMCaConfig(replicas=p.get("replicas", 1) if num_mcds else 1),
             resilience=res,
         )
     )
@@ -219,7 +222,11 @@ def _phase_pass(p: dict) -> tuple[dict, object]:
     )
     tb = build_gluster_testbed(
         TestbedConfig(
-            num_clients=1, num_mcds=n, mcd_memory=p["mcd_memory"], resilience=res
+            num_clients=1,
+            num_mcds=n,
+            mcd_memory=p["mcd_memory"],
+            imca=IMCaConfig(replicas=p.get("replicas", 1)),
+            resilience=res,
         ),
         obs=obs,
     )
@@ -290,13 +297,17 @@ def _phase_pass(p: dict) -> tuple[dict, object]:
     "no-IMCa curve, and identical schedules + seeds reproduce identical "
     "metrics.",
 )
-def run_chaos(scale: str = "default") -> ExperimentResult:
+def run_chaos(scale: str = "default", replicas: int = 1) -> ExperimentResult:
     p = params_for("chaos", scale)
     n = p["num_mcds"]
+    if not 1 <= replicas <= n:
+        raise ValueError(f"replicas must be in [1, {n}]: {replicas}")
+    p["replicas"] = replicas
     dead_counts = list(range(n + 1))
     result = ExperimentResult(
         "chaos", scale, x_name="dead MCDs (of %d)" % n, x_values=dead_counts
     )
+    result.extras["replicas"] = replicas
 
     # ---- pass 1: dead-MCD sweep (+ cache-off baseline) -------------------
     jobs = [(p, 0, 0)] + [(p, n, k) for k in dead_counts]
@@ -324,12 +335,19 @@ def run_chaos(scale: str = "default") -> ExperimentResult:
         f"errors per config: {[r['errors'] for r in rows]}",
     )
     hit = result.series["hit rate"]
-    expected = [hit[0] * (n - k) / n for k in dead_counts]
+    # A key survives while any of its R replicas is alive; with k of n
+    # daemons dead that is 1 - C(k,R)/C(n,R) of the keyspace (the
+    # unreplicated R=1 case reduces to the familiar (n-k)/n).
+    surviving = [1 - math.comb(k, replicas) / math.comb(n, replicas) for k in dead_counts]
     result.check(
-        "hit rate degrades in proportion to the dead fraction (~k/n)",
-        all(abs(h - e) <= 0.18 for h, e in zip(hit, expected)),
-        "measured vs k/n-scaled: "
-        + ", ".join(f"k={k}: {h:.2f}/{e:.2f}" for k, h, e in zip(dead_counts, hit, expected)),
+        "hit rate degrades in proportion to the surviving-key fraction "
+        f"(1 - C(k,R)/C(n,R), R={replicas})",
+        all(abs(h - hit[0] * s) <= 0.18 for h, s in zip(hit, surviving)),
+        "measured vs survival-scaled: "
+        + ", ".join(
+            f"k={k}: {h:.2f}/{hit[0] * s:.2f}"
+            for k, h, s in zip(dead_counts, hit, surviving)
+        ),
     )
     all_dead = sweep[-1]
     slack = p["all_dead_slack"]
@@ -392,4 +410,10 @@ def run_chaos(scale: str = "default") -> ExperimentResult:
         "MCD crashes are cold restarts: a rejoining daemon is purged before "
         "first use, so no pre-crash data can ever be served."
     )
+    if replicas > 1:
+        result.notes.append(
+            f"replication on: every key lives on {replicas} MCDs, so killing "
+            "daemons changes only the hit rate (per the survival function), "
+            "never the returned bytes."
+        )
     return result

@@ -68,6 +68,15 @@ PAPER_CLAIMS: dict[str, list[str]] = {
         "benefit grows with node count; time still rises linearly (single "
         "MCD serialises the synchronized readers).",
     ],
+    "hotspot": [
+        "§4.2/Fig 10: the CRC32 map pins every hot key (e.g. a shared "
+        "file's ``:stat`` entry) to a single daemon, which serialises the "
+        "synchronized readers.",
+        "§7 names 'different hashing algorithms' as future work; R-way "
+        "replication (reads spread over replicas, writes/purges fan out to "
+        "all of them) flattens hot-key load without weakening the §4.3.2 "
+        "coherence argument.",
+    ],
     "chaos": [
         "§4.4: data is written to the file system before the MCDs, so an MCD "
         "crash can never lose data — 'the failure of one or more MCDs will "

@@ -162,6 +162,84 @@ PARAMS: dict[str, dict[str, dict]] = {
         "default": dict(nodes=[2, 4, 8, 16, 32], record_size=2 * KiB, records=64),
         "paper": dict(nodes=[2, 4, 8, 16, 32], record_size=2 * KiB, records=256),
     },
+    # ---- hotspot: replicated hot-key caching --------------------------------
+    # Pass 1 replays a Zipf trace per (skew, R) and reads per-MCD load
+    # imbalance off the engine counters; pass 2 hammers one hot file from
+    # hot_clients concurrent clients for tail latency; pass 3 kills one
+    # MCD under R=2 and replays known payloads.  trace_file_size is a
+    # single size so load imbalance reflects popularity, not file-size
+    # luck-of-the-draw.
+    "hotspot": {
+        "smoke": dict(
+            num_clients=3,
+            num_mcds=4,
+            mcd_memory=32 * MiB,
+            replica_counts=[1, 2, 3],
+            skews=[0.99, 1.2],
+            num_files=96,
+            operations=1500,
+            read_ratio=0.85,
+            stat_ratio=0.4,
+            trace_file_size=4 * KiB,
+            record_size=2 * KiB,
+            hot_clients=16,
+            hot_rounds=30,
+            hot_file_size=4 * KiB,
+            deg_clients=2,
+            deg_files=4,
+            deg_file_size=8 * KiB,
+            deg_rounds=6,
+            mcd_timeout=2e-3,
+            cooldown=2e-3,
+            seed=0x5407,
+        ),
+        "default": dict(
+            num_clients=4,
+            num_mcds=4,
+            mcd_memory=64 * MiB,
+            replica_counts=[1, 2, 3],
+            skews=[0.6, 0.99, 1.2],
+            num_files=96,
+            operations=3000,
+            read_ratio=0.85,
+            stat_ratio=0.4,
+            trace_file_size=4 * KiB,
+            record_size=2 * KiB,
+            hot_clients=16,
+            hot_rounds=80,
+            hot_file_size=4 * KiB,
+            deg_clients=4,
+            deg_files=6,
+            deg_file_size=16 * KiB,
+            deg_rounds=12,
+            mcd_timeout=2e-3,
+            cooldown=2e-3,
+            seed=0x5407,
+        ),
+        "paper": dict(
+            num_clients=8,
+            num_mcds=4,
+            replica_counts=[1, 2, 3],
+            mcd_memory=128 * MiB,
+            skews=[0.6, 0.99, 1.2],
+            num_files=96,
+            operations=12000,
+            read_ratio=0.85,
+            stat_ratio=0.4,
+            trace_file_size=4 * KiB,
+            record_size=2 * KiB,
+            hot_clients=24,
+            hot_rounds=200,
+            hot_file_size=4 * KiB,
+            deg_clients=4,
+            deg_files=8,
+            deg_file_size=32 * KiB,
+            deg_rounds=24,
+            mcd_timeout=2e-3,
+            cooldown=2e-3,
+            seed=0x5407,
+        ),
+    },
     # ---- chaos: fault injection / graceful degradation (§4.4) ---------------
     # window / rates / mean_downtime are simulated seconds; ops take ~100 µs,
     # so a 10 ms window is ~100 ops per client.  all_dead_slack bounds how far

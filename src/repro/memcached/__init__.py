@@ -15,6 +15,7 @@ from repro.memcached.hashing import (
     Crc32Selector,
     KetamaSelector,
     ModuloSelector,
+    ReplicatedSelector,
     ServerSelector,
     selector,
 )
@@ -35,6 +36,7 @@ __all__ = [
     "Crc32Selector",
     "ModuloSelector",
     "KetamaSelector",
+    "ReplicatedSelector",
     "ServerSelector",
     "selector",
     "SERVICE",

@@ -12,6 +12,13 @@ skipped outright (zero simulated cost — the fast degraded path), then
 re-probed after ``cooldown``.  Rejoin mandates a purge (``flush_all``)
 so a daemon that merely blinked — recovered without a cold restart —
 can never serve pre-crash data.
+
+With ``replicas > 1`` each key has R distinct owners (primary = the
+base selector's pick, the rest via a ketama-ring walk).  Reads spread
+over the live replicas with a seeded round-robin; stores, concats,
+touches and deletes fan out to **all** replicas, because a purge that
+skips a replica leaves stale stat data serveable.  ``replicas == 1``
+takes the exact legacy code paths, byte for byte.
 """
 
 from __future__ import annotations
@@ -20,7 +27,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Generator, Optional
 
 from repro.memcached.daemon import McValue, MemcachedDaemon, SERVICE, request_size
-from repro.memcached.hashing import Crc32Selector, ServerSelector
+from repro.memcached.hashing import Crc32Selector, ReplicatedSelector, ServerSelector
 from repro.net.fabric import Node
 from repro.net.rpc import Endpoint, RetryPolicy, RpcError, RpcUnavailable
 from repro.util.stats import Counter
@@ -53,13 +60,20 @@ class HealthPolicy:
 
 
 class _ServerHealth:
-    """Per-server error tracking (ejected when ``ejected_until >= 0``)."""
+    """Per-server error tracking (ejected when ``ejected_until >= 0``).
 
-    __slots__ = ("consecutive_errors", "ejected_until")
+    ``probing`` marks an in-flight half-open rejoin probe: concurrent
+    callers that find the cooldown elapsed must not start a second
+    probe (double purge, double-counted rejoin) — they skip the server
+    until the probe settles.
+    """
+
+    __slots__ = ("consecutive_errors", "ejected_until", "probing")
 
     def __init__(self) -> None:
         self.consecutive_errors = 0
         self.ejected_until = -1.0
+        self.probing = False
 
 
 class MemcacheClient:
@@ -71,13 +85,28 @@ class MemcacheClient:
         servers: list[MemcachedDaemon],
         selector: Optional[ServerSelector] = None,
         health: Optional[HealthPolicy] = None,
+        replicas: int = 1,
+        rr_seed: int = 0,
     ) -> None:
         if not servers:
             raise ValueError("need at least one memcached server")
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1: {replicas}")
         self.endpoint = endpoint
         self.servers = list(servers)
         self.selector = selector or Crc32Selector()
         self.health = health
+        self.replicas = replicas
+        #: None when replication is off: every path below checks this
+        #: and falls through to the exact legacy code.
+        self._replication: Optional[ReplicatedSelector] = (
+            ReplicatedSelector(self.selector, replicas) if replicas > 1 else None
+        )
+        #: Seeded round-robin read spreading (per-client seed, so
+        #: different clients start on different replicas; per-key
+        #: cursors so every key's reads split evenly).
+        self._rr = rr_seed
+        self._rr_by_key: dict[str, int] = {}
         self._health = [_ServerHealth() for _ in self.servers]
         self.stats = Counter()
         # Spans share the endpoint's tracer; MCD time observed from the
@@ -98,6 +127,45 @@ class MemcacheClient:
     def _idx_for(self, key: str, hint: Optional[int] = None) -> int:
         return self.selector.select(key, len(self.servers), hint)
 
+    def _replicas_for(self, key: str, hint: Optional[int] = None) -> list[int]:
+        """All owners of *key* (primary first); ``[primary]`` when off."""
+        if self._replication is None:
+            return [self._idx_for(key, hint)]
+        return self._replication.replicas_for(key, len(self.servers), hint)
+
+    def _read_idx(self, key: str, hint: Optional[int] = None) -> int:
+        """The replica a read goes to: seeded per-key round-robin over
+        the replicas not currently sitting out an ejection cooldown (all
+        of them, if every replica is ejected).  The cursor is per key —
+        a cursor shared across keys correlates with periodic batch
+        shapes and can park a hot key on one replica, reshuffling load
+        instead of splitting it; per-key rotation splits every key's
+        reads exactly 1/R.  Cursor memory is one small int per distinct
+        key this client has read (bounded by its keyspace)."""
+        if self._replication is None:
+            return self._idx_for(key, hint)
+        replicas = self._replication.replicas_for(key, len(self.servers), hint)
+        live = [i for i in replicas if not self._cooling(i)]
+        if not live:
+            live = replicas
+        elif len(live) < len(replicas):
+            self.stats.inc("replica_failovers", len(replicas) - len(live))
+        cursor = self._rr_by_key.get(key, self._rr)
+        self._rr_by_key[key] = cursor + 1
+        choice = live[cursor % len(live)]
+        if choice != replicas[0]:
+            self.stats.inc("replica_reads")
+        return choice
+
+    def _cooling(self, idx: int) -> bool:
+        """True while *idx* is ejected and not yet probeable."""
+        if self.health is None:
+            return False
+        h = self._health[idx]
+        return h.ejected_until >= 0.0 and (
+            self.endpoint.net.sim.now < h.ejected_until or h.probing
+        )
+
     def ejected(self, idx: int) -> bool:
         """Whether server *idx* is currently ejected (for observers)."""
         return self._health[idx].ejected_until >= 0.0
@@ -109,9 +177,11 @@ class MemcacheClient:
         if policy is not None:
             h = self._health[idx]
             if h.ejected_until >= 0.0:
-                if self.endpoint.net.sim.now < h.ejected_until:
+                if self.endpoint.net.sim.now < h.ejected_until or h.probing:
                     # Fast degraded path: no RPC, no simulated time —
-                    # the caller sees a miss instantly.
+                    # the caller sees a miss instantly.  ``probing``
+                    # keeps concurrent batches from racing into a
+                    # second half-open probe of the same server.
                     self.stats.inc("ejected_skips")
                     raise RpcUnavailable(
                         f"{server.node.name} ejected (cooldown in progress)"
@@ -152,30 +222,34 @@ class MemcacheClient:
         policy = self.health
         server = self.servers[idx]
         h = self._health[idx]
-        if policy.purge_on_rejoin and op != "flush_all":
-            try:
-                yield from self.endpoint.call_retry(
-                    server.node,
-                    SERVICE,
-                    ("flush_all", None),
-                    req_size=request_size("flush_all", None),
-                    policy=policy.retry,
-                )
-            except RpcError:
-                h.ejected_until = self.endpoint.net.sim.now + policy.cooldown
-                self.stats.inc("failed_probes")
-                raise
-            self.stats.inc("rejoin_purges")
-        h.ejected_until = -1.0
-        h.consecutive_errors = 0
-        self.stats.inc("rejoins")
+        h.probing = True
+        try:
+            if policy.purge_on_rejoin and op != "flush_all":
+                try:
+                    yield from self.endpoint.call_retry(
+                        server.node,
+                        SERVICE,
+                        ("flush_all", None),
+                        req_size=request_size("flush_all", None),
+                        policy=policy.retry,
+                    )
+                except RpcError:
+                    h.ejected_until = self.endpoint.net.sim.now + policy.cooldown
+                    self.stats.inc("failed_probes")
+                    raise
+                self.stats.inc("rejoin_purges")
+            h.ejected_until = -1.0
+            h.consecutive_errors = 0
+            self.stats.inc("rejoins")
+        finally:
+            h.probing = False
 
     # -- retrieval -------------------------------------------------------------
     def get(self, key: str, hint: Optional[int] = None) -> Generator:
         """Fetch one value; returns :class:`McValue` or None on miss.
 
         A dead server counts as a miss (plus an ``errors`` stat)."""
-        idx = self._idx_for(key, hint)
+        idx = self._read_idx(key, hint)
         try:
             if self.tracer.enabled:
                 with self.tracer.span("mcd", "mc.get"):
@@ -197,13 +271,20 @@ class MemcacheClient:
 
         Returns ``{key: McValue}`` containing only the hits.  Batches to
         distinct servers are issued back-to-back (pipelined on the
-        client NIC) and all responses are awaited.
+        client NIC) and all responses are awaited.  Duplicate keys are
+        deduplicated before batching — the result dict can only hold one
+        entry per key, so counting misses as ``len(keys) - len(out)``
+        would book every duplicated hit as a phantom miss.
         """
         if hints is None:
             hints = [None] * len(keys)
         by_server: dict[int, list[str]] = {}
+        seen: set[str] = set()
         for key, hint in zip(keys, hints):
-            idx = self.selector.select(key, len(self.servers), hint)
+            if key in seen:
+                continue
+            seen.add(key)
+            idx = self._read_idx(key, hint)
             by_server.setdefault(idx, []).append(key)
         out: dict[str, McValue] = {}
         sim = self.endpoint.net.sim
@@ -219,7 +300,7 @@ class MemcacheClient:
             out.update(partial)
         hits = len(out)
         self.stats.inc("hits", hits)
-        self.stats.inc("misses", len(keys) - hits)
+        self.stats.inc("misses", len(seen) - hits)
         return out
 
     def _get_batch(self, idx: int, keys: list[str]) -> Generator:
@@ -234,6 +315,33 @@ class MemcacheClient:
             return {}
         return reply
 
+    # -- replica fan-out -------------------------------------------------------
+    def _fanout(self, idxs: list[int], op: str, payload: Any) -> Generator:
+        """Issue *op* to every server in *idxs* concurrently; returns the
+        per-server results in *idxs* order (None where the RPC failed).
+
+        Used for stores and invalidations in replicated mode: all
+        replicas must see every write and every purge, or a stale copy
+        survives on the replica the purge skipped.
+        """
+        sim = self.endpoint.net.sim
+
+        def one(idx: int) -> Generator:
+            try:
+                reply = yield from self._call(idx, op, payload)
+            except RpcError:
+                self.stats.inc("errors")
+                return None
+            return reply
+
+        if len(idxs) == 1:
+            result = yield from one(idxs[0])
+            return [result]
+        procs = [sim.process(one(i), name="mc-fanout") for i in idxs]
+        results = yield sim.all_of(procs)
+        self.stats.inc("replica_writes", len(idxs) - 1)
+        return [results[p] for p in procs]
+
     # -- storage ---------------------------------------------------------------
     def set(
         self,
@@ -244,7 +352,19 @@ class MemcacheClient:
         ttl: float = 0,
         hint: Optional[int] = None,
     ) -> Generator:
-        """Store; False when the server is down or rejected the item."""
+        """Store; False when the server is down or rejected the item.
+
+        With replication the store fans out to every replica; True when
+        at least one replica stored the item (the value is serveable)."""
+        if self._replication is not None:
+            idxs = self._replicas_for(key, hint)
+            if self.tracer.enabled:
+                with self.tracer.span("mcd", "mc.set"):
+                    results = yield from self._fanout(idxs, "set", (key, value, nbytes, flags, ttl))
+            else:
+                results = yield from self._fanout(idxs, "set", (key, value, nbytes, flags, ttl))
+            self.stats.inc("sets")
+            return any(bool(r) for r in results)
         idx = self._idx_for(key, hint)
         try:
             if self.tracer.enabled:
@@ -272,6 +392,12 @@ class MemcacheClient:
 
     def _storage(self, op: str, key: str, value: Any, nbytes: int, flags: int,
                  ttl: float, hint: Optional[int]) -> Generator:
+        if self._replication is not None:
+            results = yield from self._fanout(
+                self._replicas_for(key, hint), op, (key, value, nbytes, flags, ttl)
+            )
+            self.stats.inc("sets")
+            return any(bool(r) for r in results)
         idx = self._idx_for(key, hint)
         try:
             ok = yield from self._call(idx, op, (key, value, nbytes, flags, ttl))
@@ -283,8 +409,14 @@ class MemcacheClient:
 
     def cas(self, key: str, value: Any, nbytes: int, cas: int, flags: int = 0,
             ttl: float = 0, hint: Optional[int] = None) -> Generator:
-        """Compare-and-swap; returns 'STORED' / 'EXISTS' / 'NOT_FOUND',
-        or 'NOT_FOUND' when the server is down."""
+        """Compare-and-swap; returns 'STORED' / 'EXISTS' / 'NOT_FOUND' /
+        'NOT_STORED' (allocation failure), or 'NOT_FOUND' when the
+        server is down.
+
+        cas targets the **primary** replica only: CAS tokens are
+        per-engine counters, so a token from one replica can never match
+        on another — fanning out would always answer EXISTS there.
+        """
         idx = self._idx_for(key, hint)
         try:
             verdict = yield from self._call(idx, "cas", (key, value, nbytes, cas, flags, ttl))
@@ -303,6 +435,11 @@ class MemcacheClient:
 
     def _concat(self, op: str, key: str, value: Any, nbytes: int,
                 hint: Optional[int]) -> Generator:
+        if self._replication is not None:
+            results = yield from self._fanout(
+                self._replicas_for(key, hint), op, (key, value, nbytes)
+            )
+            return any(bool(r) for r in results)
         idx = self._idx_for(key, hint)
         try:
             ok = yield from self._call(idx, op, (key, value, nbytes))
@@ -312,7 +449,11 @@ class MemcacheClient:
         return ok
 
     def incr(self, key: str, delta: int = 1, hint: Optional[int] = None) -> Generator:
-        """Numeric increment; None on miss or dead server."""
+        """Numeric increment; None on miss or dead server.
+
+        Like cas, incr/decr stay on the primary replica: replicated
+        counters would drift apart under read-spreading, so counter
+        keys are treated as unreplicated."""
         idx = self._idx_for(key, hint)
         try:
             value = yield from self._call(idx, "incr", (key, delta))
@@ -331,6 +472,11 @@ class MemcacheClient:
         return value
 
     def touch(self, key: str, ttl: float, hint: Optional[int] = None) -> Generator:
+        if self._replication is not None:
+            results = yield from self._fanout(
+                self._replicas_for(key, hint), "touch", (key, ttl)
+            )
+            return any(bool(r) for r in results)
         idx = self._idx_for(key, hint)
         try:
             ok = yield from self._call(idx, "touch", (key, ttl))
@@ -340,6 +486,17 @@ class MemcacheClient:
         return ok
 
     def delete(self, key: str, hint: Optional[int] = None) -> Generator:
+        """Remove *key*; with replication the delete reaches **every**
+        replica — a skipped replica would keep serving the stale value."""
+        if self._replication is not None:
+            with self.tracer.span("mcd", "mc.delete"):
+                results = yield from self._fanout(
+                    self._replicas_for(key, hint), "delete", key
+                )
+            ok = any(bool(r) for r in results)
+            if ok:
+                self.stats.inc("deletes")
+            return ok
         idx = self._idx_for(key, hint)
         try:
             with self.tracer.span("mcd", "mc.delete"):
@@ -352,18 +509,32 @@ class MemcacheClient:
 
     def delete_multi(self, keys: list[str], hints: Optional[list[Optional[int]]] = None) -> Generator:
         """Best-effort bulk delete, batched one RPC per server (used by
-        SMCache purges, which may cover every block of a file)."""
+        SMCache purges, which may cover every block of a file).
+
+        In replicated mode every key's batch lands on **all** of its
+        replicas; ``deletes`` counts primary-copy removals (the legacy
+        meaning) and ``replica_deletes`` the extra replica copies.
+        """
         if hints is None:
             hints = [None] * len(keys)
-        by_server: dict[int, list[str]] = {}
+        primary: dict[int, list[str]] = {}
+        extras: dict[int, list[str]] = {}
         for key, hint in zip(keys, hints):
-            idx = self.selector.select(key, len(self.servers), hint)
-            by_server.setdefault(idx, []).append(key)
+            idxs = self._replicas_for(key, hint)
+            primary.setdefault(idxs[0], []).append(key)
+            for i in idxs[1:]:
+                extras.setdefault(i, []).append(key)
         deleted = 0
         with self.tracer.span("mcd", "mc.delete_multi"):
-            for idx, batch in by_server.items():
+            for idx, batch in primary.items():
                 try:
                     deleted += yield from self._call(idx, "delete_multi", batch)
+                except RpcError:
+                    self.stats.inc("errors")
+            for idx, batch in extras.items():
+                try:
+                    n = yield from self._call(idx, "delete_multi", batch)
+                    self.stats.inc("replica_deletes", n)
                 except RpcError:
                     self.stats.inc("errors")
         self.stats.inc("deletes", deleted)

@@ -113,6 +113,11 @@ class MemcachedEngine:
         cls = self._allocate(key, nbytes)
         if cls is None:
             return None
+        return self._insert(cls, key, value, nbytes, flags, ttl)
+
+    def _insert(self, cls: SlabClass, key: str, value: Any, nbytes: int,
+                flags: int, ttl: float) -> Item:
+        """Link a new item into an already-allocated chunk of *cls*."""
         self._cas += 1
         exptime = self.clock() + ttl if ttl > 0 else 0.0
         item = Item(key, value, nbytes, flags, exptime, self._cas, cls)
@@ -137,16 +142,46 @@ class MemcachedEngine:
         self._lru[item.slab.index].move_to_end(item.key)
 
     # -- storage commands ----------------------------------------------------
-    def set(self, key: str, value: Any, nbytes: int, flags: int = 0, ttl: float = 0) -> bool:
-        """Store unconditionally.  Returns True (STORED)."""
-        self._check_key(key)
-        if nbytes < 0:
-            raise McError("negative value size")
+    def _store(self, key: str, value: Any, nbytes: int, flags: int, ttl: float) -> bool:
+        """Store, preserving any existing value when allocation fails.
+
+        Real memcached allocates the new item *before* replacing the old
+        one, so an OOM-failed store answers SERVER_ERROR and the prior
+        value survives; destroying it first (the pre-fix behaviour)
+        turned every failed overwrite into a silent delete.  When old
+        and new land in the same slab class, freeing the old chunk first
+        makes the allocation infallible, so the old value is never at
+        risk *and* no spurious eviction is charged to a same-size
+        overwrite (the common stat-refresh path).
+        """
+        size = self._total_size(key, nbytes)
+        cls = self.slabs.class_for(size)
+        if cls is None:
+            raise McError(f"object too large for cache ({nbytes} bytes)")
+        old = self._items.get(key)
+        if old is not None and old.slab.index == cls.index:
+            self._unlink(old)
+            return self._link(key, value, nbytes, flags, ttl) is not None
+        got = self._allocate(key, nbytes)
+        if got is None:
+            return False
+        # Eviction during allocation targets only the new item's class;
+        # the old item lives in a different one, but re-check anyway so
+        # a future cross-class eviction policy cannot double-unlink.
         old = self._items.get(key)
         if old is not None:
             self._unlink(old)
+        self._insert(got, key, value, nbytes, flags, ttl)
+        return True
+
+    def set(self, key: str, value: Any, nbytes: int, flags: int = 0, ttl: float = 0) -> bool:
+        """Store unconditionally.  True (STORED) unless allocation fails
+        (NOT_STORED — any existing value is left intact)."""
+        self._check_key(key)
+        if nbytes < 0:
+            raise McError("negative value size")
         self.stats.inc("cmd_set")
-        return self._link(key, value, nbytes, flags, ttl) is not None
+        return self._store(key, value, nbytes, flags, ttl)
 
     def add(self, key: str, value: Any, nbytes: int, flags: int = 0, ttl: float = 0) -> bool:
         """Store only if absent (NOT_STORED -> False)."""
@@ -163,14 +198,25 @@ class MemcachedEngine:
         return self.set(key, value, nbytes, flags, ttl)
 
     def cas(self, key: str, value: Any, nbytes: int, cas: int, flags: int = 0, ttl: float = 0) -> str:
-        """Compare-and-swap: 'STORED', 'EXISTS' (cas mismatch) or 'NOT_FOUND'."""
+        """Compare-and-swap: 'STORED', 'EXISTS' (cas mismatch),
+        'NOT_FOUND', or 'NOT_STORED' (allocation failure; value intact).
+
+        Stores directly instead of delegating to :meth:`set`, so
+        ``cmd_set`` counts only storage commands and cas outcomes get
+        their own ``cas_hits``/``cas_badval``/``cas_misses`` counters —
+        the same accounting real memcached reports.
+        """
         self._check_key(key)
         item = self._live_item(key)
         if item is None:
+            self.stats.inc("cas_misses")
             return "NOT_FOUND"
         if item.cas != cas:
+            self.stats.inc("cas_badval")
             return "EXISTS"
-        self.set(key, value, nbytes, flags, ttl)
+        if not self._store(key, value, nbytes, flags, ttl):
+            return "NOT_STORED"
+        self.stats.inc("cas_hits")
         return "STORED"
 
     def _concat(self, key: str, value: Any, nbytes: int, *, append: bool) -> bool:
@@ -190,8 +236,9 @@ class MemcachedEngine:
         new_bytes = item.nbytes + nbytes
         flags = item.flags
         ttl = 0.0 if item.exptime == 0 else item.exptime - self.clock()
-        self._unlink(item)
-        return self._link(key, new_value, new_bytes, flags, ttl) is not None
+        # Allocate-before-unlink, like set: a failed concat answers
+        # NOT_STORED and must leave the existing value untouched.
+        return self._store(key, new_value, new_bytes, flags, ttl)
 
     def append(self, key: str, value: Any, nbytes: int) -> bool:
         return self._concat(key, value, nbytes, append=True)

@@ -98,6 +98,61 @@ class KetamaSelector:
         return owners[idx]
 
 
+class ReplicatedSelector:
+    """R-way replication on top of any base selector.
+
+    Under skewed (Zipf) traffic the CRC32 map pins every hot
+    ``abspath:stat`` key to a single daemon, so one MCD saturates while
+    the rest idle.  Replication gives each key R *distinct* owners:
+
+    * the **primary** is whatever the base selector picks — ``select``
+      returns it unchanged, so R=1 behaves byte-identically to the base;
+    * the remaining replicas come from walking a ketama ring clockwise
+      from the key's hash point, skipping servers already chosen.  The
+      ring walk keeps replica sets stable when the array grows and
+      spreads secondary ownership evenly.
+
+    Readers pick one replica (round-robin / least-ejected, the client's
+    job); writers and purges must fan out to *all* replicas — a purge
+    that misses one replica leaves stale stat data live.
+    """
+
+    name = "replicated"
+
+    def __init__(self, base: ServerSelector, replicas: int = 2, vnodes: int = 160) -> None:
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1: {replicas}")
+        self.base = base
+        self.replicas = replicas
+        self._ring = KetamaSelector(vnodes)
+
+    def select(self, key: str, nservers: int, hint: Optional[int] = None) -> int:
+        """The primary owner — identical to the base selector's pick."""
+        return self.base.select(key, nservers, hint)
+
+    def replicas_for(self, key: str, nservers: int, hint: Optional[int] = None) -> list[int]:
+        """All owners of *key*, primary first; ``min(R, nservers)`` long."""
+        primary = self.base.select(key, nservers, hint)
+        r = min(self.replicas, nservers)
+        if r <= 1:
+            return [primary]
+        from bisect import bisect_right
+
+        hashes, owners = self._ring._ring(nservers)
+        out = [primary]
+        i = bisect_right(hashes, crc32(key))
+        n = len(hashes)
+        # Every server owns ring points, so the walk always terminates.
+        while len(out) < r:
+            if i >= n:
+                i = 0
+            s = owners[i]
+            if s not in out:
+                out.append(s)
+            i += 1
+        return out
+
+
 SELECTORS = {"crc32": Crc32Selector, "modulo": ModuloSelector, "ketama": KetamaSelector}
 
 

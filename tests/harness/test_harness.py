@@ -42,6 +42,19 @@ def test_registry_covers_every_figure_and_ablation():
     assert EXPECTED_ABLATIONS <= ids
 
 
+def test_fault_and_replication_experiments_registered():
+    """chaos and hotspot run long even at smoke scale, so they skip the
+    parametrized smoke sweep below; registration and params coverage
+    are still asserted (CI exercises the full runs)."""
+    ids = {e.id for e in all_experiments()}
+    assert {"chaos", "hotspot"} <= ids
+    for scale in ("smoke", "default", "paper"):
+        p = params_for("hotspot", scale)
+        assert p["replica_counts"][0] == 1  # the legacy baseline pass
+        assert max(p["replica_counts"]) <= p["num_mcds"]
+        assert any(s >= 0.99 for s in p["skews"])
+
+
 def test_get_unknown_raises():
     with pytest.raises(KeyError):
         get("fig99")

@@ -91,6 +91,59 @@ def test_cas_semantics():
     assert e.cas("nope", b"v", 1, cas) == "NOT_FOUND"
 
 
+def test_cas_stat_accounting():
+    """cas outcomes get their own counters and never inflate cmd_set."""
+    e, _ = make_engine()
+    e.set("k", b"v1", 2)
+    cas = e.get("k").cas
+    e.cas("k", b"v2", 2, cas)       # STORED
+    e.cas("k", b"v3", 2, cas)       # EXISTS
+    e.cas("ghost", b"v", 1, 1)      # NOT_FOUND
+    assert e.stats.get("cas_hits") == 1
+    assert e.stats.get("cas_badval") == 1
+    assert e.stats.get("cas_misses") == 1
+    assert e.stats.get("cmd_set") == 1  # only the initial set
+
+
+# -- allocation-failure fidelity ------------------------------------------------
+def test_failed_overwrite_preserves_old_value():
+    """One page, owned by the small class: a cross-class overwrite
+    cannot allocate and must answer NOT_STORED with the old value
+    intact — real memcached allocates the new item *before* unlinking
+    the old one."""
+    e, _ = make_engine(1 * MiB)
+    assert e.set("k", b"small", 16) is True
+    assert e.set("k", b"big", PAGE_SIZE // 2) is False
+    assert e.get("k").value == b"small"
+    assert e.stats.get("out_of_memory") == 1
+    e.check_invariants()
+
+
+def test_same_class_overwrite_charges_no_eviction():
+    e, _ = make_engine(1 * MiB)
+    assert e.set("k", b"a" * 10, 10) is True
+    assert e.set("k", b"b" * 10, 10) is True
+    assert e.get("k").value == b"b" * 10
+    assert e.stats.get("evictions", 0) == 0
+    assert e.curr_items == 1
+
+
+def test_cas_alloc_failure_answers_not_stored():
+    e, _ = make_engine(1 * MiB)
+    e.set("k", b"small", 16)
+    cas = e.get("k").cas
+    assert e.cas("k", b"big", PAGE_SIZE // 2, cas) == "NOT_STORED"
+    assert e.get("k").value == b"small"
+    assert e.stats.get("cas_hits", 0) == 0
+
+
+def test_failed_concat_preserves_value():
+    e, _ = make_engine(1 * MiB)
+    e.set("k", b"x", 16)
+    assert e.append("k", b"y", PAGE_SIZE // 2) is False
+    assert e.get("k").value == b"x"
+
+
 def test_incr_decr():
     e, _ = make_engine()
     e.set("n", 10, 2)
@@ -223,8 +276,8 @@ def test_engine_invariants_under_random_ops(ops):
         if op == "set":
             if e.set(key, None, size):
                 model[key] = size
-            else:
-                model.pop(key, None)  # failed store removed any old item
+            # A failed store leaves any existing value intact (real
+            # memcached answers NOT_STORED without touching the item).
         elif op == "get":
             item = e.get(key)
             # An engine hit must agree with the model (evictions may

@@ -113,6 +113,31 @@ def test_failed_probe_reejects():
     assert client.stats.get("rejoins") == 1
 
 
+def test_concurrent_callers_share_one_rejoin_probe():
+    """Two requests racing past an elapsed cooldown must not both run
+    the half-open probe: the first sets ``probing`` and purges, the
+    second skips the server until the probe settles — one purge, one
+    rejoin, never two."""
+    sim, client, (mcd,) = make_cluster(health=HealthPolicy(eject_after=1, cooldown=0.005))
+
+    def proc():
+        yield from client.set("k", b"v", 1)
+        mcd.node.fail()
+        yield from client.get("k")      # error -> immediate ejection
+        mcd.node.recover()
+        yield sim.timeout(0.01)         # cooldown elapsed
+        p1 = sim.process(client.get("a"))
+        p2 = sim.process(client.get("b"))
+        yield sim.all_of([p1, p2])
+
+    drive(sim, proc())
+    assert client.stats.get("rejoins") == 1
+    assert client.stats.get("rejoin_purges") == 1
+    # The loser of the race took the fast degraded path, not a probe.
+    assert client.stats.get("ejected_skips") == 1
+    assert not client.ejected(0)
+
+
 def test_daemon_restart_is_provably_cold():
     sim = Simulator()
     net = Network(sim, IPOIB)

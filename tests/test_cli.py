@@ -23,6 +23,20 @@ def test_run_single_experiment(capsys):
     assert rc == 0  # fig6c's checks hold at smoke scale
 
 
+def test_list_includes_fault_and_replication_experiments(capsys):
+    main(["list"])
+    out = capsys.readouterr().out
+    assert "chaos" in out
+    assert "hotspot" in out
+
+
+def test_chaos_rejects_out_of_range_replicas(capsys):
+    # 9 replicas can't fit the smoke-scale MCD count: graceful exit 2,
+    # not a traceback (validated before any simulation runs).
+    assert main(["chaos", "--scale", "smoke", "--replicas", "9"]) == 2
+    assert "replicas" in capsys.readouterr().err
+
+
 def test_run_unknown_experiment(capsys):
     assert main(["run", "fig99"]) == 2
     assert "unknown experiment" in capsys.readouterr().err

@@ -97,3 +97,47 @@ def test_imca_selector_flows_to_clients():
     )
     assert tb.cmcaches[0].mc.selector.name == "ketama"
     assert tb.smcaches[0].mc.selector.name == "ketama"
+
+
+def test_imca_replicas_flow_to_clients():
+    tb = build_gluster_testbed(
+        TestbedConfig(num_clients=2, num_mcds=3, imca=IMCaConfig(replicas=2))
+    )
+    for mc in [cm.mc for cm in tb.cmcaches] + [sm.mc for sm in tb.smcaches]:
+        assert mc.replicas == 2
+        assert mc._replication is not None
+    # Round-robin seeds are staggered so readers don't stampede the
+    # same replica first.
+    seeds = {sm.mc._rr for sm in tb.smcaches} | {cm.mc._rr for cm in tb.cmcaches}
+    assert len(seeds) == len(tb.smcaches) + len(tb.cmcaches)
+
+
+def test_replicas_default_off():
+    tb = build_gluster_testbed(TestbedConfig(num_clients=1, num_mcds=2))
+    assert tb.cmcaches[0].mc._replication is None
+
+
+def test_config_rejects_more_replicas_than_mcds():
+    with pytest.raises(ValueError):
+        TestbedConfig(num_clients=1, num_mcds=2, imca=IMCaConfig(replicas=3))
+
+
+def test_mcclient_stats_surface_replica_counters():
+    tb = build_gluster_testbed(
+        TestbedConfig(num_clients=1, num_mcds=3, imca=IMCaConfig(replicas=2))
+    )
+    c = tb.clients[0]
+
+    def w():
+        fd = yield from c.create("/f")
+        yield from c.write(fd, 0, 4 * KiB)
+        for _ in range(4):
+            yield from c.read(fd, 0, 4 * KiB)
+
+    p = tb.sim.process(w())
+    tb.sim.run()
+    stats = tb.mcclient_stats()
+    assert stats.get("replica_writes", 0) > 0
+    assert stats.get("replica_reads", 0) > 0
+    snap = tb.snapshot_metrics().snapshot()
+    assert snap["mcclient"]["counters"]["replica_writes"] > 0
