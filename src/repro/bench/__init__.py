@@ -13,10 +13,17 @@ speedup against the committed baseline:
 * **sweep** — a fixed fig6-style harness sweep (``fig6a`` at smoke
   scale) timed end to end.
 
+``repro bench --suite e2e`` (:mod:`repro.bench.e2e`) times the whole
+IMCa stack instead of the bare kernel — warm full-hit reads, forced
+partial fills, hot-tier repeats — as simulated ops per wall-clock
+second in ``BENCH_e2e.json``; the report shape is identical, so the
+same baseline/check plumbing gates both suites.
+
 The workloads are frozen: any change to their shape invalidates the
 trajectory.  Tune the kernel, not the benchmark.
 """
 
+from repro.bench.e2e import BENCH_E2E_FILE, run_e2e_benchmarks
 from repro.bench.kernel import (
     BENCH_FILE,
     BenchResult,
@@ -29,6 +36,7 @@ from repro.bench.kernel import (
 )
 
 __all__ = [
+    "BENCH_E2E_FILE",
     "BENCH_FILE",
     "BenchResult",
     "attach_baseline",
@@ -36,5 +44,6 @@ __all__ = [
     "check_against_baseline",
     "load_report",
     "run_benchmarks",
+    "run_e2e_benchmarks",
     "write_report",
 ]

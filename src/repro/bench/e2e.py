@@ -1,0 +1,184 @@
+"""End-to-end testbed benchmarks and the ``BENCH_e2e.json`` report.
+
+Where :mod:`repro.bench.kernel` times the bare DES kernel, these time
+the whole IMCa stack — client xlators, MCD array, server, brick — by
+driving a fixed fop sequence through a fresh
+:func:`~repro.cluster.build_gluster_testbed` and reporting *simulated
+operations per wall-clock second*.  Three fixed workloads cover the
+read path's regimes:
+
+* **e2e_hit** — warm full-hit reads (the legacy multi-get path).
+* **e2e_fill** — partial-hit fills: a block suffix is evicted before
+  each read, so every op takes the coalesced-fill path.
+* **e2e_hot** — hot-tier reads: repeat reads of open files served from
+  the client-side LRU (no simulated round trips, pure xlator code).
+
+The workloads are frozen: any change to their shape invalidates the
+trajectory.  Tune the stack, not the benchmark.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench.kernel import (
+    BenchResult,
+    _machine_info,  # noqa: F401  (re-exported shape helpers)
+    _median,
+)
+from repro.util.units import KiB, MiB
+
+#: Canonical report location (repo root when run from a checkout).
+BENCH_E2E_FILE = "BENCH_e2e.json"
+
+#: Frozen workload sizes.  Changing these invalidates the trajectory.
+E2E_MCDS = 4
+E2E_MCD_MEMORY = 32 * MiB
+E2E_FILES = 4
+E2E_BLOCKS = 16
+E2E_ROUNDS = 24
+E2E_HOT_BYTES = 256 * KiB
+
+
+def _build(imca_kwargs: dict):
+    from repro.cluster import TestbedConfig, build_gluster_testbed
+    from repro.core.config import IMCaConfig
+
+    return build_gluster_testbed(
+        TestbedConfig(
+            num_clients=1,
+            num_mcds=E2E_MCDS,
+            mcd_memory=E2E_MCD_MEMORY,
+            imca=IMCaConfig(**imca_kwargs),
+        )
+    )
+
+
+def _payload(j: int, size: int) -> bytes:
+    return bytes((j * 31 + i) % 256 for i in range(size))
+
+
+def _prepare(tb) -> tuple[dict[str, int], int, int]:
+    """Create, warm and hold open the benchmark file bank."""
+    from repro.workloads.base import drive
+
+    bs = tb.cmcaches[0].config.block_size
+    size = E2E_BLOCKS * bs
+    paths = [f"/bench/e2e/f{j}" for j in range(E2E_FILES)]
+    fds: dict[str, int] = {}
+
+    def setup():
+        client = tb.clients[0]
+        for j, path in enumerate(paths):
+            fd = yield from client.create(path)
+            yield from client.write(fd, 0, size, _payload(j, size))
+            yield from client.close(fd)
+        for path in paths:
+            fds[path] = yield from client.open(path)
+        for path in paths:
+            yield from client.stat(path)
+            yield from client.read(fds[path], 0, size)
+
+    drive(tb.sim, setup())
+    return fds, bs, size
+
+
+def _timed_ops(tb, body_gen) -> tuple[int, float]:
+    """Drive *body_gen* (returns the op count) and time it."""
+    from repro.workloads.base import drive
+
+    t0 = time.perf_counter()
+    ops = drive(tb.sim, body_gen)
+    return ops, time.perf_counter() - t0
+
+
+def _hit_run() -> tuple[int, float]:
+    tb = _build({})
+    fds, bs, size = _prepare(tb)
+
+    def body():
+        client = tb.clients[0]
+        ops = 0
+        for _ in range(E2E_ROUNDS):
+            for path, fd in fds.items():
+                yield from client.read(fd, 0, size)
+                ops += 1
+        return ops
+
+    return _timed_ops(tb, body())
+
+
+def _fill_run() -> tuple[int, float]:
+    from repro.core.keys import data_key
+
+    tb = _build({"partial_fills": True})
+    fds, bs, size = _prepare(tb)
+    n_miss = E2E_BLOCKS // 2
+    evict_offs = [(E2E_BLOCKS - n_miss + i) * bs for i in range(n_miss)]
+
+    def body():
+        client = tb.clients[0]
+        ops = 0
+        for _ in range(E2E_ROUNDS):
+            for path, fd in fds.items():
+                for off in evict_offs:
+                    key = data_key(path, off)
+                    for mcd in tb.mcds:
+                        mcd.engine.delete(key)
+                yield from client.read(fd, 0, size)
+                ops += 1
+        return ops
+
+    return _timed_ops(tb, body())
+
+
+def _hot_run() -> tuple[int, float]:
+    tb = _build({"hot_cache_bytes": E2E_HOT_BYTES})
+    fds, bs, size = _prepare(tb)
+
+    def body():
+        client = tb.clients[0]
+        ops = 0
+        for _ in range(E2E_ROUNDS):
+            for path, fd in fds.items():
+                for idx in range(E2E_BLOCKS):
+                    yield from client.read(fd, idx * bs, bs)
+                    ops += 1
+        return ops
+
+    return _timed_ops(tb, body())
+
+
+def _bench(name: str, run, rounds: int) -> BenchResult:
+    runs = []
+    ops = 0
+    for _ in range(rounds):
+        ops, elapsed = run()
+        runs.append(ops / elapsed)
+    return BenchResult(name, "ops_per_sec", _median(runs), runs, ops)
+
+
+def run_e2e_benchmarks(quick: bool = False, rounds: int | None = None) -> dict:
+    """Run the e2e suite; report shape matches the kernel suite so the
+    same baseline/check plumbing applies."""
+    import datetime
+
+    from repro.bench.kernel import DEFAULT_ROUNDS, QUICK_ROUNDS, _git_sha
+
+    k = rounds if rounds is not None else (QUICK_ROUNDS if quick else DEFAULT_ROUNDS)
+    results = [
+        _bench("e2e_hit", _hit_run, k),
+        _bench("e2e_fill", _fill_run, k),
+        _bench("e2e_hot", _hot_run, k),
+    ]
+    return {
+        "schema": 1,
+        "git_sha": _git_sha(),
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "machine": _machine_info(),
+        "mode": "quick" if quick else "full",
+        "rounds": k,
+        "results": {r.name: r.to_dict() for r in results},
+    }

@@ -242,12 +242,14 @@ def check_against_baseline(
     """Compare a fresh *report* to the *committed* report's results.
 
     Returns a list of human-readable failures (empty == pass).  Only
-    events/sec benchmarks gate: wall-seconds of the sweep depend on the
+    rate benchmarks (``*_per_sec``: the kernel's events/sec, the e2e
+    suite's ops/sec) gate: wall-seconds of the sweep depend on the
     harness workload, which PRs legitimately grow.
     """
     failures = []
     for name, doc in committed.get("results", {}).items():
-        if doc.get("metric") != "events_per_sec":
+        metric = doc.get("metric", "")
+        if not metric.endswith("_per_sec"):
             continue
         fresh = report.get("results", {}).get(name)
         if fresh is None:
@@ -256,7 +258,7 @@ def check_against_baseline(
         floor = doc["median"] * (1.0 - tolerance)
         if fresh["median"] < floor:
             failures.append(
-                f"{name}: {fresh['median']:.0f} events/s is below the "
+                f"{name}: {fresh['median']:.0f} {metric} is below the "
                 f"committed {doc['median']:.0f} - {tolerance:.0%} floor "
                 f"({floor:.0f})"
             )

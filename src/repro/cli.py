@@ -175,6 +175,12 @@ def cmd_hotspot(args) -> int:
     return cmd_run(args)
 
 
+def cmd_readpath(args) -> int:
+    """`repro readpath` — sugar for `repro run readpath`."""
+    args.experiment = "readpath"
+    return cmd_run(args)
+
+
 def cmd_run_all(args) -> int:
     from repro.harness.parallel import job_pool, resolve_jobs
 
@@ -207,14 +213,20 @@ def cmd_run_all(args) -> int:
 
 def cmd_bench(args) -> int:
     from repro.bench import (
+        BENCH_E2E_FILE,
+        BENCH_FILE,
         attach_baseline,
         check_against_baseline,
         load_report,
         run_benchmarks,
+        run_e2e_benchmarks,
         write_report,
     )
 
-    report = run_benchmarks(quick=args.quick, rounds=args.rounds)
+    if args.out is None:
+        args.out = BENCH_E2E_FILE if args.suite == "e2e" else BENCH_FILE
+    runner = run_e2e_benchmarks if args.suite == "e2e" else run_benchmarks
+    report = runner(quick=args.quick, rounds=args.rounds)
     committed = None
     try:
         committed = load_report(args.out)
@@ -333,6 +345,16 @@ def build_parser() -> argparse.ArgumentParser:
     _add_run_flags(hotspot)
     hotspot.set_defaults(func=cmd_hotspot)
 
+    readpath = sub.add_parser(
+        "readpath",
+        help="run the read-path optimisation experiment",
+        description="Sweep partial-hit ratio, readahead depth and "
+        "hot-cache budget, then kill an MCD mid-sweep with everything "
+        "on; equivalent to `repro run readpath` with the same flags.",
+    )
+    _add_run_flags(readpath)
+    readpath.set_defaults(func=cmd_readpath)
+
     run_all = sub.add_parser("run-all", help="run every experiment")
     run_all.add_argument("--scale", choices=SCALES, default="smoke")
     run_all.add_argument(
@@ -346,20 +368,26 @@ def build_parser() -> argparse.ArgumentParser:
     run_all.set_defaults(func=cmd_run_all)
 
     bench = sub.add_parser(
-        "bench", help="run kernel wall-clock benchmarks (BENCH_kernel.json)"
+        "bench", help="run wall-clock benchmarks (BENCH_kernel.json / BENCH_e2e.json)"
+    )
+    bench.add_argument(
+        "--suite", choices=["kernel", "e2e"], default="kernel",
+        help="'kernel' times the bare DES kernel (events/sec); 'e2e' "
+        "drives fixed fop sequences through a full testbed (ops/sec)",
     )
     bench.add_argument(
         "--quick", action="store_true",
         help="fewer rounds and no harness sweep (same workload sizes, so "
-        "events/sec stays comparable to full runs)",
+        "the per-second rates stay comparable to full runs)",
     )
     bench.add_argument(
         "--rounds", type=int, default=None, metavar="K",
         help="override the number of rounds per benchmark",
     )
     bench.add_argument(
-        "--out", default="BENCH_kernel.json", metavar="PATH",
-        help="report path (default: BENCH_kernel.json)",
+        "--out", default=None, metavar="PATH",
+        help="report path (default: BENCH_kernel.json or BENCH_e2e.json "
+        "per --suite)",
     )
     bench.add_argument(
         "--check", action="store_true",

@@ -360,7 +360,8 @@ def build_gluster_testbed(
                 replicas=cfg.imca.replicas, rr_seed=cfg.num_bricks + i,
             )
             cmcache = CMCacheXlator(
-                mc, cfg.imca, metrics=reg.component(f"cmcache.{cnode.name}")
+                mc, cfg.imca, metrics=reg.component(f"cmcache.{cnode.name}"),
+                sim=sim,
             )
             stack.append(cmcache)
         stack.append(bottom)

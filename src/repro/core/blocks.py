@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.localfs.types import ReadResult
+from repro.util.intervals import coalesce_spans
 
 
 class BlockMapper:
@@ -96,6 +97,20 @@ def split_blocks(mapper: BlockMapper, result: ReadResult, path: str) -> list[Blo
             data = result.data[lo : lo + (b_end - b_start)]
         out.append(BlockValue(path, b_start, b_end - b_start, ivs, data))
     return out
+
+
+def missing_ranges(
+    mapper: BlockMapper, indices: list[int]
+) -> list[tuple[int, int]]:
+    """Coalesce missing block *indices* into block-aligned byte ranges.
+
+    Each returned ``(offset, size)`` is one contiguous run of missing
+    blocks — the fewest server reads that fill a partial hit.
+    """
+    return [
+        (mapper.block_offset(first), (last - first) * mapper.block_size)
+        for first, last in coalesce_spans(indices)
+    ]
 
 
 def assemble_blocks(

@@ -1,0 +1,114 @@
+"""The client-side hot cache: a byte-bounded LRU inside CMCache.
+
+The paper's architecture (§2, Fig 1) places a *client cache* tier in
+front of the distributed memcached array; the original IMCa prototype
+leaves it to the kernel page cache.  This class realises that tier
+explicitly: a small in-client LRU of stat structures and data blocks,
+consulted *before* the MCD array, so a repeat hot read costs zero
+simulated round trips.
+
+Coherence is close-to-open: the hot tier only serves paths the owning
+client currently holds open (CMCache gates lookups on its open-file
+database), and CMCache invalidates a path's entries on the client's own
+open/write/close/truncate/unlink.  Cross-client writes therefore become
+visible at the next open — the NFS consistency contract — whereas the
+MCD tier below stays write-through coherent as before.
+
+Entries are keyed by the same strings as the MCD array (``path:offset``
+data keys, ``path:stat`` stat keys), so invalidation and population
+reuse the key schema.  Eviction is strict LRU by bytes; an entry larger
+than the whole budget is simply not admitted.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+
+class HotCache:
+    """Byte-bounded LRU keyed by MCD key strings."""
+
+    __slots__ = ("capacity", "used", "_entries", "_by_path", "hits", "misses",
+                 "evictions", "invalidations")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1: {capacity}")
+        self.capacity = capacity
+        self.used = 0
+        #: key -> (value, nbytes, path); dict order is LRU -> MRU.
+        self._entries: dict[str, tuple[Any, int, str]] = {}
+        #: path -> set of keys held for it (for O(1) path invalidation).
+        self._by_path: dict[str, set[str]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def keys(self) -> Iterator[str]:
+        return iter(self._entries)
+
+    def get(self, key: str) -> Optional[Any]:
+        """Return the cached value (refreshing LRU order) or None."""
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries[key] = entry  # re-insert at MRU position
+        self.hits += 1
+        return entry[0]
+
+    def put(self, key: str, path: str, value: Any, nbytes: int) -> bool:
+        """Admit ``key`` at *nbytes*; False when it cannot fit at all."""
+        if nbytes > self.capacity:
+            return False
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self.used -= old[1]
+        self._entries[key] = (value, nbytes, path)
+        self._by_path.setdefault(path, set()).add(key)
+        self.used += nbytes
+        while self.used > self.capacity:
+            victim, (_, vbytes, vpath) = next(iter(self._entries.items()))
+            del self._entries[victim]
+            self.used -= vbytes
+            self.evictions += 1
+            held = self._by_path.get(vpath)
+            if held is not None:
+                held.discard(victim)
+                if not held:
+                    del self._by_path[vpath]
+        return True
+
+    def invalidate_path(self, path: str) -> int:
+        """Drop every entry held for *path*; returns how many."""
+        keys = self._by_path.pop(path, None)
+        if not keys:
+            return 0
+        dropped = 0
+        for key in keys:
+            entry = self._entries.pop(key, None)
+            if entry is not None:
+                self.used -= entry[1]
+                dropped += 1
+        self.invalidations += dropped
+        return dropped
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._by_path.clear()
+        self.used = 0
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError if the byte accounting drifted."""
+        assert self.used == sum(nb for _, nb, _ in self._entries.values())
+        held = set()
+        for keys in self._by_path.values():
+            held.update(keys)
+        assert held == set(self._entries), "path index out of sync"

@@ -31,7 +31,7 @@ from typing import TYPE_CHECKING, Callable, Generator, Optional
 
 from repro.core.blocks import BlockMapper, split_blocks
 from repro.core.config import IMCaConfig
-from repro.core.keys import data_key, stat_key
+from repro.core.keys import KeyCache
 from repro.gluster.xlator import Xlator
 from repro.localfs.types import ReadResult, StatBuf, slice_result
 from repro.memcached.client import MemcacheClient
@@ -59,6 +59,7 @@ class SMCacheXlator(Xlator):
         self.mapper = BlockMapper(self.config.block_size)
         #: path -> block offsets this server has pushed (purge index).
         self._pushed: dict[str, set[int]] = {}
+        self._keys = KeyCache()
         #: Instruments live in a registry component when the testbed has
         #: one; ``metrics`` keeps its Counter shape for existing callers.
         self.component = metrics or ComponentMetrics("smcache")
@@ -91,7 +92,7 @@ class SMCacheXlator(Xlator):
         return min(self.mc.replicas, len(self.mc.servers)) - 1
 
     def _push_stat(self, path: str, stat: StatBuf) -> Generator:
-        key = stat_key(path)
+        key = self._keys.stat_key(path)
         if key is None or not self.config.cache_stat:
             return
         self.metrics.inc("stat_pushes")
@@ -108,7 +109,7 @@ class SMCacheXlator(Xlator):
         pushed = self._pushed.setdefault(path, set())
         todo: list[tuple[str, object, int]] = []
         for bv in split_blocks(self.mapper, result, path):
-            key = data_key(path, bv.block_offset)
+            key = self._keys.data_key(path, bv.block_offset)
             if key is None:
                 self.metrics.inc("uncacheable")
                 continue
@@ -148,7 +149,7 @@ class SMCacheXlator(Xlator):
             return
         keys, hints = [], []
         for off in sorted(offsets):
-            key = data_key(path, off)
+            key = self._keys.data_key(path, off)
             if key is not None:
                 keys.append(key)
                 hints.append(self.mapper.block_index(off))
@@ -164,7 +165,7 @@ class SMCacheXlator(Xlator):
             yield from self.mc.delete_multi(keys, hints)
 
     def _purge_stat(self, path: str) -> Generator:
-        key = stat_key(path)
+        key = self._keys.stat_key(path)
         if key is not None:
             width = self._fanout_width()
             if width:

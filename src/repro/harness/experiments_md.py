@@ -85,6 +85,18 @@ PAPER_CLAIMS: dict[str, list[str]] = {
         "server path; performance degrades with the number of failed "
         "daemons and recovers when they return (cold).",
     ],
+    "readpath": [
+        "§4.3/§5.4: the latency win assumes full hits; a partial hit used "
+        "to degrade to a full server read.  Filling only the missing "
+        "(coalesced) ranges must improve mean and p99 latency at hit "
+        "ratios >= 25% without changing a returned byte.",
+        "§4.2's close-to-open consistency window licenses a client-side "
+        "hot tier for files held open: repeat reads cost zero round "
+        "trips, and the client's own writes invalidate immediately.",
+        "Sequential streams prefetch ahead through the server (whose "
+        "SMCache unwind populates the array), so the next multi-get "
+        "hits; random access never triggers the prefetcher.",
+    ],
 }
 
 

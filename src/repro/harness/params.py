@@ -240,6 +240,85 @@ PARAMS: dict[str, dict[str, dict]] = {
             seed=0x5407,
         ),
     },
+    # ---- readpath: partial fills / readahead / hot cache ---------------------
+    # Pass 1 evicts a contiguous block suffix per round so each read is a
+    # partial hit at exactly the swept ratio (one coalesced fill range);
+    # pass 2 streams cold files one block per read; pass 3 re-reads a
+    # small open working set (the middle hot budget is deliberately
+    # smaller than the set, exercising eviction); pass 4 runs everything
+    # at once with one MCD killed mid-sweep, digest-compared against the
+    # same ops on a cache-off (num_mcds=0) testbed.
+    "readpath": {
+        "smoke": dict(
+            num_mcds=4,
+            mcd_memory=32 * MiB,
+            hit_ratios=[0.25, 0.75],
+            pf_files=2,
+            pf_blocks=16,
+            pf_rounds=4,
+            ra_depths=[0, 4],
+            ra_files=2,
+            ra_blocks=24,
+            hot_sizes=[0, 16 * KiB, 256 * KiB],
+            hc_files=2,
+            hc_blocks=8,
+            hc_rounds=20,
+            ft_files=3,
+            ft_blocks=12,
+            ft_rounds=4,
+            ft_readahead=4,
+            ft_hot_bytes=128 * KiB,
+            mcd_timeout=2e-3,
+            cooldown=2e-3,
+            seed=0x8EAD,
+        ),
+        "default": dict(
+            num_mcds=4,
+            mcd_memory=64 * MiB,
+            hit_ratios=[0.25, 0.5, 0.75],
+            pf_files=4,
+            pf_blocks=32,
+            pf_rounds=8,
+            ra_depths=[0, 2, 8],
+            ra_files=3,
+            ra_blocks=48,
+            hot_sizes=[0, 16 * KiB, 512 * KiB],
+            hc_files=3,
+            hc_blocks=8,
+            hc_rounds=60,
+            ft_files=4,
+            ft_blocks=16,
+            ft_rounds=8,
+            ft_readahead=4,
+            ft_hot_bytes=128 * KiB,
+            mcd_timeout=2e-3,
+            cooldown=2e-3,
+            seed=0x8EAD,
+        ),
+        "paper": dict(
+            num_mcds=4,
+            mcd_memory=128 * MiB,
+            hit_ratios=[0.125, 0.25, 0.5, 0.75, 0.875],
+            pf_files=6,
+            pf_blocks=64,
+            pf_rounds=16,
+            ra_depths=[0, 2, 4, 8, 16],
+            ra_files=4,
+            ra_blocks=96,
+            hot_sizes=[0, 16 * KiB, 512 * KiB, 2 * MiB],
+            hc_files=4,
+            hc_blocks=16,
+            hc_rounds=150,
+            ft_files=6,
+            ft_blocks=24,
+            ft_rounds=16,
+            ft_readahead=8,
+            ft_hot_bytes=256 * KiB,
+            mcd_timeout=2e-3,
+            cooldown=2e-3,
+            seed=0x8EAD,
+        ),
+    },
     # ---- chaos: fault injection / graceful degradation (§4.4) ---------------
     # window / rates / mean_downtime are simulated seconds; ops take ~100 µs,
     # so a 10 ms window is ~100 ops per client.  all_dead_slack bounds how far

@@ -1,0 +1,549 @@
+"""The readpath experiment: partial fills, readahead and the hot cache.
+
+The paper's miss path is all-or-nothing: one uncached block in a
+multi-get forwards the *whole* read to the server ("the cost of a miss
+is more expensive than in the original GlusterFS", §5.4).  This
+experiment quantifies the three opt-in read-path optimisations that cut
+that cost (``IMCaConfig.partial_fills`` / ``readahead_blocks`` /
+``hot_cache_bytes``) and proves they never change returned bytes:
+
+1. **Partial-fill sweep** (the figure): per partial-hit ratio *h*, a
+   client re-reads files whose block suffix was evicted from the MCDs.
+   With fills on, only the missing range is read from the server.  Mean
+   *and* p99 read latency must strictly improve versus fills-off at
+   every h >= 0.25, and both modes must return byte-identical data.
+2. **Readahead depth sweep**: a client streams cold files sequentially
+   per depth K.  Every K > 0 must score prefetch hits, and the best
+   depth must beat K=0 on mean read latency.
+3. **Hot-cache size sweep**: a client re-reads a small open working set
+   per budget.  The hot tier must serve repeat reads (zero simulated
+   round trips), beat the hot-off mean, and a write must invalidate
+   (the next read returns the fresh bytes, not the hot copy).
+4. **Mid-sweep MCD kill**: with all three features on, one MCD dies
+   half-way through the rounds.  The full op stream's digest must equal
+   the digest of the identical run on a cache-off testbed (num_mcds=0).
+
+Passes 1-3 also verify every read against the analytically known
+payload, so "identical" never degenerates into "identically wrong".
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+
+from repro.cluster import ResilienceConfig, TestbedConfig, build_gluster_testbed
+from repro.core.config import IMCaConfig
+from repro.core.keys import data_key, stat_key
+from repro.faults.schedule import FaultSchedule
+from repro.harness.experiment import ExperimentResult, register
+from repro.harness.parallel import pmap
+from repro.harness.params import params_for
+from repro.workloads.base import drive, run_clients
+
+
+def _p99(samples: list[float]) -> float:
+    if not samples:
+        return 0.0
+    s = sorted(samples)
+    return s[max(0, math.ceil(0.99 * len(s)) - 1)]
+
+
+def _mean(samples: list[float]) -> float:
+    return sum(samples) / len(samples) if samples else 0.0
+
+
+def _payload(j: int, size: int) -> bytes:
+    phase = (67 * j + 13) % 251
+    return bytes((phase + i) % 256 for i in range(size))
+
+
+def _evict_blocks(tb, path: str, offsets: list[int]) -> None:
+    """Drop data blocks straight out of every MCD engine (untimed)."""
+    for off in offsets:
+        key = data_key(path, off)
+        if key is None:
+            continue
+        for mcd in tb.mcds:
+            mcd.engine.delete(key)
+
+
+# --------------------------------------------------------------------------- #
+# Pass 1: partial-fill sweep over the partial-hit ratio
+# --------------------------------------------------------------------------- #
+def _pf_job(p: dict, hit_ratio: float, fills: bool) -> dict:
+    """Evict a block suffix per round; read the whole file back."""
+    imca = IMCaConfig(partial_fills=fills)
+    tb = build_gluster_testbed(
+        TestbedConfig(
+            num_clients=1,
+            num_mcds=p["num_mcds"],
+            mcd_memory=p["mcd_memory"],
+            imca=imca,
+        )
+    )
+    sim = tb.sim
+    bs = imca.block_size
+    nblocks = p["pf_blocks"]
+    size = nblocks * bs
+    paths = [f"/readpath/pf/f{j}" for j in range(p["pf_files"])]
+    fds: dict[str, int] = {}
+
+    def setup():
+        client = tb.clients[0]
+        for j, path in enumerate(paths):
+            fd = yield from client.create(path)
+            data = _payload(j, size)
+            yield from client.write(fd, 0, size, data)
+            yield from client.close(fd)
+        for path in paths:
+            fds[path] = yield from client.open(path)
+        for path in paths:  # warm: stat + every block cached
+            yield from client.stat(path)
+            yield from client.read(fds[path], 0, size)
+
+    drive(sim, setup())
+    # Evict the *suffix* so the missing run is contiguous: one fill read
+    # per round, never a checkerboard.
+    n_miss = nblocks - round(hit_ratio * nblocks)
+    n_miss = min(max(n_miss, 1), nblocks - 1)
+    evict = [(nblocks - n_miss + i) * bs for i in range(n_miss)]
+    lats: list[float] = []
+    digest = hashlib.sha256()
+    counts = {"mismatches": 0}
+
+    def body(client, rank, barrier):
+        yield barrier.wait()
+        for _ in range(p["pf_rounds"]):
+            for j, path in enumerate(paths):
+                _evict_blocks(tb, path, evict)
+                t0 = sim.now
+                r = yield from client.read(fds[path], 0, size)
+                lats.append(sim.now - t0)
+                digest.update(r.data or b"")
+                if r.data != _payload(j, size):
+                    counts["mismatches"] += 1
+
+    run_clients(sim, tb.clients, body)
+    cm = tb.cm_stats()
+    return {
+        "mean": _mean(lats),
+        "p99": _p99(lats),
+        "digest": digest.hexdigest(),
+        "mismatches": counts["mismatches"],
+        "partial_hits": cm.get("read_partial_hits", 0),
+        "fill_reads": cm.get("fill_reads", 0),
+        "fill_blocks": cm.get("fill_blocks", 0),
+        "fill_fallbacks": cm.get("fill_fallbacks", 0),
+        "read_misses": cm.get("read_misses", 0),
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Pass 2: sequential readahead depth sweep
+# --------------------------------------------------------------------------- #
+def _ra_job(p: dict, depth: int) -> dict:
+    """Stream cold files sequentially, one block per read."""
+    imca = IMCaConfig(readahead_blocks=depth)
+    tb = build_gluster_testbed(
+        TestbedConfig(
+            num_clients=1,
+            num_mcds=p["num_mcds"],
+            mcd_memory=p["mcd_memory"],
+            imca=imca,
+        )
+    )
+    sim = tb.sim
+    bs = imca.block_size
+    nblocks = p["ra_blocks"]
+    size = nblocks * bs
+    paths = [f"/readpath/ra/f{j}" for j in range(p["ra_files"])]
+    fds: dict[str, int] = {}
+
+    def setup():
+        client = tb.clients[0]
+        for j, path in enumerate(paths):
+            fd = yield from client.create(path)
+            yield from client.write(fd, 0, size, _payload(j, size))
+            yield from client.close(fd)
+        # Cold data: drop everything the write read-back pushed, then
+        # reopen (the server re-pushes the stat on open).
+        for mcd in tb.mcds:
+            mcd.engine.flush_all()
+        for path in paths:
+            fds[path] = yield from client.open(path)
+
+    drive(sim, setup())
+    lats: list[float] = []
+    counts = {"mismatches": 0}
+
+    def body(client, rank, barrier):
+        yield barrier.wait()
+        for j, path in enumerate(paths):
+            expected = _payload(j, size)
+            for off in range(0, size, bs):
+                t0 = sim.now
+                r = yield from client.read(fds[path], off, bs)
+                lats.append(sim.now - t0)
+                if r.data != expected[off : off + bs]:
+                    counts["mismatches"] += 1
+
+    run_clients(sim, tb.clients, body)
+    cm = tb.cm_stats()
+    reads = len(lats)
+    hits = cm.get("prefetch_hits", 0)
+    return {
+        "mean": _mean(lats),
+        "p99": _p99(lats),
+        "mismatches": counts["mismatches"],
+        "prefetch_issued": cm.get("prefetch_issued", 0),
+        "prefetch_blocks": cm.get("prefetch_blocks", 0),
+        "prefetch_hits": hits,
+        "prefetch_hit_rate": hits / reads if reads else 0.0,
+        "read_hits": cm.get("read_hits", 0),
+        "read_misses": cm.get("read_misses", 0),
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Pass 3: hot-cache size sweep
+# --------------------------------------------------------------------------- #
+def _hc_job(p: dict, budget: int) -> dict:
+    """Re-read a small open working set; repeats should go hot."""
+    imca = IMCaConfig(hot_cache_bytes=budget)
+    tb = build_gluster_testbed(
+        TestbedConfig(
+            num_clients=1,
+            num_mcds=p["num_mcds"],
+            mcd_memory=p["mcd_memory"],
+            imca=imca,
+        )
+    )
+    sim = tb.sim
+    bs = imca.block_size
+    nblocks = p["hc_blocks"]
+    size = nblocks * bs
+    paths = [f"/readpath/hc/f{j}" for j in range(p["hc_files"])]
+    fds: dict[str, int] = {}
+
+    def setup():
+        client = tb.clients[0]
+        for j, path in enumerate(paths):
+            fd = yield from client.create(path)
+            yield from client.write(fd, 0, size, _payload(j, size))
+            yield from client.close(fd)
+        for path in paths:
+            fds[path] = yield from client.open(path)
+        for path in paths:  # warm MCD + (when on) the hot tier
+            yield from client.stat(path)
+            yield from client.read(fds[path], 0, size)
+
+    drive(sim, setup())
+    lats: list[float] = []
+    stat_lats: list[float] = []
+    counts = {"mismatches": 0}
+
+    def body(client, rank, barrier):
+        yield barrier.wait()
+        for r_i in range(p["hc_rounds"]):
+            for j, path in enumerate(paths):
+                expected = _payload(j, size)
+                off = ((r_i + j) % nblocks) * bs
+                t0 = sim.now
+                st = yield from client.stat(path)
+                stat_lats.append(sim.now - t0)
+                if st.size != size:
+                    counts["mismatches"] += 1
+                t0 = sim.now
+                r = yield from client.read(fds[path], off, bs)
+                lats.append(sim.now - t0)
+                if r.data != expected[off : off + bs]:
+                    counts["mismatches"] += 1
+
+    run_clients(sim, tb.clients, body)
+
+    # Staleness probe: overwrite block 0 of file 0, then read it back —
+    # the hot copy must be invalidated, not served.
+    def probe():
+        client = tb.clients[0]
+        fresh = bytes((x + 101) % 256 for x in range(bs))
+        yield from client.write(fds[paths[0]], 0, bs, fresh)
+        r = yield from client.read(fds[paths[0]], 0, bs)
+        return r.data == fresh
+
+    fresh_after_write = drive(sim, probe())
+    cm = tb.cm_stats()
+    hot = tb.cmcaches[0].hot_info()
+    return {
+        "mean": _mean(lats),
+        "p99": _p99(lats),
+        "stat_mean": _mean(stat_lats),
+        "mismatches": counts["mismatches"],
+        "fresh_after_write": bool(fresh_after_write),
+        "hot_data_hits": cm.get("hot_data_hits", 0),
+        "hot_stat_hits": cm.get("hot_stat_hits", 0),
+        "hot_evictions": cm.get("hot_evictions", 0),
+        "hot_invalidated": cm.get("hot_invalidated", 0),
+        "hot_info": hot,
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Pass 4: everything on + a mid-sweep MCD kill, vs the cache-off digest
+# --------------------------------------------------------------------------- #
+def _ft_job(p: dict, features: bool, kill: bool) -> dict:
+    """Run the combined workload; return the digest of every read."""
+    if features:
+        imca = IMCaConfig(
+            partial_fills=True,
+            readahead_blocks=p["ft_readahead"],
+            hot_cache_bytes=p["ft_hot_bytes"],
+        )
+        res = ResilienceConfig(
+            mcd_timeout=p["mcd_timeout"],
+            mcd_retries=0,
+            cooldown=p["cooldown"],
+            eject_after=2,
+            seed=p["seed"],
+        )
+        cfg = TestbedConfig(
+            num_clients=1,
+            num_mcds=p["num_mcds"],
+            mcd_memory=p["mcd_memory"],
+            imca=imca,
+            resilience=res,
+        )
+    else:
+        imca = IMCaConfig()
+        cfg = TestbedConfig(num_clients=1, num_mcds=0)
+    tb = build_gluster_testbed(cfg)
+    sim = tb.sim
+    bs = imca.block_size
+    nblocks = p["ft_blocks"]
+    size = nblocks * bs
+    paths = [f"/readpath/ft/f{j}" for j in range(p["ft_files"])]
+    fds: dict[str, int] = {}
+
+    def setup():
+        client = tb.clients[0]
+        for j, path in enumerate(paths):
+            fd = yield from client.create(path)
+            yield from client.write(fd, 0, size, _payload(j, size))
+            yield from client.close(fd)
+        for path in paths:
+            fds[path] = yield from client.open(path)
+        for path in paths:
+            yield from client.stat(path)
+            yield from client.read(fds[path], 0, size)
+
+    drive(sim, setup())
+    n_miss = max(1, nblocks // 2)
+    evict = [(nblocks - n_miss + i) * bs for i in range(n_miss)]
+    digest = hashlib.sha256()
+    counts = {"mismatches": 0, "errors": 0}
+
+    def rounds_body(first: int, last: int):
+        def body(client, rank, barrier):
+            yield barrier.wait()
+            for _ in range(first, last):
+                for j, path in enumerate(paths):
+                    expected = _payload(j, size)
+                    try:
+                        if tb.mcds:
+                            _evict_blocks(tb, path, evict)
+                        # Partial-hit full read, then a sequential
+                        # record stream (arms the readahead detector,
+                        # repeats go hot).
+                        r = yield from client.read(fds[path], 0, size)
+                        digest.update(r.data or b"")
+                        if r.data != expected:
+                            counts["mismatches"] += 1
+                        for off in range(0, size, bs):
+                            r = yield from client.read(fds[path], off, bs)
+                            digest.update(r.data or b"")
+                            if r.data != expected[off : off + bs]:
+                                counts["mismatches"] += 1
+                    except Exception:
+                        counts["errors"] += 1
+
+        return body
+
+    total = p["ft_rounds"]
+    half = max(1, total // 2)
+    run_clients(sim, tb.clients, rounds_body(0, half))
+    if kill and tb.mcds:
+        # Kill the daemon that primaries the most working-set keys so
+        # the loss is guaranteed to matter (an idle victim proves
+        # nothing).
+        mc = tb.cmcaches[0].mc
+        owned = [0] * len(tb.mcds)
+        for path in paths:
+            owned[mc._idx_for(stat_key(path))] += 1
+            for off in range(0, size, bs):
+                owned[mc._idx_for(data_key(path, off))] += 1
+        victim = owned.index(max(owned))
+        sched = FaultSchedule()
+        sched.mcd_crash(0.0, mcd=victim, down_for=1e9)  # never recovers
+        tb.arm_faults(sched.shifted(sim.now))
+    run_clients(sim, tb.clients, rounds_body(half, total))
+    return {
+        "digest": digest.hexdigest(),
+        "mismatches": counts["mismatches"],
+        "errors": counts["errors"],
+    }
+
+
+# --------------------------------------------------------------------------- #
+# The experiment
+# --------------------------------------------------------------------------- #
+@register(
+    "readpath",
+    "§4.3/§5.4 extension",
+    "Read-path optimisations: partial fills, readahead, hot cache",
+    "Cut the all-or-nothing miss path: fill only the missing block "
+    "ranges on a partial hit, prefetch ahead of sequential streams, and "
+    "serve repeat reads of open files from a client-side hot LRU — all "
+    "byte-identical to the cache-off baseline, even with an MCD killed "
+    "mid-sweep.",
+)
+def run_readpath(scale: str = "default") -> ExperimentResult:
+    p = params_for("readpath", scale)
+    ratios = p["hit_ratios"]
+    result = ExperimentResult(
+        "readpath", scale, x_name="partial-hit ratio", x_values=ratios
+    )
+
+    # ---- pass 1: partial-fill sweep --------------------------------------
+    grid = [(h, fills) for h in ratios for fills in (False, True)]
+    rows = dict(zip(grid, pmap(_pf_job, [(p, h, fills) for h, fills in grid])))
+    for fills in (False, True):
+        label = "fills on" if fills else "fills off"
+        result.series[f"read mean ({label})"] = [rows[(h, fills)]["mean"] for h in ratios]
+        result.series[f"read p99 ({label})"] = [rows[(h, fills)]["p99"] for h in ratios]
+    improves = all(
+        rows[(h, True)]["mean"] < rows[(h, False)]["mean"]
+        and rows[(h, True)]["p99"] < rows[(h, False)]["p99"]
+        for h in ratios
+        if h >= 0.25
+    )
+    result.check(
+        "partial fills strictly improve mean and p99 read latency at "
+        "every partial-hit ratio >= 0.25",
+        improves,
+        "; ".join(
+            f"h={h}: mean {rows[(h, False)]['mean']:.3g}s -> "
+            f"{rows[(h, True)]['mean']:.3g}s"
+            for h in ratios
+        ),
+    )
+    result.check(
+        "fills-on returns byte-identical data to fills-off (and to the "
+        "written payloads)",
+        all(
+            rows[(h, True)]["digest"] == rows[(h, False)]["digest"]
+            and rows[(h, True)]["mismatches"] == 0
+            and rows[(h, False)]["mismatches"] == 0
+            for h in ratios
+        ),
+        f"{len(ratios)} ratio points compared",
+    )
+    filled = all(
+        rows[(h, True)]["partial_hits"] > 0 and rows[(h, True)]["fill_reads"] > 0
+        for h in ratios
+    )
+    result.check(
+        "every fills-on point serves partial hits through the fill path "
+        "(read_partial_hits and fill_reads surface in obs)",
+        filled,
+        "; ".join(
+            f"h={h}: {rows[(h, True)]['partial_hits']} partial hits, "
+            f"{rows[(h, True)]['fill_reads']} fill reads, "
+            f"{rows[(h, True)]['fill_fallbacks']} fallbacks"
+            for h in ratios
+        ),
+    )
+    result.extras["partial_fill"] = {
+        str(h): {m: rows[(h, True)][m] for m in
+                 ("partial_hits", "fill_reads", "fill_blocks", "fill_fallbacks")}
+        for h in ratios
+    }
+
+    # ---- pass 2: readahead depth sweep -----------------------------------
+    depths = p["ra_depths"]
+    ra_rows = dict(zip(depths, pmap(_ra_job, [(p, k) for k in depths])))
+    on_depths = [k for k in depths if k > 0]
+    best = min(on_depths, key=lambda k: ra_rows[k]["mean"])
+    result.check(
+        "sequential streams score prefetch hits at every readahead "
+        "depth > 0",
+        all(ra_rows[k]["prefetch_hits"] > 0 for k in on_depths),
+        "; ".join(
+            f"K={k}: {ra_rows[k]['prefetch_hits']} hits "
+            f"({ra_rows[k]['prefetch_hit_rate']:.0%} of reads)"
+            for k in on_depths
+        ),
+    )
+    result.check(
+        f"readahead depth {best} beats depth 0 on mean read latency, "
+        "byte-identically",
+        ra_rows[best]["mean"] < ra_rows[0]["mean"]
+        and all(ra_rows[k]["mismatches"] == 0 for k in depths),
+        f"K=0 {ra_rows[0]['mean']:.3g}s -> K={best} "
+        f"{ra_rows[best]['mean']:.3g}s",
+    )
+    result.extras["readahead"] = {
+        str(k): {m: ra_rows[k][m] for m in
+                 ("mean", "p99", "prefetch_issued", "prefetch_blocks",
+                  "prefetch_hits", "prefetch_hit_rate", "read_hits",
+                  "read_misses")}
+        for k in depths
+    }
+
+    # ---- pass 3: hot-cache size sweep ------------------------------------
+    sizes = p["hot_sizes"]
+    hc_rows = dict(zip(sizes, pmap(_hc_job, [(p, s) for s in sizes])))
+    big = max(sizes)
+    result.check(
+        "the hot tier serves repeat reads of open files and beats the "
+        "hot-off mean read latency",
+        hc_rows[big]["hot_data_hits"] > 0
+        and hc_rows[big]["hot_stat_hits"] > 0
+        and hc_rows[big]["mean"] < hc_rows[0]["mean"]
+        and all(hc_rows[s]["mismatches"] == 0 for s in sizes),
+        f"off {hc_rows[0]['mean']:.3g}s -> {big} B "
+        f"{hc_rows[big]['mean']:.3g}s "
+        f"({hc_rows[big]['hot_data_hits']} hot data hits)",
+    )
+    result.check(
+        "a write invalidates the hot copies: the next read returns the "
+        "fresh bytes at every budget",
+        all(hc_rows[s]["fresh_after_write"] for s in sizes),
+        f"budgets {sizes}",
+    )
+    result.extras["hot_cache"] = {
+        str(s): {m: hc_rows[s][m] for m in
+                 ("mean", "stat_mean", "hot_data_hits", "hot_stat_hits",
+                  "hot_evictions", "hot_invalidated", "hot_info")}
+        for s in sizes
+    }
+
+    # ---- pass 4: mid-sweep MCD kill vs cache-off digest ------------------
+    ft = pmap(_ft_job, [(p, True, True), (p, False, False)])
+    ft_on, ft_off = ft
+    result.check(
+        "with all three features on and an MCD killed mid-sweep, the op "
+        "stream stays byte-identical to the cache-off baseline",
+        ft_on["digest"] == ft_off["digest"]
+        and ft_on["mismatches"] == 0
+        and ft_on["errors"] == 0,
+        f"mismatches={ft_on['mismatches']} errors={ft_on['errors']} "
+        f"digest match={ft_on['digest'] == ft_off['digest']}",
+    )
+    result.extras["fault"] = {"on": ft_on, "off": ft_off}
+    result.notes.append(
+        "All three optimisations are opt-in (IMCaConfig.partial_fills / "
+        "readahead_blocks / hot_cache_bytes); at their defaults every "
+        "client path is the legacy all-or-nothing code, byte-identical "
+        "to main."
+    )
+    return result

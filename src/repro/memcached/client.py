@@ -278,6 +278,12 @@ class MemcacheClient:
         """
         if hints is None:
             hints = [None] * len(keys)
+        elif len(hints) != len(keys):
+            # zip() would silently drop the tail keys from the fetch,
+            # turning a caller bug into phantom misses.
+            raise ValueError(
+                f"get_multi: {len(keys)} keys but {len(hints)} hints"
+            )
         by_server: dict[int, list[str]] = {}
         seen: set[str] = set()
         for key, hint in zip(keys, hints):
@@ -517,6 +523,12 @@ class MemcacheClient:
         """
         if hints is None:
             hints = [None] * len(keys)
+        elif len(hints) != len(keys):
+            # zip() would silently skip deleting the tail keys — a
+            # coherence hole, not just a perf bug, for SMCache purges.
+            raise ValueError(
+                f"delete_multi: {len(keys)} keys but {len(hints)} hints"
+            )
         primary: dict[int, list[str]] = {}
         extras: dict[int, list[str]] = {}
         for key, hint in zip(keys, hints):

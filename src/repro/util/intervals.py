@@ -122,6 +122,23 @@ class IntervalVersionMap:
             prev_end, prev_ver = e, v
 
 
+def coalesce_spans(values: Iterable[int]) -> list[tuple[int, int]]:
+    """Coalesce integers into maximal half-open runs ``[start, end)``.
+
+    ``[3, 4, 5, 9, 11, 12] -> [(3, 6), (9, 10), (11, 13)]``.  Input may
+    be unsorted and contain duplicates.  Used by the read path to turn
+    a set of missing block indices into the fewest contiguous ranges
+    (each range becomes one server fill read).
+    """
+    out: list[tuple[int, int]] = []
+    for v in sorted(set(values)):
+        if out and out[-1][1] == v:
+            out[-1] = (out[-1][0], v + 1)
+        else:
+            out.append((v, v + 1))
+    return out
+
+
 def intervals_equal(
     a: Iterable[tuple[int, int, int]], b: Iterable[tuple[int, int, int]]
 ) -> bool:

@@ -11,6 +11,7 @@ from repro.harness import (
     render_table,
 )
 from repro.harness.experiment import ExperimentResult
+from repro.util.units import KiB
 
 EXPECTED_FIGURES = {
     "fig1",
@@ -53,6 +54,20 @@ def test_fault_and_replication_experiments_registered():
         assert p["replica_counts"][0] == 1  # the legacy baseline pass
         assert max(p["replica_counts"]) <= p["num_mcds"]
         assert any(s >= 0.99 for s in p["skews"])
+
+
+def test_readpath_experiment_registered():
+    """readpath's four passes add up even at smoke scale, so like chaos
+    and hotspot it stays out of the parametrized sweep; CI runs the
+    smoke pass directly."""
+    ids = {e.id for e in all_experiments()}
+    assert "readpath" in ids
+    for scale in ("smoke", "default", "paper"):
+        p = params_for("readpath", scale)
+        assert p["hit_ratios"] and all(0.0 < h < 1.0 for h in p["hit_ratios"])
+        assert p["ra_depths"][0] == 0  # the no-readahead baseline pass
+        assert p["hot_sizes"][0] == 0  # the hot-cache-off baseline pass
+        assert p["ft_blocks"] * 2 * KiB <= p["mcd_memory"]
 
 
 def test_get_unknown_raises():

@@ -10,6 +10,7 @@ from repro.bench import (
     check_against_baseline,
     load_report,
     run_benchmarks,
+    run_e2e_benchmarks,
     write_report,
 )
 
@@ -67,6 +68,45 @@ def test_check_against_baseline_flags_regressions(quick_report):
     empty = {"results": {}}
     failures = check_against_baseline(empty, committed)
     assert {f.split(":")[0] for f in failures} == {"kernel", "hop"}
+
+
+@pytest.fixture(scope="module")
+def quick_e2e_report():
+    return run_e2e_benchmarks(quick=True, rounds=1)
+
+
+def test_e2e_report_schema(quick_e2e_report):
+    assert quick_e2e_report["schema"] == 1
+    assert quick_e2e_report["rounds"] == 1
+    results = quick_e2e_report["results"]
+    assert set(results) == {"e2e_hit", "e2e_fill", "e2e_hot"}
+    for doc in results.values():
+        assert doc["metric"] == "ops_per_sec"
+        assert doc["median"] > 0
+        assert len(doc["runs"]) == 1
+        assert doc["events_per_run"] > 0  # ops driven per run
+
+
+def test_e2e_ops_per_sec_gates_like_events_per_sec(quick_e2e_report):
+    """The 30% regression gate covers every *_per_sec metric, so the
+    committed BENCH_e2e.json participates alongside the kernel suite."""
+    committed = json.loads(json.dumps(quick_e2e_report))
+    assert check_against_baseline(quick_e2e_report, committed) == []
+    slow = json.loads(json.dumps(quick_e2e_report))
+    slow["results"]["e2e_hot"]["median"] *= 0.5
+    failures = check_against_baseline(slow, committed, tolerance=0.30)
+    assert len(failures) == 1 and "e2e_hot" in failures[0]
+
+
+def test_committed_e2e_report_matches_schema():
+    import os
+
+    path = os.path.join(os.path.dirname(__file__), "..", "BENCH_e2e.json")
+    report = load_report(path)
+    assert set(report["results"]) == {"e2e_hit", "e2e_fill", "e2e_hot"}
+    for doc in report["results"].values():
+        assert doc["metric"] == "ops_per_sec"
+        assert doc["median"] > 0
 
 
 def test_committed_report_claims_the_required_speedup():
