@@ -6,6 +6,8 @@ Usage::
     python -m repro run fig5 --scale default
     python -m repro run fig5 --trace-out trace.json --metrics-out m.jsonl
     python -m repro run fig6a --json
+    python -m repro run chaos --oplog-out ops.jsonl
+    python -m repro analyze fig5 --scale smoke
     python -m repro run-all --scale smoke
     python -m repro run-all --scale paper --jobs 8
     python -m repro bench --quick
@@ -13,7 +15,12 @@ Usage::
 
 ``--trace-out`` writes the instrumented pass's spans as Chrome
 ``trace_event`` JSON (open in chrome://tracing or https://ui.perfetto.dev);
-``--metrics-out`` writes one JSON line per metrics-registry component.
+``--metrics-out`` writes one JSON line per metrics-registry component;
+``--oplog-out`` writes one JSON line per client-visible operation
+(type, path, per-tier time, outcome tags, retry/failover counts).
+``analyze`` runs an experiment with the op log enabled and prints the
+tail-latency "why-slow" report (p99+ exemplars, slow-vs-median tier
+attribution) plus any SLO burn-rate report the harness produced.
 ``--jobs N`` fans each experiment's per-configuration sweep over N
 worker processes (0 = all cores); results merge deterministically by
 configuration index, so the output is identical to ``--jobs 1``.
@@ -58,6 +65,14 @@ def _print_result(result, elapsed: float, chart: bool = False) -> None:
         print("per-tier latency breakdown (instrumented pass):")
         print(breakdown)
         print()
+    why_slow = result.extras.get("why_slow")
+    if why_slow:
+        print(why_slow)
+        print()
+    slo_report = result.extras.get("slo_report")
+    if slo_report:
+        print(slo_report)
+        print()
     for c in result.checks:
         print(f"  [{'PASS' if c.passed else 'FAIL'}] {c.name} -- {c.detail}")
     ok = sum(1 for c in result.checks if c.passed)
@@ -82,13 +97,18 @@ def _run_observed(exp, args):
     observability flag asks for them.  Returns (result, capture)."""
     trace_out = getattr(args, "trace_out", None)
     metrics_out = getattr(args, "metrics_out", None)
+    oplog_out = getattr(args, "oplog_out", None)
     sample_interval = getattr(args, "sample_interval", None)
     run_kwargs = getattr(args, "run_kwargs", {})
-    if not (trace_out or metrics_out or sample_interval):
+    if not (trace_out or metrics_out or oplog_out or sample_interval):
         return exp.run(args.scale, **run_kwargs), None
     from repro.obs import ObsRequest, observing
 
-    req = ObsRequest(trace=bool(trace_out), sample_interval=sample_interval)
+    req = ObsRequest(
+        trace=bool(trace_out),
+        oplog=bool(oplog_out),
+        sample_interval=sample_interval,
+    )
     with observing(req):
         result = exp.run(args.scale, **run_kwargs)
     traced = [o for o in req.captures if o.tracer.enabled and o.tracer.spans]
@@ -99,7 +119,8 @@ def _run_observed(exp, args):
 def _export_artifacts(capture, args) -> None:
     trace_out = getattr(args, "trace_out", None)
     metrics_out = getattr(args, "metrics_out", None)
-    if not (trace_out or metrics_out):
+    oplog_out = getattr(args, "oplog_out", None)
+    if not (trace_out or metrics_out or oplog_out):
         return
     if capture is None:
         print(
@@ -108,8 +129,25 @@ def _export_artifacts(capture, args) -> None:
             file=sys.stderr,
         )
         return
-    from repro.obs.export import write_chrome_trace, write_metrics_jsonl
+    from repro.obs.export import (
+        write_chrome_trace,
+        write_metrics_jsonl,
+        write_oplog_jsonl,
+    )
 
+    if oplog_out:
+        if capture.oplog is not None and len(capture.oplog):
+            try:
+                n = write_oplog_jsonl(capture.oplog, oplog_out)
+            except OSError as e:
+                print(f"error: cannot write {oplog_out}: {e}", file=sys.stderr)
+            else:
+                print(f"wrote {oplog_out} ({n} op records)", file=sys.stderr)
+        else:
+            print(
+                f"warning: no op records captured; {oplog_out} not written",
+                file=sys.stderr,
+            )
     if trace_out:
         if capture.tracer.enabled:
             try:
@@ -265,6 +303,67 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_analyze(args) -> int:
+    """`repro analyze` — run one experiment instrumented and print the
+    tail-latency "why-slow" report plus SLO compliance."""
+    from repro.harness.parallel import job_pool, resolve_jobs
+    from repro.obs import ObsRequest, observing, render_why_slow, tail_summary
+
+    try:
+        exp = get(args.experiment)
+    except KeyError as e:
+        print(e, file=sys.stderr)
+        return 2
+    try:
+        jobs = resolve_jobs(args.jobs)
+    except ValueError as e:
+        print(e, file=sys.stderr)
+        return 2
+    req = ObsRequest(trace=True, oplog=True)
+    t0 = time.time()
+    with job_pool(jobs):
+        with observing(req):
+            result = exp.run(args.scale, **getattr(args, "run_kwargs", {}))
+    logged = [o for o in req.captures if o.oplog is not None and len(o.oplog)]
+    if not logged:
+        print(
+            f"error: {exp.id} published no instrumented run with op records; "
+            "nothing to analyze",
+            file=sys.stderr,
+        )
+        return 2
+    capture = logged[-1]
+    summary = tail_summary(capture.oplog, exemplars=args.exemplars)
+    if args.oplog_out:
+        from repro.obs.export import write_oplog_jsonl
+
+        n = write_oplog_jsonl(capture.oplog, args.oplog_out)
+        print(f"wrote {args.oplog_out} ({n} op records)", file=sys.stderr)
+    if args.json:
+        doc = {
+            "experiment": exp.id,
+            "scale": args.scale,
+            "ops_recorded": len(capture.oplog),
+            "ops_dropped": capture.oplog.dropped,
+            "tail": summary,
+        }
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    print(f"== analyze {exp.id} [{args.scale}]  "
+          f"({len(capture.oplog)} ops, {time.time() - t0:.1f}s wall)")
+    print()
+    print(render_why_slow(summary))
+    print()
+    breakdown = result.extras.get("tier_breakdown")
+    if breakdown:
+        print("per-tier latency breakdown (instrumented pass):")
+        print(breakdown)
+    slo_report = result.extras.get("slo_report")
+    if slo_report:
+        print(slo_report)
+    return 0
+
+
 def cmd_report(args) -> int:
     from repro.harness.experiments_md import generate
 
@@ -291,6 +390,11 @@ def _add_run_flags(sub: argparse.ArgumentParser) -> None:
     sub.add_argument(
         "--metrics-out", metavar="PATH",
         help="write metrics-registry snapshots as JSON lines (one per component)",
+    )
+    sub.add_argument(
+        "--oplog-out", metavar="PATH",
+        help="write the instrumented pass's per-op lifecycle records as "
+        "JSON lines (one op per line; enables the op log)",
     )
     sub.add_argument(
         "--sample-interval", type=_positive_float, metavar="SECONDS",
@@ -404,6 +508,34 @@ def build_parser() -> argparse.ArgumentParser:
         "committed one forward",
     )
     bench.set_defaults(func=cmd_bench)
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="run one experiment instrumented and explain its tail latency",
+        description="Runs the experiment with the per-op lifecycle log "
+        "enabled, then prints per-op-type percentiles, slow-vs-median "
+        "tier attribution, p99+ exemplars with outcome tags, and any "
+        "SLO burn-rate report the harness produced.",
+    )
+    analyze.add_argument("experiment", help="experiment id (see `list`)")
+    analyze.add_argument("--scale", choices=SCALES, default="smoke")
+    analyze.add_argument(
+        "--json", action="store_true",
+        help="print the tail summary as JSON on stdout",
+    )
+    analyze.add_argument(
+        "--oplog-out", metavar="PATH",
+        help="also write the op records as JSON lines",
+    )
+    analyze.add_argument(
+        "--exemplars", type=int, default=3, metavar="K",
+        help="slowest exemplars to show per op type (default 3)",
+    )
+    analyze.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for sweep configurations (0 = all cores)",
+    )
+    analyze.set_defaults(func=cmd_analyze)
 
     report = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
     report.add_argument("--scale", choices=SCALES, default="default")

@@ -193,6 +193,7 @@ class GlusterTestbed:
             net=self.net,
             disks=disks,
             metrics=self.obs.registry.component("faults"),
+            oplog=self.obs.oplog,
         )
         return injector.arm(schedule)
 
@@ -243,6 +244,15 @@ class GlusterTestbed:
             ops = reg.component("ops")
             for name, hist in tracer.op_stats.items():
                 ops.histograms[name] = hist
+            trc = reg.component("tracer")
+            trc.counters.values["spans_recorded"] = len(tracer.spans)
+            trc.counters.values["spans_dropped"] = tracer.dropped
+        oplog = self.obs.oplog
+        if oplog is not None:
+            olc = reg.component("oplog")
+            olc.counters.values["ops_recorded"] = len(oplog.records)
+            olc.counters.values["ops_dropped"] = oplog.dropped
+            olc.counters.values["orphan_annotations"] = oplog.orphan_annotations
         return reg
 
 

@@ -88,6 +88,9 @@ class CMCacheXlator(Xlator):
         #: one; ``metrics`` keeps its Counter shape for existing callers.
         self.component = metrics or ComponentMetrics("cmcache")
         self.metrics = self.component.counters
+        #: Shared with the MCD client: op-lifecycle annotations (tags
+        #: like ``read-partial-fill``) ride on the testbed's tracer.
+        self.tracer = mc.tracer
         self._keys = KeyCache()
         #: Hot tier (None when disabled).
         self._hot: Optional[HotCache] = (
@@ -160,6 +163,7 @@ class CMCacheXlator(Xlator):
     def stat(self, path: str) -> Generator:
         """Try the hot tier, then the MCD array; fall back to the server
         (§4.2)."""
+        tr = self.tracer
         key = self._keys.stat_key(path) if self.config.cache_stat else None
         if key is not None:
             hot = self._hot_for(path)
@@ -168,14 +172,20 @@ class CMCacheXlator(Xlator):
                 if isinstance(value, StatBuf):
                     self.metrics.inc("hot_stat_hits")
                     self.metrics.inc("stat_hits")
+                    if tr.oplog is not None:
+                        tr.op_tag("stat-hot-hit")
                     return value.copy()
             cached = yield from self.mc.get(key)
             if cached is not None and isinstance(cached.value, StatBuf):
                 self.metrics.inc("stat_hits")
+                if tr.oplog is not None:
+                    tr.op_tag("stat-mcd-hit")
                 if hot is not None:
                     self._hot_put(hot, key, path, cached.value.copy(), StatBuf.WIRE_SIZE)
                 return cached.value.copy()
             self.metrics.inc("stat_misses")
+            if tr.oplog is not None:
+                tr.op_tag("stat-miss")
         result = yield from self._down().stat(path)
         return result
 
@@ -189,6 +199,7 @@ class CMCacheXlator(Xlator):
         short (EOF) blocks and clamp reads at EOF — without it, any
         request touching a short block must conservatively miss.
         """
+        tr = self.tracer
         if not self.config.cache_data or size <= 0:
             result = yield from self._down().read(path, offset, size)
             return result
@@ -200,6 +211,8 @@ class CMCacheXlator(Xlator):
             if key is None:
                 # Path too long to cache: bypass entirely.
                 self.metrics.inc("uncacheable")
+                if tr.oplog is not None:
+                    tr.op_tag("read-uncacheable")
                 result = yield from self._down().read(path, offset, size)
                 return result
             keys.append(key)
@@ -219,6 +232,8 @@ class CMCacheXlator(Xlator):
                 if isinstance(value, BlockValue):
                     blocks[value.block_offset] = value
                     self.metrics.inc("hot_data_hits")
+                    if tr.oplog is not None:
+                        tr.op_count("hot_block_hits")
                 else:
                     fetch_keys.append(key)
                     fetch_hints.append(idx)
@@ -266,6 +281,8 @@ class CMCacheXlator(Xlator):
             )
             if assembled is not None:
                 self.metrics.inc("read_hits")
+                if tr.oplog is not None:
+                    tr.op_tag("read-hit")
                 self._note_read(path, offset, size, file_size)
                 return assembled
         if self.config.partial_fills and file_size is not None:
@@ -274,9 +291,13 @@ class CMCacheXlator(Xlator):
             )
             if assembled is not None:
                 self.metrics.inc("read_partial_hits")
+                if tr.oplog is not None:
+                    tr.op_tag("read-partial-fill")
                 self._note_read(path, offset, size, file_size)
                 return assembled
         self.metrics.inc("read_misses")
+        if tr.oplog is not None:
+            tr.op_tag("read-miss")
         result = yield from self._down().read(path, offset, size)
         self._note_read(path, offset, size, file_size)
         return result
@@ -321,6 +342,9 @@ class CMCacheXlator(Xlator):
         self.metrics.inc("fill_reads", len(ranges))
         self.metrics.inc("fill_blocks", len(missing))
         self.metrics.inc("fill_cached_blocks", len(usable))
+        if self.tracer.oplog is not None:
+            self.tracer.op_count("fill_ranges", len(ranges))
+            self.tracer.op_count("fill_blocks", len(missing))
         if len(ranges) == 1:
             aoff, asize = ranges[0]
             fetched = yield from self._down().read(path, aoff, asize)
@@ -386,7 +410,11 @@ class CMCacheXlator(Xlator):
         st.ra_until = limit
         aoff = self.mapper.block_offset(start_idx)
         asize = (limit - start_idx) * self.mapper.block_size
-        self.sim.process(self._prefetch(path, aoff, asize), name="cm-readahead")
+        proc = self.sim.process(self._prefetch(path, aoff, asize), name="cm-readahead")
+        # The prefetch outlives the read that armed it; detach it from
+        # the op-attribution chain so its background server trips never
+        # count against whichever op the client runs later.
+        proc.parent = None
 
     def _prefetch(self, path: str, aoff: int, asize: int) -> Generator:
         """Background prefetch: read through the server so SMCache's
@@ -421,6 +449,8 @@ class CMCacheXlator(Xlator):
             if boff in marks and boff in blocks:
                 marks.discard(boff)
                 self.metrics.inc("prefetch_hits")
+                if self.tracer.oplog is not None:
+                    self.tracer.op_count("readahead_credits")
         if not marks:
             self._prefetched.pop(path, None)
 

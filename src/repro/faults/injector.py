@@ -35,6 +35,7 @@ from repro.faults.schedule import (
 if TYPE_CHECKING:  # pragma: no cover
     from repro.memcached.daemon import MemcachedDaemon
     from repro.net.fabric import Network, Node
+    from repro.obs.oplog import OpLog
     from repro.obs.registry import ComponentMetrics
     from repro.sim.core import Simulator
     from repro.storage.disk import Disk
@@ -59,6 +60,7 @@ class FaultInjector:
         net: Optional["Network"] = None,
         disks: Sequence["Disk"] = (),
         metrics: Optional["ComponentMetrics"] = None,
+        oplog: Optional["OpLog"] = None,
     ) -> None:
         self.sim = sim
         self.mcds = list(mcds)
@@ -66,6 +68,9 @@ class FaultInjector:
         self.net = net
         self.disks = list(disks)
         self.metrics = metrics
+        #: Op-lifecycle log whose ``degraded_mcds`` set we maintain, so
+        #: records capture the injector's ground truth at op start.
+        self.oplog = oplog
         #: (sim time, "inject"/"recover", kind, target) in event order.
         self.log: list[tuple[float, str, str, object]] = []
         #: Currently-active fault count (sampled into metrics).
@@ -114,6 +119,8 @@ class FaultInjector:
     def _apply(self, ev: FaultEvent) -> None:
         if ev.kind == MCD_CRASH:
             self.mcds[int(ev.target)].kill()
+            if self.oplog is not None:
+                self.oplog.degraded_mcds.add(int(ev.target))
         elif ev.kind == SERVER_FLAP:
             self.server_nodes[int(ev.target)].fail()
         elif ev.kind == LINK_DEGRADE:
@@ -130,6 +137,8 @@ class FaultInjector:
     def _recover(self, ev: FaultEvent) -> None:
         if ev.kind == MCD_CRASH:
             self.mcds[int(ev.target)].restart()
+            if self.oplog is not None:
+                self.oplog.degraded_mcds.discard(int(ev.target))
         elif ev.kind == SERVER_FLAP:
             self.server_nodes[int(ev.target)].recover()
         elif ev.kind == LINK_DEGRADE:

@@ -60,6 +60,7 @@ class GlusterClient:
         """creat(2): create + open; returns an fd."""
         self.stats.inc("creates")
         with self.tracer.span("client", "client.create"):
+            self.tracer.op_set(client=self.node.name, path=path)
             yield from self._fuse()
             yield from self.stack.create(path)
         return self._new_fd(path)
@@ -68,6 +69,7 @@ class GlusterClient:
         """open(2); returns an fd."""
         self.stats.inc("opens")
         with self.tracer.span("client", "client.open"):
+            self.tracer.op_set(client=self.node.name, path=path)
             yield from self._fuse()
             yield from self.stack.open(path)
         return self._new_fd(path)
@@ -78,6 +80,10 @@ class GlusterClient:
         self.stats.inc("reads")
         if self.tracer.enabled:
             with self.tracer.span("client", "client.read"):
+                if self.tracer.oplog is not None:
+                    self.tracer.op_set(
+                        client=self.node.name, path=path, nbytes=size
+                    )
                 yield from self._fuse()
                 result: ReadResult = yield from self.stack.read(path, offset, size)
         else:
@@ -91,6 +97,10 @@ class GlusterClient:
         self.stats.inc("writes")
         if self.tracer.enabled:
             with self.tracer.span("client", "client.write"):
+                if self.tracer.oplog is not None:
+                    self.tracer.op_set(
+                        client=self.node.name, path=path, nbytes=size
+                    )
                 yield from self._fuse()
                 version = yield from self.stack.write(path, offset, size, data)
         else:
@@ -103,6 +113,8 @@ class GlusterClient:
         self.stats.inc("stats")
         if self.tracer.enabled:
             with self.tracer.span("client", "client.stat"):
+                if self.tracer.oplog is not None:
+                    self.tracer.op_set(client=self.node.name, path=path)
                 yield from self._fuse()
                 result: StatBuf = yield from self.stack.stat(path)
         else:
@@ -123,6 +135,7 @@ class GlusterClient:
     def unlink(self, path: str) -> Generator:
         self.stats.inc("unlinks")
         with self.tracer.span("client", "client.unlink"):
+            self.tracer.op_set(client=self.node.name, path=path)
             yield from self._fuse()
             yield from self.stack.unlink(path)
 
@@ -131,6 +144,7 @@ class GlusterClient:
         path = self.path_of(fd)
         self.stats.inc("fsyncs")
         with self.tracer.span("client", "client.fsync"):
+            self.tracer.op_set(client=self.node.name, path=path)
             yield from self._fuse()
             yield from self.stack.fsync(path)
 
@@ -139,6 +153,7 @@ class GlusterClient:
         path = self.path_of(fd)
         self.stats.inc("closes")
         with self.tracer.span("client", "client.close"):
+            self.tracer.op_set(client=self.node.name, path=path)
             yield from self._fuse()
             yield from self.stack.flush(path)
         del self._fds[fd]

@@ -123,6 +123,9 @@ class GlusterServer:
         self.stats.inc(f"fop_{fop}")
         if self.tracer.enabled:
             with self.tracer.span("server", f"server.{fop}"):
+                if self.tracer.oplog is not None:
+                    # One server round trip on the op's critical path.
+                    self.tracer.op_count("server_fops")
                 # Protocol decode + dispatch on the io-thread pool.
                 yield self.io_pool.run(SERVER_OP_CPU)
                 method = getattr(self.stack, fop)

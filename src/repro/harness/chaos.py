@@ -34,6 +34,8 @@ from repro.harness.params import params_for
 from repro.harness.parallel import pmap
 from repro.obs.context import make_observability
 from repro.obs.export import metrics_fingerprint, render_tier_breakdown
+from repro.obs.slo import SloMonitor, SloSpec, render_slo_report
+from repro.obs.tail import render_why_slow, tail_summary
 from repro.util.stats import OnlineStats
 from repro.workloads.base import drive, run_clients
 
@@ -207,12 +209,44 @@ def _rate_job(p: dict, rate: float, _repeat: int) -> dict:
 # --------------------------------------------------------------------------- #
 # Pass 3: instrumented healthy → degraded → recovered phases
 # --------------------------------------------------------------------------- #
-def _phase_pass(p: dict) -> tuple[dict, object]:
+def _slo_monitors(p: dict, phase_len: float) -> list[SloMonitor]:
+    """Read- and stat-latency SLOs scaled to the phase timeline: the
+    fast window catches the fault onset within a fraction of a phase,
+    the slow window suppresses single-op blips."""
+    s = p["slo"]
+    fast = phase_len * s["fast_frac"]
+    slow = phase_len * s["slow_frac"]
+    specs = [
+        SloSpec(
+            "read-latency",
+            op_prefix="client.read",
+            objective=s["objective"],
+            threshold=s["read_threshold"],
+            fast_window=fast,
+            slow_window=slow,
+            burn_threshold=s["burn_threshold"],
+            min_ops=s["min_ops"],
+        ),
+        SloSpec(
+            "stat-latency",
+            op_prefix="client.stat",
+            objective=s["objective"],
+            threshold=s["stat_threshold"],
+            fast_window=fast,
+            slow_window=slow,
+            burn_threshold=s["burn_threshold"],
+            min_ops=s["min_ops"],
+        ),
+    ]
+    return [SloMonitor(spec) for spec in specs]
+
+
+def _phase_pass(p: dict) -> tuple[dict, object, list[SloMonitor], dict]:
     """One timeline: half the MCDs die for the middle third and rejoin
     (cold + purged) for the last third; per-phase numbers go through
-    the metrics registry."""
+    the metrics registry, per-op records feed the SLO monitors."""
     n = p["num_mcds"]
-    obs = make_observability("chaos", trace=True)
+    obs = make_observability("chaos", trace=True, oplog=True)
     res = ResilienceConfig(
         mcd_timeout=p["mcd_timeout"],
         mcd_retries=0,
@@ -234,6 +268,12 @@ def _phase_pass(p: dict) -> tuple[dict, object]:
     sim = tb.sim
     phase_len = p["window"] / 3.0
     t0 = sim.now
+    # Monitors attach after setup and before the measured phases, so
+    # they observe exactly the phase-pass ops (the oplog itself also
+    # retains the setup creates/writes for tail analysis).
+    monitors = _slo_monitors(p, phase_len)
+    assert obs.oplog is not None
+    obs.oplog.monitors.extend(monitors)
     sched = FaultSchedule()
     for i in range(max(1, n // 2)):
         # Recover mid-phase-2: ejection cooldown, the purged rejoin and
@@ -281,7 +321,14 @@ def _phase_pass(p: dict) -> tuple[dict, object]:
         dh = marks[k + 1]["hits"] - marks[k]["hits"]
         dm = marks[k + 1]["misses"] - marks[k]["misses"]
         rows["hit rate"].append(dh / (dh + dm) if dh + dm else 0.0)
-    return rows, tb
+    timeline = {
+        "t0": t0,
+        "phase_len": phase_len,
+        "fault_at": t0 + phase_len,
+        "fault_until": t0 + phase_len + phase_len / 2,
+        "end": t0 + 3 * phase_len,
+    }
+    return rows, tb, monitors, timeline
 
 
 # --------------------------------------------------------------------------- #
@@ -393,7 +440,7 @@ def run_chaos(scale: str = "default", replicas: int = 1) -> ExperimentResult:
     )
 
     # ---- pass 3: instrumented phase pass ---------------------------------
-    phase_rows, tb = _phase_pass(p)
+    phase_rows, tb, monitors, timeline = _phase_pass(p)
     result.extras["phases"] = {"x": ["healthy", "degraded", "recovered"], **phase_rows}
     tracer = tb.obs.tracer
     if tracer.enabled:
@@ -405,6 +452,45 @@ def run_chaos(scale: str = "default", replicas: int = 1) -> ExperimentResult:
         and phase_rows["hit rate"][2] > phase_rows["hit rate"][1],
         "hit rate per phase: "
         + ", ".join(f"{v:.2f}" for v in phase_rows["hit rate"]),
+    )
+
+    # ---- SLO burn-rate monitoring over the same timeline -----------------
+    result.extras["slo"] = [m.summary() for m in monitors]
+    result.extras["slo_report"] = render_slo_report(monitors)
+    result.extras["slo_timeline"] = timeline
+    oplog = tb.obs.oplog
+    if oplog is not None:
+        tail = tail_summary(oplog)
+        result.extras["tail"] = tail
+        result.extras["why_slow"] = render_why_slow(tail)
+    # Which objective burns depends on scale: killing one of few MCDs
+    # slows a large fraction of reads (smoke/default fire read-latency);
+    # killing one of many mostly leaves reads hittable and the burn
+    # shows up on the cheaper stat path instead (paper fires
+    # stat-latency).  The claim under test is that the fault window
+    # visibly burns *some* armed objective — and only the fault window.
+    fires = [e for m in monitors for e in m.events if e["state"] == "fire"]
+    # Detection may lag the crash by up to the fast window; the alert
+    # must still land inside the degraded phase.
+    fault_lo = timeline["fault_at"]
+    fault_hi = timeline["fault_at"] + 2 * timeline["phase_len"]
+    result.check(
+        "an armed SLO burns during the fault window "
+        "(fast+slow burn rates cross the alert threshold)",
+        bool(fires) and all(fault_lo <= e["t"] <= fault_hi for e in fires),
+        f"{len(fires)} alert(s); fire times "
+        f"{[(e['slo'], round(e['t'] * 1e3, 3)) for e in fires]}ms, fault at "
+        f"{round(fault_lo * 1e3, 3)}ms..{round(timeline['fault_until'] * 1e3, 3)}ms",
+    )
+    result.check(
+        "every alert clears after recovery: burn rates return below the "
+        "threshold before the run ends",
+        bool(fires) and not any(m.firing for m in monitors),
+        "events: "
+        + str([
+            (e["slo"], e["state"], round(e["t"] * 1e3, 3))
+            for m in monitors for e in m.events
+        ]),
     )
     result.notes.append(
         "MCD crashes are cold restarts: a rejoining daemon is purged before "

@@ -34,6 +34,8 @@ from repro.faults.schedule import FaultSchedule
 from repro.harness.experiment import ExperimentResult, register
 from repro.harness.parallel import pmap
 from repro.harness.params import params_for
+from repro.obs.context import make_observability
+from repro.obs.tail import render_why_slow, tail_summary
 from repro.workloads.base import drive, run_clients
 from repro.workloads.trace import TraceConfig, replay_trace
 
@@ -135,6 +137,73 @@ def _hot_job(p: dict, replicas: int) -> dict:
         "stat_mean": sum(stat_lats) / len(stat_lats),
         "samples": len(stat_lats),
     }
+
+
+# --------------------------------------------------------------------------- #
+# Pass 2b: instrumented hot-key hammer (per-op attribution)
+# --------------------------------------------------------------------------- #
+def _hot_instrumented(p: dict, replicas: int) -> tuple[dict, object]:
+    """The pass-2 hammer again at the highest R, with the op log on:
+    every stat/read becomes a lifecycle record, so the tail analyzer
+    can attribute the hot key's p99 to a tier and the outcome tags
+    prove which path (hot tier / MCD / server) served each op.
+
+    Runs in-process (never pmapped), so the op records are identical
+    under any ``--jobs N``.
+    """
+    obs = make_observability("hotspot", trace=True, oplog=True)
+    tb = build_gluster_testbed(
+        TestbedConfig(
+            num_clients=p["hot_clients"],
+            num_mcds=p["num_mcds"],
+            mcd_memory=p["mcd_memory"],
+            imca=IMCaConfig(replicas=replicas),
+        ),
+        obs=obs,
+    )
+    sim = tb.sim
+    rec = p["record_size"]
+    path = "/hot/victim"
+    data = bytes(i % 251 for i in range(p["hot_file_size"]))
+    fds: list[int] = []
+
+    def setup():
+        fd = yield from tb.clients[0].create(path)
+        yield from tb.clients[0].write(fd, 0, len(data), data)
+        fds.append(fd)
+        for c in tb.clients[1:]:
+            fds.append((yield from c.open(path)))
+        for rank, c in enumerate(tb.clients):
+            yield from c.stat(path)
+            yield from c.read(fds[rank], 0, rec)
+
+    drive(sim, setup())
+    mark = len(obs.oplog.records) if obs.oplog is not None else 0
+
+    def body(client, rank, barrier):
+        yield barrier.wait()
+        for _ in range(p["hot_rounds"]):
+            yield from client.stat(path)
+            yield from client.read(fds[rank], 0, rec)
+
+    run_clients(sim, tb.clients, body)
+    measured = list(obs.oplog.records)[mark:] if obs.oplog is not None else []
+    reads = [r for r in measured if r.op == "client.read"]
+    stats = [r for r in measured if r.op == "client.stat"]
+    outcome_tags = (
+        "read-hit", "read-partial-fill", "read-miss", "read-uncacheable",
+        "stat-hot-hit", "stat-mcd-hit", "stat-miss",
+    )
+    tagged = sum(
+        1 for r in reads + stats if any(t in outcome_tags for t in r.tags)
+    )
+    return {
+        "ops": len(measured),
+        "reads": len(reads),
+        "stats": len(stats),
+        "tagged": tagged,
+        "tail": tail_summary(obs.oplog) if obs.oplog is not None else {},
+    }, tb
 
 
 # --------------------------------------------------------------------------- #
@@ -306,6 +375,21 @@ def run_hotspot(scale: str = "default") -> ExperimentResult:
         f"p99: R=1 {hot_rows[0]['stat_p99']:.3g}s -> "
         f"R={rs[-1]} {hot_rows[-1]['stat_p99']:.3g}s "
         f"({hot_rows[0]['samples']} samples each)",
+    )
+
+    # ---- pass 2b: instrumented hammer (per-op attribution) ---------------
+    inst, inst_tb = _hot_instrumented(p, rs[-1])
+    result.extras["tail"] = inst["tail"]
+    result.extras["why_slow"] = render_why_slow(inst["tail"])
+    expected = p["hot_clients"] * p["hot_rounds"]
+    result.check(
+        "per-op records cover the instrumented hammer: one record per "
+        "stat/read, every one carrying an outcome tag",
+        inst["reads"] == expected
+        and inst["stats"] == expected
+        and inst["tagged"] == inst["reads"] + inst["stats"],
+        f"{inst['stats']} stats + {inst['reads']} reads recorded "
+        f"(expected {expected} each); {inst['tagged']} tagged",
     )
 
     # ---- pass 3: degraded replica ----------------------------------------

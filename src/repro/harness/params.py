@@ -340,6 +340,18 @@ PARAMS: dict[str, dict[str, dict]] = {
             cooldown=2e-3,
             seed=0xC405,
             all_dead_slack=0.25,
+            # Phase-pass SLO monitors (thresholds sit between the healthy
+            # hit latency and the degraded miss/timeout latency; the
+            # 2 KiB record size is fixed across scales, so they carry).
+            slo=dict(
+                read_threshold=1.8e-4,
+                stat_threshold=1.5e-4,
+                objective=0.90,
+                burn_threshold=2.0,
+                fast_frac=1 / 3,  # of one phase length
+                slow_frac=2 / 3,
+                min_ops=2,
+            ),
         ),
         "default": dict(
             num_clients=4,
@@ -356,6 +368,15 @@ PARAMS: dict[str, dict[str, dict]] = {
             cooldown=3e-3,
             seed=0xC405,
             all_dead_slack=0.20,
+            slo=dict(
+                read_threshold=1.8e-4,
+                stat_threshold=1.5e-4,
+                objective=0.90,
+                burn_threshold=2.0,
+                fast_frac=1 / 3,
+                slow_frac=2 / 3,
+                min_ops=4,
+            ),
         ),
         "paper": dict(
             num_clients=8,
@@ -372,6 +393,15 @@ PARAMS: dict[str, dict[str, dict]] = {
             cooldown=3e-3,
             seed=0xC405,
             all_dead_slack=0.20,
+            slo=dict(
+                read_threshold=1.8e-4,
+                stat_threshold=1.5e-4,
+                objective=0.90,
+                burn_threshold=2.0,
+                fast_frac=1 / 3,
+                slow_frac=2 / 3,
+                min_ops=8,
+            ),
         ),
     },
 }

@@ -39,6 +39,8 @@ from repro.faults.schedule import FaultSchedule
 from repro.harness.experiment import ExperimentResult, register
 from repro.harness.parallel import pmap
 from repro.harness.params import params_for
+from repro.obs.context import make_observability
+from repro.obs.tail import render_why_slow, tail_summary
 from repro.workloads.base import drive, run_clients
 
 
@@ -291,8 +293,13 @@ def _hc_job(p: dict, budget: int) -> dict:
 # --------------------------------------------------------------------------- #
 # Pass 4: everything on + a mid-sweep MCD kill, vs the cache-off digest
 # --------------------------------------------------------------------------- #
-def _ft_job(p: dict, features: bool, kill: bool) -> dict:
-    """Run the combined workload; return the digest of every read."""
+def _ft_job(p: dict, features: bool, kill: bool, obs=None) -> dict:
+    """Run the combined workload; return the digest of every read.
+
+    Pass an :class:`~repro.obs.context.Observability` bundle to record
+    every client op in its op log (the caller keeps the bundle and
+    inspects the records afterwards); ``None`` runs uninstrumented.
+    """
     if features:
         imca = IMCaConfig(
             partial_fills=True,
@@ -316,7 +323,7 @@ def _ft_job(p: dict, features: bool, kill: bool) -> dict:
     else:
         imca = IMCaConfig()
         cfg = TestbedConfig(num_clients=1, num_mcds=0)
-    tb = build_gluster_testbed(cfg)
+    tb = build_gluster_testbed(cfg, obs=obs)
     sim = tb.sim
     bs = imca.block_size
     nblocks = p["ft_blocks"]
@@ -386,10 +393,13 @@ def _ft_job(p: dict, features: bool, kill: bool) -> dict:
         sched.mcd_crash(0.0, mcd=victim, down_for=1e9)  # never recovers
         tb.arm_faults(sched.shifted(sim.now))
     run_clients(sim, tb.clients, rounds_body(half, total))
+    mc_stats = tb.mcclient_stats()
     return {
         "digest": digest.hexdigest(),
         "mismatches": counts["mismatches"],
         "errors": counts["errors"],
+        "ejections": mc_stats.get("ejections", 0),
+        "ejected_skips": mc_stats.get("ejected_skips", 0),
     }
 
 
@@ -540,6 +550,58 @@ def run_readpath(scale: str = "default") -> ExperimentResult:
         f"digest match={ft_on['digest'] == ft_off['digest']}",
     )
     result.extras["fault"] = {"on": ft_on, "off": ft_off}
+
+    # ---- pass 5: the kill run again, with per-op records on --------------
+    # Re-run the features-on kill workload in-process with the op log
+    # enabled: the lifecycle records must show every optimisation as an
+    # op outcome (partial-fill tags, readahead credits, hot-tier block
+    # hits) and must make the failure visible — post-kill ops carry the
+    # degraded-MCD set, and the dead daemon's trips surface either as
+    # on-op counts (ejections/skips/timeouts hit while a client op is
+    # open) or as orphan annotations from detached prefetch and
+    # fire-and-forget push processes off the client's critical path.
+    # At small scales the hot tier absorbs so much that *every* trip is
+    # off-path; at larger working sets some land on ops — both are
+    # correct attribution, neither ever corrupts another op's record.
+    # In-process means the records are identical under any ``--jobs N``.
+    obs = make_observability("readpath", trace=True, oplog=True)
+    ft_inst = _ft_job(p, True, True, obs)
+    assert obs.oplog is not None
+    recs = list(obs.oplog.records)
+    all_tags = {t for r in recs for t in r.tags}
+    total_counts: dict[str, int] = {}
+    for r in recs:
+        for name, by in r.counts.items():
+            total_counts[name] = total_counts.get(name, 0) + by
+    degraded_ops = sum(1 for r in recs if r.degraded)
+    on_op_trips = (
+        total_counts.get("mcd_ejections", 0)
+        + total_counts.get("ejected_skips", 0)
+        + total_counts.get("rpc_timeouts", 0)
+    )
+    result.check(
+        "op records attribute the optimisations and the kill: "
+        "partial-fill tags, readahead credits and hot-tier hits "
+        "surface as outcomes; the dead daemon is ejected, post-kill "
+        "ops carry the degraded-MCD set, and its trips are attributed "
+        "on-op or to off-critical-path background work",
+        "read-partial-fill" in all_tags
+        and total_counts.get("readahead_credits", 0) > 0
+        and total_counts.get("hot_block_hits", 0) > 0
+        and degraded_ops > 0
+        and ft_inst["ejections"] > 0
+        and (on_op_trips > 0 or obs.oplog.orphan_annotations > 0)
+        and ft_inst["mismatches"] == 0
+        and ft_inst["errors"] == 0,
+        f"{len(recs)} records; tags={sorted(all_tags)}; "
+        f"counts={dict(sorted(total_counts.items()))}; "
+        f"{degraded_ops} ops saw a degraded MCD; "
+        f"{ft_inst['ejections']} ejections, {on_op_trips} on-op trips, "
+        f"{obs.oplog.orphan_annotations} off-path annotations",
+    )
+    result.extras["tail"] = tail_summary(obs.oplog)
+    result.extras["why_slow"] = render_why_slow(result.extras["tail"])
+
     result.notes.append(
         "All three optimisations are opt-in (IMCaConfig.partial_fills / "
         "readahead_blocks / hot_cache_bytes); at their defaults every "

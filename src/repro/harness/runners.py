@@ -32,6 +32,7 @@ from repro.harness.params import params_for
 from repro.harness.report import pct_change
 from repro.obs.context import make_observability
 from repro.obs.export import render_tier_breakdown, tier_summaries
+from repro.obs.tail import render_why_slow, tail_summary
 from repro.util.units import GiB, KiB
 from repro.workloads.iozone import run_iozone
 from repro.workloads.latency import run_latency_bench
@@ -76,13 +77,22 @@ def _lustre(num_clients: int, num_ds: int, *, obs=None, **kw):
 
 
 def _tier_extras(result: ExperimentResult, tb) -> None:
-    """Attach the instrumented pass's per-tier decomposition to extras."""
+    """Attach the instrumented pass's per-tier decomposition to extras.
+
+    Tail attribution is gated separately on the op log: a trace-only
+    run (``--trace-out``) keeps exactly the legacy extras, so default
+    experiment JSON stays byte-identical unless ops were recorded.
+    """
     tracer = tb.obs.tracer
     if not tracer.enabled:
         return
     tb.snapshot_metrics()
     result.extras["tier_breakdown"] = render_tier_breakdown(tracer)
     result.extras["tier_summary"] = tier_summaries(tracer)
+    oplog = tb.obs.oplog
+    if oplog is not None and len(oplog):
+        result.extras["tail"] = tail_summary(oplog)
+        result.extras["why_slow"] = render_why_slow(result.extras["tail"])
 
 
 # --------------------------------------------------------------------------- #

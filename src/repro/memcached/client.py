@@ -150,6 +150,10 @@ class MemcacheClient:
             live = replicas
         elif len(live) < len(replicas):
             self.stats.inc("replica_failovers", len(replicas) - len(live))
+            if self.tracer.oplog is not None:
+                self.tracer.op_count(
+                    "replica_failovers", len(replicas) - len(live)
+                )
         cursor = self._rr_by_key.get(key, self._rr)
         self._rr_by_key[key] = cursor + 1
         choice = live[cursor % len(live)]
@@ -183,6 +187,8 @@ class MemcacheClient:
                     # keeps concurrent batches from racing into a
                     # second half-open probe of the same server.
                     self.stats.inc("ejected_skips")
+                    if self.tracer.oplog is not None:
+                        self.tracer.op_count("ejected_skips")
                     raise RpcUnavailable(
                         f"{server.node.name} ejected (cooldown in progress)"
                     )
@@ -209,6 +215,8 @@ class MemcacheClient:
             h.ejected_until = self.endpoint.net.sim.now + self.health.cooldown
             h.consecutive_errors = 0
             self.stats.inc("ejections")
+            if self.tracer.oplog is not None:
+                self.tracer.op_count("mcd_ejections")
 
     def _probe_rejoin(self, idx: int, op: str) -> Generator:
         """Half-open probe after cooldown: purge, then readmit.

@@ -179,6 +179,8 @@ class Endpoint:
             raise proc.value
         # Deadline won: abandon the in-flight call.
         self.stats.inc("timeouts")
+        if self.tracer.oplog is not None:
+            self.tracer.op_count("rpc_timeouts")
         if proc.callbacks is not None:
             proc.callbacks.append(_defuse_failure)
         raise RpcTimeout(f"{service} on {dst.name} exceeded {timeout:g}s deadline")
@@ -214,6 +216,8 @@ class Endpoint:
                 if attempt + 1 >= attempts:
                     raise
                 self.stats.inc("retries")
+                if self.tracer.oplog is not None:
+                    self.tracer.op_count("rpc_retries")
                 delay = policy.delay_for(attempt)
                 if delay > 0.0:
                     yield sim.timeout(delay)

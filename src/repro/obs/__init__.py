@@ -22,6 +22,16 @@ package makes that decomposition measurable:
   builders consume, plus the active-capture context the CLI uses to
   route ``--trace-out`` / ``--metrics-out`` artifacts.
 
+Layer 2 (per-op lifecycle; answers "why was *this* op slow"):
+
+* :mod:`repro.obs.oplog` — ring-buffer-capped per-operation records
+  (identity, per-tier critical-path time, outcome tags, retry/failover
+  counts, degraded-MCD set) populated from the span stack.
+* :mod:`repro.obs.tail` — p99+ exemplar selection and slow-vs-median
+  tier attribution ("why-slow" reports).
+* :mod:`repro.obs.slo` — sim-time SLO monitors with fast/slow
+  multi-window burn-rate alerting, wired into ``repro chaos``.
+
 Quickstart::
 
     from repro import build_gluster_testbed, TestbedConfig
@@ -36,8 +46,11 @@ Quickstart::
 """
 
 from repro.obs.context import Observability, ObsRequest, active_request, make_observability, observing
+from repro.obs.oplog import OpLog, OpRecord
 from repro.obs.registry import ComponentMetrics, MetricsRegistry
 from repro.obs.samplers import Sampler
+from repro.obs.slo import SloMonitor, SloSpec, render_slo_report
+from repro.obs.tail import render_why_slow, tail_summary
 from repro.obs.trace import NULL_TRACER, NullTracer, SimTracer, SpanRecord, TIERS
 
 __all__ = [
@@ -47,11 +60,18 @@ __all__ = [
     "NullTracer",
     "Observability",
     "ObsRequest",
+    "OpLog",
+    "OpRecord",
     "Sampler",
     "SimTracer",
+    "SloMonitor",
+    "SloSpec",
     "SpanRecord",
     "TIERS",
     "active_request",
     "make_observability",
     "observing",
+    "render_slo_report",
+    "render_why_slow",
+    "tail_summary",
 ]

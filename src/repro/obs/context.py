@@ -23,6 +23,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterator, Optional
 
+from repro.obs.oplog import DEFAULT_OPLOG_LIMIT, OpLog
 from repro.obs.registry import MetricsRegistry
 from repro.obs.trace import DEFAULT_SPAN_LIMIT, NULL_TRACER, SimTracer
 
@@ -45,12 +46,18 @@ class Observability:
         *,
         trace: bool = False,
         trace_limit: int = DEFAULT_SPAN_LIMIT,
+        oplog: bool = False,
+        oplog_limit: int = DEFAULT_OPLOG_LIMIT,
         sample_interval: Optional[float] = None,
     ) -> None:
         self.name = name
         self.registry = MetricsRegistry(name)
-        self.trace_requested = trace
+        # The oplog is populated from the span stack, so layer 2
+        # implies layer 1.
+        self.trace_requested = trace or oplog
         self.trace_limit = trace_limit
+        #: Per-op lifecycle log (observability layer 2), or None.
+        self.oplog: Optional[OpLog] = OpLog(oplog_limit) if oplog else None
         self.sample_interval = sample_interval
         self.tracer = NULL_TRACER
         #: Samplers started by the testbed builder (see cluster.py).
@@ -68,7 +75,7 @@ class Observability:
                 if self.tracer.sim is not sim:
                     raise ValueError("Observability already bound to another simulator")
             else:
-                self.tracer = SimTracer(sim, limit=self.trace_limit)
+                self.tracer = SimTracer(sim, limit=self.trace_limit, oplog=self.oplog)
         # Stations only pay for per-visit wait statistics when someone
         # can observe them; a fully disabled bundle turns them off for
         # every station built against this simulator.
@@ -96,6 +103,8 @@ class ObsRequest:
 
     trace: bool = False
     trace_limit: int = DEFAULT_SPAN_LIMIT
+    oplog: bool = False
+    oplog_limit: int = DEFAULT_OPLOG_LIMIT
     sample_interval: Optional[float] = None
     #: Bundles published by runners, in creation order.
     captures: list[Observability] = field(default_factory=list)
@@ -126,6 +135,8 @@ def make_observability(
     *,
     trace: bool = False,
     trace_limit: Optional[int] = None,
+    oplog: bool = False,
+    oplog_limit: Optional[int] = None,
     sample_interval: Optional[float] = None,
 ) -> Observability:
     """Build a bundle, honouring the active capture request.
@@ -139,14 +150,19 @@ def make_observability(
     req = active_request()
     if req is not None:
         trace = trace or req.trace
+        oplog = oplog or req.oplog
         if trace_limit is None:
             trace_limit = req.trace_limit
+        if oplog_limit is None:
+            oplog_limit = req.oplog_limit
         if sample_interval is None:
             sample_interval = req.sample_interval
     obs = Observability(
         name,
         trace=trace,
         trace_limit=DEFAULT_SPAN_LIMIT if trace_limit is None else trace_limit,
+        oplog=oplog,
+        oplog_limit=DEFAULT_OPLOG_LIMIT if oplog_limit is None else oplog_limit,
         sample_interval=sample_interval,
     )
     if req is not None:

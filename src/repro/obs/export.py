@@ -11,6 +11,8 @@ Three consumers, three formats:
   friendly for benchmark harnesses.
 * :func:`render_tier_breakdown` — the human-readable per-tier latency
   table (client CPU / network / MCD / server / disk) with p50/p95/p99.
+* :func:`write_oplog_jsonl` — one JSON object per client-visible op
+  (the observability-layer-2 lifecycle records; see repro.obs.oplog).
 
 All outputs are deterministic: keys are sorted and values derive only
 from simulation state, so same-seed runs export byte-identical files.
@@ -19,12 +21,14 @@ from simulation state, so same-seed runs export byte-identical files.
 from __future__ import annotations
 
 import json
+import warnings
 from typing import TYPE_CHECKING, Optional
 
 from repro.obs.trace import TIERS
 from repro.util.units import fmt_time
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.oplog import OpLog
     from repro.obs.registry import MetricsRegistry
     from repro.obs.trace import SimTracer
 
@@ -70,13 +74,46 @@ def chrome_trace_events(tracer: "SimTracer") -> list[dict]:
     return events
 
 
+#: One warning per process for truncated trace exports (a long run can
+#: hit the span cap thousands of times; one notice is enough).
+_dropped_warned = False
+
+
 def write_chrome_trace(tracer: "SimTracer", path: str) -> int:
-    """Write the trace JSON array; returns the number of events."""
+    """Write the trace JSON array; returns the number of events.
+
+    Spans past the tracer's retention limit still feed the tier/op
+    histograms but are absent from the export; warn (once) so a
+    truncated trace is never mistaken for the whole run.
+    """
+    global _dropped_warned
+    if tracer.dropped and not _dropped_warned:
+        _dropped_warned = True
+        warnings.warn(
+            f"trace export truncated: {tracer.dropped} span(s) beyond the "
+            f"{tracer.limit}-span retention limit are not in {path} "
+            "(aggregate tier/op statistics still include them)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     events = chrome_trace_events(tracer)
     with open(path, "w") as fh:
         json.dump(events, fh, sort_keys=True, separators=(",", ":"))
         fh.write("\n")
     return len(events)
+
+
+# --------------------------------------------------------------------------- #
+# Per-op lifecycle JSONL
+# --------------------------------------------------------------------------- #
+def write_oplog_jsonl(oplog: "OpLog", path: str) -> int:
+    """Write one JSON line per retained op record; returns the count."""
+    n = 0
+    with open(path, "w") as fh:
+        for line in oplog.jsonl_lines():
+            fh.write(line + "\n")
+            n += 1
+    return n
 
 
 # --------------------------------------------------------------------------- #

@@ -1,0 +1,155 @@
+"""Per-operation lifecycle records (observability layer 2).
+
+PR 1's tracer answers "where does *aggregate* time go" (per-tier
+histograms); this module answers "why was *this* op slow".  Every root
+client span becomes one :class:`OpRecord` carrying the op's identity
+(type, client node, path, bytes), its sim-time start/end, the exclusive
+sim time each tier contributed on the op's critical path, outcome tags
+(hot-cache hit / MCD hit / partial fill / readahead credit / miss),
+event counts (retries, timeouts, replica failovers, server round
+trips), and the degraded-MCD set active when the op started.
+
+Records are populated *from the existing span stack*: the tracer opens
+a record when a root ``client``-tier span opens, folds each closing
+span's exclusive time into it, and finalises it when the root closes.
+Components sprinkle annotations through ``tracer.op_tag`` /
+``op_count`` / ``op_set``; annotations from helper processes a root op
+spawned (multi-get batches, partial-fill reads, fan-outs) attribute to
+the owning op by walking the process spawner chain.
+
+Two guarantees mirror the tracer's:
+
+* **Determinism** — records only read ``sim.now`` and never schedule
+  sim events, so logged and unlogged runs report identical latencies
+  and same-seed oplogs are byte-identical (including across
+  ``--jobs N``: instrumented passes always run in-process).
+* **Near-zero disabled cost** — with no oplog attached the tracer's
+  ``oplog`` attribute is ``None``; hot paths branch on that single
+  attribute exactly like ``tracer.enabled``.
+
+The log itself is a ring buffer (:data:`DEFAULT_OPLOG_LIMIT` records):
+when full, the *oldest* records drop and ``dropped`` counts them, so
+long runs keep the most recent window without unbounded memory.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Iterable, Optional
+
+#: Default cap on retained op records (ring semantics: oldest drop first).
+DEFAULT_OPLOG_LIMIT = 100_000
+
+
+class OpRecord:
+    """One client-visible operation's lifecycle."""
+
+    __slots__ = (
+        "op", "client", "path", "nbytes", "start", "end",
+        "tiers", "tags", "counts", "degraded",
+    )
+
+    def __init__(self, op: str, start: float, degraded: tuple) -> None:
+        self.op = op
+        self.client = ""
+        self.path = ""
+        self.nbytes = 0
+        self.start = start
+        self.end = start
+        #: tier -> exclusive sim seconds spent inside this op.
+        self.tiers: dict[str, float] = {}
+        #: Outcome tags in first-seen order (e.g. ``read-partial-fill``).
+        self.tags: list[str] = []
+        #: Event counts (retries, timeouts, failovers, fill ranges, ...).
+        self.counts: dict[str, int] = {}
+        #: MCD indices crashed when the op started (injector ground truth).
+        self.degraded = degraded
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def add_tier(self, tier: str, seconds: float) -> None:
+        self.tiers[tier] = self.tiers.get(tier, 0.0) + seconds
+
+    def tag(self, tag: str) -> None:
+        if tag not in self.tags:
+            self.tags.append(tag)
+
+    def count(self, name: str, by: int = 1) -> None:
+        self.counts[name] = self.counts.get(name, 0) + by
+
+    def to_dict(self) -> dict:
+        """JSON-safe digest (stable shape; exporters sort the keys)."""
+        return {
+            "op": self.op,
+            "client": self.client,
+            "path": self.path,
+            "bytes": self.nbytes,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "tiers": {t: self.tiers[t] for t in sorted(self.tiers)},
+            "tags": list(self.tags),
+            "counts": {k: self.counts[k] for k in sorted(self.counts)},
+            "degraded_mcds": list(self.degraded),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"OpRecord({self.op!r}, dur={self.duration:.3g}s, "
+            f"tags={self.tags})"
+        )
+
+
+class OpLog:
+    """Ring-buffer-capped log of finished :class:`OpRecord`\\ s.
+
+    The tracer drives ``begin``/``finish``; SLO monitors appended to
+    ``monitors`` observe every finished record in close order (the
+    deterministic sim order).  ``degraded_mcds`` is maintained by the
+    fault injector so records capture the fault state at op start.
+    """
+
+    def __init__(self, limit: int = DEFAULT_OPLOG_LIMIT) -> None:
+        if limit < 1:
+            raise ValueError(f"oplog limit must be >= 1: {limit}")
+        self.limit = limit
+        self.records: deque[OpRecord] = deque(maxlen=limit)
+        #: Finished records ever, including those the ring dropped.
+        self.total = 0
+        #: Annotations that found no open op to attach to.
+        self.orphan_annotations = 0
+        #: Live set of crashed MCD indices (fault-injector ground truth).
+        self.degraded_mcds: set[int] = set()
+        #: SLO monitors fed each finished record (see repro.obs.slo).
+        self.monitors: list = []
+
+    @property
+    def dropped(self) -> int:
+        """Records pushed out of the ring by newer ones."""
+        return self.total - len(self.records)
+
+    # -- record lifecycle (driven by SimTracer) ---------------------------
+    def begin(self, op: str, start: float) -> OpRecord:
+        return OpRecord(op, start, tuple(sorted(self.degraded_mcds)))
+
+    def finish(self, rec: OpRecord, end: float) -> None:
+        rec.end = end
+        self.total += 1
+        self.records.append(rec)
+        for monitor in self.monitors:
+            monitor.observe(rec)
+
+    # -- export -----------------------------------------------------------
+    def jsonl_lines(self) -> Iterable[str]:
+        """One compact JSON object per retained record, in close order."""
+        for rec in self.records:
+            yield json.dumps(rec.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<OpLog {len(self.records)}/{self.limit} (total={self.total})>"

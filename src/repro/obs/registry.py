@@ -65,9 +65,7 @@ class ComponentMetrics:
         for name, hist in other.histograms.items():
             mine = self.histograms.get(name)
             if mine is None:
-                mine = self.histograms[name] = Histogram(lo=hist.lo, base=hist.base)
-                # Match bucket count exactly (hi is not retained).
-                mine.counts = [0] * len(hist.counts)
+                mine = self.histograms[name] = Histogram.like(hist)
             mine.merge(hist)
         for name, points in other.series.items():
             self.series.setdefault(name, []).extend(points)

@@ -1,0 +1,237 @@
+"""Sim-time SLO monitors with multi-window burn-rate alerting.
+
+An SLO is a target fraction of *good* operations — e.g. "99% of stats
+complete within 200µs" (a latency objective) or "99.9% of reads
+succeed" (an availability objective).  The *error budget* is the
+allowed bad fraction (``1 - objective``), and the **burn rate** over a
+window is how fast that budget is being consumed::
+
+    burn = bad_fraction_in_window / (1 - objective)
+
+A burn rate of 1.0 spends the budget exactly at the sustainable pace;
+a fault window that fails half the ops against a 99% objective burns
+at 50x.  Following the multi-window practice (fast window to catch the
+onset quickly, slow window to suppress blips), an alert fires only
+while *both* windows exceed the threshold, and clears when either
+drops back under it.
+
+Determinism: monitors are fed synchronously from
+:meth:`~repro.obs.oplog.OpLog.finish` — evaluation happens only at op
+completion, never on sim timers, so monitoring schedules no events and
+same-seed runs produce byte-identical breach histories.  Windows are
+sim-time sliding windows over completed ops (keyed by op end time).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import TYPE_CHECKING, Callable, Iterable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.oplog import OpRecord
+
+
+class SloSpec:
+    """One objective: which ops it covers and what *good* means.
+
+    ``kind`` is ``"latency"`` (good = ``duration <= threshold``) or
+    ``"availability"`` (good = no tag in ``bad_tags``).  ``op_prefix``
+    selects the ops the objective covers by root-span name prefix
+    (e.g. ``"client.stat"``, or ``"client."`` for everything).
+    """
+
+    __slots__ = (
+        "name", "kind", "op_prefix", "objective", "threshold",
+        "bad_tags", "fast_window", "slow_window", "burn_threshold",
+        "min_ops",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        op_prefix: str,
+        objective: float,
+        kind: str = "latency",
+        threshold: float = 0.0,
+        bad_tags: tuple = ("op-error",),
+        fast_window: float,
+        slow_window: float,
+        burn_threshold: float = 2.0,
+        min_ops: int = 10,
+    ) -> None:
+        if kind not in ("latency", "availability"):
+            raise ValueError(f"unknown SLO kind: {kind!r}")
+        if not 0.0 < objective < 1.0:
+            raise ValueError(f"objective must be in (0, 1): {objective}")
+        if kind == "latency" and threshold <= 0.0:
+            raise ValueError("latency SLO needs a positive threshold")
+        if not 0.0 < fast_window <= slow_window:
+            raise ValueError(
+                f"need 0 < fast_window <= slow_window: "
+                f"{fast_window} vs {slow_window}"
+            )
+        self.name = name
+        self.kind = kind
+        self.op_prefix = op_prefix
+        self.objective = objective
+        self.threshold = threshold
+        self.bad_tags = tuple(bad_tags)
+        self.fast_window = fast_window
+        self.slow_window = slow_window
+        self.burn_threshold = burn_threshold
+        #: Minimum completed ops in the fast window before alerting
+        #: (suppresses noise at window edges / run start).
+        self.min_ops = min_ops
+
+    def covers(self, rec: "OpRecord") -> bool:
+        return rec.op.startswith(self.op_prefix)
+
+    def is_good(self, rec: "OpRecord") -> bool:
+        if self.kind == "latency":
+            return rec.duration <= self.threshold
+        return not any(t in rec.tags for t in self.bad_tags)
+
+    @property
+    def budget(self) -> float:
+        """The error budget: the allowed bad fraction."""
+        return 1.0 - self.objective
+
+
+class _Window:
+    """Sliding sim-time window of (end_time, good) observations."""
+
+    __slots__ = ("span", "events", "bad")
+
+    def __init__(self, span: float) -> None:
+        self.span = span
+        self.events: deque[tuple[float, bool]] = deque()
+        self.bad = 0
+
+    def add(self, now: float, good: bool) -> None:
+        self.events.append((now, good))
+        if not good:
+            self.bad += 1
+        cutoff = now - self.span
+        events = self.events
+        while events and events[0][0] <= cutoff:
+            _, was_good = events.popleft()
+            if not was_good:
+                self.bad -= 1
+
+    def burn(self, budget: float) -> float:
+        n = len(self.events)
+        if n == 0:
+            return 0.0
+        return (self.bad / n) / budget
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class SloMonitor:
+    """Evaluates one :class:`SloSpec` over a stream of finished ops.
+
+    Append to ``oplog.monitors``; :meth:`observe` is called once per
+    finished record in deterministic close order.  Fire/clear
+    transitions are recorded as breach events::
+
+        {"slo": name, "state": "fire"|"clear", "t": sim_time,
+         "fast_burn": ..., "slow_burn": ...}
+    """
+
+    def __init__(self, spec: SloSpec) -> None:
+        self.spec = spec
+        self._fast = _Window(spec.fast_window)
+        self._slow = _Window(spec.slow_window)
+        #: Currently alerting?
+        self.firing = False
+        #: Fire/clear transition events in sim-time order.
+        self.events: list[dict] = []
+        #: Totals over the whole run (not windowed).
+        self.observed = 0
+        self.bad_total = 0
+
+    def observe(self, rec: "OpRecord") -> None:
+        spec = self.spec
+        if not spec.covers(rec):
+            return
+        good = spec.is_good(rec)
+        now = rec.end
+        self.observed += 1
+        if not good:
+            self.bad_total += 1
+        self._fast.add(now, good)
+        self._slow.add(now, good)
+        budget = spec.budget
+        fast_burn = self._fast.burn(budget)
+        slow_burn = self._slow.burn(budget)
+        should_fire = (
+            len(self._fast) >= spec.min_ops
+            and fast_burn >= spec.burn_threshold
+            and slow_burn >= spec.burn_threshold
+        )
+        if should_fire != self.firing:
+            self.firing = should_fire
+            self.events.append(
+                {
+                    "slo": spec.name,
+                    "state": "fire" if should_fire else "clear",
+                    "t": now,
+                    "fast_burn": fast_burn,
+                    "slow_burn": slow_burn,
+                }
+            )
+
+    # -- reporting --------------------------------------------------------
+    def summary(self) -> dict:
+        spec = self.spec
+        bad_fraction = self.bad_total / self.observed if self.observed else 0.0
+        return {
+            "slo": spec.name,
+            "kind": spec.kind,
+            "op_prefix": spec.op_prefix,
+            "objective": spec.objective,
+            "threshold": spec.threshold,
+            "observed": self.observed,
+            "bad": self.bad_total,
+            "bad_fraction": bad_fraction,
+            "overall_burn": bad_fraction / spec.budget,
+            "alerts": sum(1 for e in self.events if e["state"] == "fire"),
+            "firing": self.firing,
+            "events": list(self.events),
+        }
+
+    def jsonl_lines(self) -> Iterable[str]:
+        """One compact JSON object per breach event, in sim order."""
+        for event in self.events:
+            yield json.dumps(event, sort_keys=True, separators=(",", ":"))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        state = "firing" if self.firing else "ok"
+        return f"<SloMonitor {self.spec.name} {state} events={len(self.events)}>"
+
+
+def render_slo_report(monitors: Iterable[SloMonitor]) -> str:
+    """Human-readable SLO compliance table with breach timelines."""
+    lines = ["SLO report"]
+    for mon in monitors:
+        s = mon.summary()
+        target = (
+            f"{s['threshold'] * 1e6:.0f}us" if s["kind"] == "latency" else "ok"
+        )
+        lines.append(
+            f"  {s['slo']:<24} {s['kind']:<12} target {target:>8} @ "
+            f"{s['objective']:.1%}  good {1 - s['bad_fraction']:.2%} "
+            f"({s['observed'] - s['bad']}/{s['observed']})  "
+            f"burn {s['overall_burn']:.2f}x  alerts {s['alerts']}"
+        )
+        for event in s["events"]:
+            lines.append(
+                f"    {event['state']:>5} @ t={event['t'] * 1e3:.3f}ms  "
+                f"fast {event['fast_burn']:.1f}x  slow {event['slow_burn']:.1f}x"
+            )
+    if len(lines) == 1:
+        lines.append("  (no monitors)")
+    return "\n".join(lines)

@@ -1,0 +1,124 @@
+"""Tail-latency attribution over per-op lifecycle records.
+
+Aggregate tier histograms say where *total* time goes; the tail
+analyzer answers where the time of the *slow* ops goes and how that
+differs from a typical op.  For each op type it:
+
+* computes exact percentiles over the retained records (the oplog keeps
+  full durations, so no histogram-bucket quantisation here),
+* splits the population into a *slow set* (duration >= p99) and a
+  *median band* (the central 20% by rank),
+* attributes mean exclusive tier time for both groups side by side —
+  the tier whose share grows most from median to slow is the tail
+  amplifier,
+* keeps the top-k slowest records as exemplars with their outcome
+  tags, counts and degraded-MCD set, which is usually enough to read
+  off the "why" directly (miss + failover + retry, say).
+
+Determinism: records are sorted by ``(duration, start)`` so ties break
+on sim time, never on Python object identity; same-seed runs render
+byte-identical reports.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.oplog import OpLog, OpRecord
+
+#: Percentiles reported per op type.
+PERCENTILES = (0.50, 0.90, 0.99, 0.999)
+
+
+def _exact_percentile(sorted_durations: list[float], q: float) -> float:
+    """Nearest-rank percentile over an ascending-sorted list."""
+    n = len(sorted_durations)
+    idx = min(n - 1, max(0, int(q * n)))
+    return sorted_durations[idx]
+
+
+def _mean_tiers(records: list["OpRecord"]) -> dict[str, float]:
+    """tier -> mean exclusive seconds over ``records``."""
+    if not records:
+        return {}
+    totals: dict[str, float] = {}
+    for rec in records:
+        for tier, seconds in rec.tiers.items():
+            totals[tier] = totals.get(tier, 0.0) + seconds
+    n = len(records)
+    return {tier: totals[tier] / n for tier in sorted(totals)}
+
+
+def tail_summary(
+    oplog: "OpLog", *, slow_quantile: float = 0.99, exemplars: int = 3
+) -> dict:
+    """Per-op-type tail attribution over the oplog's retained records.
+
+    Returns a JSON-safe dict keyed by op type::
+
+        {"client.stat": {"count": ..., "percentiles": {"p50": ...},
+                         "median_tiers": {...}, "slow_tiers": {...},
+                         "slow_count": ..., "exemplars": [...]}, ...}
+    """
+    by_op: dict[str, list["OpRecord"]] = {}
+    for rec in oplog.records:
+        by_op.setdefault(rec.op, []).append(rec)
+
+    out: dict[str, dict] = {}
+    for op in sorted(by_op):
+        recs = sorted(by_op[op], key=lambda r: (r.duration, r.start))
+        durations = [r.duration for r in recs]
+        n = len(recs)
+        threshold = _exact_percentile(durations, slow_quantile)
+        slow = [r for r in recs if r.duration >= threshold]
+        # Central 20% by rank: what a typical op looks like.
+        lo, hi = int(n * 0.40), max(int(n * 0.40) + 1, int(n * 0.60))
+        median_band = recs[lo:hi]
+        out[op] = {
+            "count": n,
+            "percentiles": {
+                f"p{q * 100:g}": _exact_percentile(durations, q)
+                for q in PERCENTILES
+            },
+            "slow_threshold": threshold,
+            "slow_count": len(slow),
+            "median_tiers": _mean_tiers(median_band),
+            "slow_tiers": _mean_tiers(slow),
+            # Slowest last in `recs`; report worst-first.
+            "exemplars": [r.to_dict() for r in recs[-exemplars:][::-1]],
+        }
+    return out
+
+
+def render_why_slow(summary: dict) -> str:
+    """Human-readable "why-slow" report from :func:`tail_summary`."""
+    lines = ["why-slow (p99+ vs median-band tier attribution)"]
+    for op, s in summary.items():
+        pcts = s["percentiles"]
+        pct_str = "  ".join(f"{k}={v * 1e6:.0f}us" for k, v in pcts.items())
+        lines.append(f"  {op}  n={s['count']}  {pct_str}")
+        tiers = sorted(set(s["median_tiers"]) | set(s["slow_tiers"]))
+        for tier in tiers:
+            med = s["median_tiers"].get(tier, 0.0)
+            slow = s["slow_tiers"].get(tier, 0.0)
+            growth = f" ({slow / med:.1f}x)" if med > 0 and slow > 0 else ""
+            lines.append(
+                f"    {tier:<8} median {med * 1e6:8.1f}us   "
+                f"slow {slow * 1e6:8.1f}us{growth}"
+            )
+        for ex in s["exemplars"]:
+            tags = ",".join(ex["tags"]) or "-"
+            counts = (
+                " ".join(f"{k}={v}" for k, v in ex["counts"].items()) or "-"
+            )
+            degraded = (
+                f" degraded={ex['degraded_mcds']}" if ex["degraded_mcds"] else ""
+            )
+            lines.append(
+                f"    exemplar {ex['duration'] * 1e6:.0f}us "
+                f"{ex['path'] or '-'} tags[{tags}] counts[{counts}]{degraded}"
+            )
+    if len(lines) == 1:
+        lines.append("  (no ops recorded)")
+    return "\n".join(lines)

@@ -31,6 +31,7 @@ from typing import TYPE_CHECKING, Optional
 from repro.util.stats import Histogram
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.oplog import OpLog, OpRecord
     from repro.sim.core import Simulator
 
 #: The per-tier decomposition of an op (paper §4/§5 cost discussion).
@@ -91,13 +92,26 @@ class NullTracer:
     """Disabled tracer: every span is the shared no-op context manager.
 
     Components hold a reference to this by default; hot paths check
-    ``tracer.enabled`` once and skip span construction entirely.
+    ``tracer.enabled`` once and skip span construction entirely.  The
+    oplog annotation API exists here as no-ops so cold paths may call
+    it unconditionally; hot paths gate on ``tracer.oplog is not None``.
     """
 
     enabled = False
+    #: No op log on a disabled tracer (annotation hot paths branch here).
+    oplog = None
 
     def span(self, tier: str, name: str) -> _NullSpan:
         return _NULL_SPAN
+
+    def op_set(self, **fields) -> None:
+        pass
+
+    def op_tag(self, tag: str) -> None:
+        pass
+
+    def op_count(self, name: str, by: int = 1) -> None:
+        pass
 
     @property
     def spans(self) -> list:
@@ -136,7 +150,12 @@ class _Span:
         tracer = self.tracer
         self.start = tracer.sim.now
         self._key = tracer._track_key()
-        tracer._stack(self._key).append(self)
+        stack = tracer._stack(self._key)
+        if tracer.oplog is not None and not stack and self.tier == "client":
+            # A root client-tier span is one client-visible operation:
+            # open its lifecycle record alongside the span.
+            tracer._open_ops[self._key] = tracer.oplog.begin(self.name, self.start)
+        stack.append(self)
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
@@ -154,9 +173,18 @@ class SimTracer:
 
     enabled = True
 
-    def __init__(self, sim: "Simulator", limit: int = DEFAULT_SPAN_LIMIT) -> None:
+    def __init__(
+        self,
+        sim: "Simulator",
+        limit: int = DEFAULT_SPAN_LIMIT,
+        oplog: Optional["OpLog"] = None,
+    ) -> None:
         self.sim = sim
         self.limit = limit
+        #: Per-op lifecycle log (None = layer 2 disabled, near-free).
+        self.oplog = oplog
+        #: track key -> the op record currently open on that process.
+        self._open_ops: dict[int, "OpRecord"] = {}
         #: Closed spans in close order (deterministic).
         self.spans: list[SpanRecord] = []
         #: Spans not retained because ``limit`` was reached.
@@ -205,19 +233,26 @@ class SimTracer:
         popped = stack.pop()
         assert popped is span, "span close order violated"
         duration = end - span.start
-        if stack:
-            stack[-1].child_time += duration
-        else:
+        root = not stack
+        if root:
             del self._stacks[key]
             # A root span is one complete client-visible operation.
             ops = self.op_stats.get(span.name)
             if ops is None:
                 ops = self.op_stats[span.name] = Histogram()
             ops.add(duration)
+        else:
+            stack[-1].child_time += duration
         tier = self.tier_stats.get(span.tier)
         if tier is None:
             tier = self.tier_stats[span.tier] = Histogram()
         tier.add(duration - span.child_time)
+        if self.oplog is not None:
+            rec = self._open_ops.get(key)
+            if rec is not None:
+                rec.add_tier(span.tier, duration - span.child_time)
+                if root:
+                    self.oplog.finish(self._open_ops.pop(key), end)
         if len(self.spans) < self.limit:
             self.spans.append(
                 SpanRecord(
@@ -226,6 +261,51 @@ class SimTracer:
             )
         else:
             self.dropped += 1
+
+    # -- op-record annotations (layer 2) -----------------------------------
+    def _current_op(self) -> Optional["OpRecord"]:
+        """The op record owning the active process, walking the spawner
+        chain so helper processes (multi-get batches, fill reads,
+        fan-outs) attribute to the client op that spawned them."""
+        proc = self.sim.active_process
+        while proc is not None:
+            rec = self._open_ops.get(proc.serial)
+            if rec is not None:
+                return rec
+            proc = proc.parent
+        return self._open_ops.get(0)
+
+    def op_set(self, **fields) -> None:
+        """Set identity fields (``client``/``path``/``nbytes``) on the
+        current op record; silently a no-op without an oplog."""
+        if self.oplog is None:
+            return
+        rec = self._current_op()
+        if rec is None:
+            self.oplog.orphan_annotations += 1
+            return
+        for name, value in fields.items():
+            setattr(rec, name, value)
+
+    def op_tag(self, tag: str) -> None:
+        """Append an outcome tag to the current op record."""
+        if self.oplog is None:
+            return
+        rec = self._current_op()
+        if rec is None:
+            self.oplog.orphan_annotations += 1
+        else:
+            rec.tag(tag)
+
+    def op_count(self, name: str, by: int = 1) -> None:
+        """Bump a named counter on the current op record."""
+        if self.oplog is None:
+            return
+        rec = self._current_op()
+        if rec is None:
+            self.oplog.orphan_annotations += 1
+        else:
+            rec.count(name, by)
 
     # -- introspection -----------------------------------------------------
     def track_names(self) -> list[tuple[int, str]]:

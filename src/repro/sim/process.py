@@ -36,7 +36,7 @@ class Initialize(Event):
 class Process(Event):
     """A running simulation process; also an event (fires on return)."""
 
-    __slots__ = ("_generator", "_target", "name", "serial")
+    __slots__ = ("_generator", "_target", "name", "serial", "parent")
 
     def __init__(
         self, sim: "Simulator", generator: ProcessGenerator, name: str | None = None
@@ -50,6 +50,11 @@ class Process(Event):
         sim._proc_seq += 1
         #: Per-sim creation serial (deterministic across identical runs).
         self.serial = sim._proc_seq
+        #: The process that spawned this one (None when created from
+        #: outside the run loop).  Observers walk this chain to
+        #: attribute work done by helper processes (multi-get batches,
+        #: fill reads, fan-outs) to the client op that spawned them.
+        self.parent: "Process" | None = sim._active_process
 
     @property
     def is_alive(self) -> bool:

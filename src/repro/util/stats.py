@@ -91,6 +91,20 @@ class Histogram:
         self.counts = [0] * nbuckets
         self.stats = OnlineStats()
 
+    @classmethod
+    def like(cls, other: "Histogram") -> "Histogram":
+        """An empty histogram with *other*'s exact bucketing.
+
+        The constructor derives the bucket count from ``hi``, which is
+        not retained; cloning through it can therefore produce a
+        mergeable-looking histogram with a different bucket count.
+        ``like`` copies the bucket layout directly, so the clone always
+        merges back into (and accepts merges from) the original.
+        """
+        clone = cls(lo=other.lo, base=other.base)
+        clone.counts = [0] * len(other.counts)
+        return clone
+
     def _bucket(self, x: float) -> int:
         if x <= self.lo:
             return 0
@@ -120,7 +134,10 @@ class Histogram:
         if not 0 < p <= 100:
             raise ValueError("p must be in (0, 100]")
         if self.n == 0:
-            return 0.0
+            # No samples: any number would be an invention (the clamp
+            # below would yield -inf).  Callers wanting a soft default
+            # should check ``n`` first, as ``summary()`` does.
+            raise ValueError("percentile of an empty histogram is undefined")
         rank = math.ceil(self.n * p / 100.0)
         seen = 0
         edge = self.lo * self.base ** (len(self.counts) - 1)
@@ -132,7 +149,12 @@ class Histogram:
         return min(edge, self.stats.max)
 
     def summary(self) -> dict[str, float]:
-        """``{p50, p95, p99, mean, max}`` — the exporters' digest."""
+        """``{p50, p95, p99, mean, max}`` — the exporters' digest.
+
+        An empty histogram reports explicit zeros (not the raising
+        :meth:`percentile`): exporters tabulate dozens of histograms
+        and an idle component must not abort the export.
+        """
         if self.n == 0:
             return {"p50": 0.0, "p95": 0.0, "p99": 0.0, "mean": 0.0, "max": 0.0}
         return {
@@ -144,13 +166,24 @@ class Histogram:
         }
 
     def merge(self, other: "Histogram") -> None:
-        """Fold *other* into *self*; bucketings must be identical."""
+        """Fold *other* into *self*; bucketings must be identical.
+
+        A positional merge across different layouts would silently
+        misfile every sample, so this raises — naming both layouts so
+        the mismatched construction site is findable.
+        """
         if (
             other.lo != self.lo
             or other.base != self.base
             or len(other.counts) != len(self.counts)
         ):
-            raise ValueError("cannot merge histograms with different bucketings")
+            raise ValueError(
+                "cannot merge histograms with different bucketings: "
+                f"self(lo={self.lo!r}, base={self.base!r}, "
+                f"buckets={len(self.counts)}) vs "
+                f"other(lo={other.lo!r}, base={other.base!r}, "
+                f"buckets={len(other.counts)})"
+            )
         for i, c in enumerate(other.counts):
             self.counts[i] += c
         self.stats.merge(other.stats)

@@ -97,3 +97,81 @@ def test_render_tier_breakdown_empty_tracer():
     obs = Observability("t", trace=True)
     tb = build_gluster_testbed(TestbedConfig(num_clients=1, num_mcds=1), obs=obs)
     assert "no spans recorded" in render_tier_breakdown(tb.obs.tracer)
+
+
+def test_write_oplog_jsonl_round_trip(tmp_path):
+    import repro.obs.export as export
+
+    obs = Observability("t", oplog=True)
+    tb = build_gluster_testbed(TestbedConfig(num_clients=2, num_mcds=1), obs=obs)
+
+    def wl(c, path):
+        fd = yield from c.create(path)
+        yield from c.write(fd, 0, 8192)
+        yield from c.read(fd, 0, 4096)
+
+    for i, c in enumerate(tb.clients):
+        tb.sim.process(wl(c, f"/f{i}"), name=f"wl{i}")
+    tb.sim.run()
+
+    path = tmp_path / "oplog.jsonl"
+    n = export.write_oplog_jsonl(tb.obs.oplog, str(path))
+    assert n == len(tb.obs.oplog) == 6
+    lines = path.read_text().splitlines()
+    assert lines == list(tb.obs.oplog.jsonl_lines())
+    for d in map(json.loads, lines):
+        assert d["op"].startswith("client.")
+        assert d["duration"] >= 0
+
+
+def test_metrics_fingerprint_is_merge_order_invariant():
+    """The --jobs N merge folds worker registries in any completion
+    order; the fingerprint must not depend on it."""
+    from repro.obs.export import metrics_fingerprint
+    from repro.obs.registry import MetricsRegistry
+
+    def worker(seed):
+        reg = MetricsRegistry("w")
+        c = reg.component("cmcache.client0")
+        c.inc("hits", seed)
+        c.observe("lat", seed * 1e-4)
+        c.histogram("lat").add(seed * 1e-4)
+        reg.component("mcd").inc("gets", 2 * seed)
+        return reg
+
+    def merged(order):
+        total = MetricsRegistry("t")
+        for seed in order:
+            total.merge(worker(seed))
+        return metrics_fingerprint(total)
+
+    assert merged([1, 2, 3]) == merged([3, 1, 2]) == merged([2, 3, 1])
+    assert merged([1, 2, 3]) != merged([1, 2, 4])
+
+
+def test_truncated_trace_export_warns_once(tmp_path, monkeypatch):
+    import warnings
+
+    import repro.obs.export as export
+
+    obs = Observability("t", trace=True, trace_limit=3)
+    tb = build_gluster_testbed(TestbedConfig(num_clients=2, num_mcds=1), obs=obs)
+
+    def wl(c, path):
+        fd = yield from c.create(path)
+        yield from c.write(fd, 0, 8192)
+        yield from c.read(fd, 0, 4096)
+
+    for i, c in enumerate(tb.clients):
+        tb.sim.process(wl(c, f"/f{i}"), name=f"wl{i}")
+    tb.sim.run()
+    assert tb.obs.tracer.dropped > 0
+
+    monkeypatch.setattr(export, "_dropped_warned", False)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        export.write_chrome_trace(tb.obs.tracer, str(tmp_path / "a.json"))
+        export.write_chrome_trace(tb.obs.tracer, str(tmp_path / "b.json"))
+    truncation = [w for w in caught if "truncated" in str(w.message)]
+    assert len(truncation) == 1
+    assert str(tb.obs.tracer.dropped) in str(truncation[0].message)

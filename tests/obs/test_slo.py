@@ -1,0 +1,139 @@
+"""SLO burn-rate monitors: windows, fire/clear transitions, reports."""
+
+import json
+
+import pytest
+
+from repro.obs.oplog import OpLog
+from repro.obs.slo import SloMonitor, SloSpec, render_slo_report
+
+
+def _spec(**kw):
+    base = dict(
+        op_prefix="client.read",
+        objective=0.9,
+        threshold=1e-3,
+        fast_window=1.0,
+        slow_window=2.0,
+        burn_threshold=2.0,
+        min_ops=2,
+    )
+    base.update(kw)
+    return SloSpec("read-latency", **base)
+
+
+def _feed(monitor, t, duration, op="client.read", tags=()):
+    log = OpLog()
+    rec = log.begin(op, t - duration)
+    for tag in tags:
+        rec.tag(tag)
+    rec.end = t
+    monitor.observe(rec)
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        _spec(objective=1.0)
+    with pytest.raises(ValueError):
+        _spec(threshold=0.0)
+    with pytest.raises(ValueError):
+        _spec(fast_window=3.0)  # > slow_window
+    with pytest.raises(ValueError):
+        SloSpec("x", op_prefix="c", objective=0.9, kind="throughput",
+                fast_window=1.0, slow_window=1.0)
+
+
+def test_latency_fire_requires_both_windows_and_min_ops():
+    mon = SloMonitor(_spec())
+    # One bad op: 100% bad in both windows (burn 10x) but below min_ops.
+    _feed(mon, 0.1, 5e-3)
+    assert not mon.firing and mon.events == []
+    # Second bad op: both windows at 10x burn with 2 ops -> fire once.
+    _feed(mon, 0.2, 5e-3)
+    assert mon.firing
+    assert [e["state"] for e in mon.events] == ["fire"]
+    fire = mon.events[0]
+    assert fire["t"] == 0.2
+    assert fire["fast_burn"] == pytest.approx(10.0)
+    # Staying bad does not re-fire.
+    _feed(mon, 0.3, 5e-3)
+    assert [e["state"] for e in mon.events] == ["fire"]
+
+
+def test_clear_when_fast_window_recovers():
+    mon = SloMonitor(_spec())
+    for t in (0.1, 0.2, 0.3):
+        _feed(mon, t, 5e-3)
+    assert mon.firing
+    # Good ops beyond the fast window push the bad ones out of it; the
+    # slow window still holds them, and fire requires BOTH windows.
+    for i in range(20):
+        _feed(mon, 1.4 + i * 0.01, 1e-4)
+    assert not mon.firing
+    states = [e["state"] for e in mon.events]
+    assert states == ["fire", "clear"]
+    assert mon.events[-1]["fast_burn"] < mon.spec.burn_threshold
+
+
+def test_uncovered_ops_are_ignored():
+    mon = SloMonitor(_spec())
+    for t in (0.1, 0.2, 0.3):
+        _feed(mon, t, 5e-3, op="client.stat")
+    assert mon.observed == 0 and not mon.firing
+
+
+def test_availability_kind_uses_bad_tags():
+    spec = SloSpec(
+        "read-avail", op_prefix="client.read", objective=0.5,
+        kind="availability", bad_tags=("op-error",),
+        fast_window=1.0, slow_window=1.0, burn_threshold=1.5, min_ops=2,
+    )
+    mon = SloMonitor(spec)
+    _feed(mon, 0.1, 1e-4, tags=("op-error",))
+    _feed(mon, 0.2, 1e-4, tags=("op-error",))
+    assert mon.firing  # 100% bad / 50% budget = 2x burn >= 1.5
+    _feed(mon, 0.3, 1e-4)  # slow ops are fine for availability
+    assert mon.bad_total == 2
+
+
+def test_windows_evict_by_sim_time():
+    mon = SloMonitor(_spec(min_ops=1))
+    _feed(mon, 0.0, 5e-3)
+    assert mon.firing
+    # 3 sim-seconds later both windows have forgotten the breach.
+    _feed(mon, 3.0, 1e-4)
+    assert not mon.firing
+    assert len(mon._fast) == 1 and len(mon._slow) == 1
+
+
+def test_summary_and_report_render():
+    mon = SloMonitor(_spec())
+    for t in (0.1, 0.2):
+        _feed(mon, t, 5e-3)
+    _feed(mon, 0.3, 1e-4)
+    s = mon.summary()
+    assert s["observed"] == 3 and s["bad"] == 2
+    assert s["bad_fraction"] == pytest.approx(2 / 3)
+    assert s["overall_burn"] == pytest.approx((2 / 3) / 0.1)
+    assert s["alerts"] == 1 and s["firing"]
+    report = render_slo_report([mon])
+    assert "read-latency" in report
+    assert "fire" in report and "alerts 1" in report
+    assert render_slo_report([]).endswith("(no monitors)")
+
+
+def test_breach_events_export_deterministic_jsonl():
+    def run():
+        mon = SloMonitor(_spec())
+        for t in (0.1, 0.2, 0.3):
+            _feed(mon, t, 5e-3)
+        for i in range(20):
+            _feed(mon, 1.4 + i * 0.01, 1e-4)
+        return list(mon.jsonl_lines())
+
+    lines = run()
+    assert lines == run()
+    parsed = [json.loads(line) for line in lines]
+    assert [d["state"] for d in parsed] == ["fire", "clear"]
+    assert all(set(d) == {"slo", "state", "t", "fast_burn", "slow_burn"}
+               for d in parsed)

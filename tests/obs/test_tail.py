@@ -1,0 +1,79 @@
+"""Tail analyzer: exact percentiles, slow-vs-median attribution, report."""
+
+import pytest
+
+from repro.obs.oplog import OpLog
+from repro.obs.tail import _exact_percentile, render_why_slow, tail_summary
+
+
+def _log_with(durations, op="client.read", slow_tier=None):
+    """An oplog of synthetic ops: 100us of client time each, plus the
+    duration remainder in ``slow_tier`` (default ``mcd``)."""
+    log = OpLog()
+    for i, dur in enumerate(durations):
+        rec = log.begin(op, float(i))
+        rec.client = "client0"
+        rec.path = f"/f{i}"
+        rec.add_tier("client", 1e-4)
+        rec.add_tier(slow_tier or "mcd", dur - 1e-4)
+        log.finish(rec, float(i) + dur)
+    return log
+
+
+def test_exact_percentiles_nearest_rank():
+    xs = [float(i) for i in range(1, 101)]  # 1..100
+    assert _exact_percentile(xs, 0.50) == 51.0
+    assert _exact_percentile(xs, 0.99) == 100.0
+    assert _exact_percentile([7.0], 0.999) == 7.0
+
+
+def test_tail_summary_shape_and_slow_set():
+    durations = [1e-4 * (i + 2) for i in range(99)] + [5e-2]
+    s = tail_summary(_log_with(durations))["client.read"]
+    assert s["count"] == 100
+    pcts = s["percentiles"]
+    assert set(pcts) == {"p50", "p90", "p99", "p99.9"}
+    assert pcts["p50"] <= pcts["p90"] <= pcts["p99"] <= pcts["p99.9"]
+    # The one outlier is the whole slow set.
+    assert s["slow_threshold"] == pytest.approx(5e-2)
+    assert s["slow_count"] == 1
+    # Both groups spend the same client time; the tail grows in mcd.
+    assert s["median_tiers"]["client"] == pytest.approx(1e-4)
+    assert s["slow_tiers"]["mcd"] > 5 * s["median_tiers"]["mcd"]
+
+
+def test_exemplars_worst_first_with_outcome_context():
+    log = _log_with([1e-4, 2e-4, 3e-4, 4e-4])
+    worst = list(log.records)[-1]
+    worst.tag("read-miss")
+    worst.count("rpc_retries", 2)
+    s = tail_summary(log, exemplars=2)["client.read"]
+    ex = s["exemplars"]
+    assert len(ex) == 2
+    assert ex[0]["duration"] >= ex[1]["duration"]
+    assert ex[0]["tags"] == ["read-miss"]
+    assert ex[0]["counts"] == {"rpc_retries": 2}
+
+
+def test_ops_grouped_and_sorted_by_type():
+    log = _log_with([1e-4, 2e-4])
+    stat = log.begin("client.stat", 10.0)
+    stat.add_tier("network", 1e-4)
+    log.finish(stat, 10.0 + 1e-4)
+    s = tail_summary(log)
+    assert list(s) == ["client.read", "client.stat"]
+    assert s["client.stat"]["count"] == 1
+
+
+def test_render_why_slow():
+    log = _log_with([1e-4, 2e-4, 3e-4, 4e-3])
+    out = render_why_slow(tail_summary(log))
+    assert "client.read" in out and "n=4" in out
+    assert "exemplar" in out and "mcd" in out
+    assert render_why_slow({}).endswith("(no ops recorded)")
+
+
+def test_single_record_is_its_own_median_and_tail():
+    s = tail_summary(_log_with([3e-4]))["client.read"]
+    assert s["count"] == 1 and s["slow_count"] == 1
+    assert s["median_tiers"] == s["slow_tiers"]

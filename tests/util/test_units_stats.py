@@ -231,3 +231,33 @@ def test_counter():
     d.inc("evictions")
     c.merge(d)
     assert c.as_dict() == {"hits": 7, "evictions": 1}
+
+
+def test_histogram_empty_percentile_raises():
+    h = Histogram()
+    with pytest.raises(ValueError, match="empty histogram"):
+        h.percentile(50)
+    # summary() is the soft-default path and must not raise.
+    assert h.summary()["p99"] == 0.0
+
+
+def test_histogram_like_clones_exact_layout():
+    # hi=0.75 is not a power-of-2 multiple of lo: the ctor rounds the
+    # bucket count up, so a ctor-based clone could disagree.
+    a = Histogram(lo=1e-6, hi=0.75, base=2.0)
+    b = Histogram.like(a)
+    assert (b.lo, b.base, len(b.counts)) == (a.lo, a.base, len(a.counts))
+    assert b.n == 0
+    a.add(3e-4)
+    b.merge(a)  # identical layouts merge both ways
+    a.merge(b)
+    assert a.n == 2 and b.n == 1
+
+
+def test_histogram_merge_error_names_both_layouts():
+    a = Histogram(lo=1e-6, hi=1.0)
+    b = Histogram(lo=1e-3, hi=1.0, base=4.0)
+    with pytest.raises(ValueError) as err:
+        a.merge(b)
+    msg = str(err.value)
+    assert "lo=1e-06" in msg and "lo=0.001" in msg and "base=4.0" in msg
