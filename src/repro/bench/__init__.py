@@ -19,6 +19,12 @@ partial fills, hot-tier repeats — as simulated ops per wall-clock
 second in ``BENCH_e2e.json``; the report shape is identical, so the
 same baseline/check plumbing gates both suites.
 
+``repro bench --suite scale`` (:mod:`repro.bench.scale`) measures the
+kernel under large pending-event populations: 1k/10k/100k timer-storm
+clients, A/B across the heap and calendar scheduler backends plus the
+batched tier2 variant, as ops/sec in ``BENCH_scale.json`` with a
+``speedup_vs_heap`` section.
+
 The workloads are frozen: any change to their shape invalidates the
 trajectory.  Tune the kernel, not the benchmark.
 """
@@ -34,10 +40,12 @@ from repro.bench.kernel import (
     run_benchmarks,
     write_report,
 )
+from repro.bench.scale import BENCH_SCALE_FILE, run_scale_benchmarks
 
 __all__ = [
     "BENCH_E2E_FILE",
     "BENCH_FILE",
+    "BENCH_SCALE_FILE",
     "BenchResult",
     "attach_baseline",
     "baseline_from",
@@ -45,5 +53,6 @@ __all__ = [
     "load_report",
     "run_benchmarks",
     "run_e2e_benchmarks",
+    "run_scale_benchmarks",
     "write_report",
 ]

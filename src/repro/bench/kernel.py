@@ -237,14 +237,24 @@ def load_report(path: str) -> dict:
 
 
 def check_against_baseline(
-    report: dict, committed: dict, tolerance: float = 0.30
+    report: dict,
+    committed: dict,
+    tolerance: float = 0.30,
+    suite: str = "kernel",
+    missing_ok: bool = False,
 ) -> list[str]:
     """Compare a fresh *report* to the *committed* report's results.
 
-    Returns a list of human-readable failures (empty == pass).  Only
-    rate benchmarks (``*_per_sec``: the kernel's events/sec, the e2e
-    suite's ops/sec) gate: wall-seconds of the sweep depend on the
-    harness workload, which PRs legitimately grow.
+    Returns a list of human-readable failures (empty == pass), each
+    naming the suite, benchmark, and metric that regressed — a CI log
+    must say *what* fell below the floor, not just that something did.
+    Only rate benchmarks (``*_per_sec``: the kernel's events/sec, the
+    e2e/scale suites' ops/sec) gate: wall-seconds of the sweep depend
+    on the harness workload, which PRs legitimately grow.
+
+    ``missing_ok`` skips committed results absent from the fresh run
+    instead of failing on them — quick-mode runs measure a subset of
+    the full committed suite (e.g. only the 1k scale point).
     """
     failures = []
     for name, doc in committed.get("results", {}).items():
@@ -253,13 +263,16 @@ def check_against_baseline(
             continue
         fresh = report.get("results", {}).get(name)
         if fresh is None:
-            failures.append(f"{name}: missing from fresh run")
+            if not missing_ok:
+                failures.append(
+                    f"[suite={suite}] {name} ({metric}): missing from fresh run"
+                )
             continue
         floor = doc["median"] * (1.0 - tolerance)
         if fresh["median"] < floor:
             failures.append(
-                f"{name}: {fresh['median']:.0f} {metric} is below the "
-                f"committed {doc['median']:.0f} - {tolerance:.0%} floor "
-                f"({floor:.0f})"
+                f"[suite={suite}] {name} ({metric}): fresh median "
+                f"{fresh['median']:.0f} is below the committed "
+                f"{doc['median']:.0f} - {tolerance:.0%} floor ({floor:.0f})"
             )
     return failures

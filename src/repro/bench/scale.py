@@ -1,0 +1,220 @@
+"""Client-scale benchmarks and the ``BENCH_scale.json`` report.
+
+Where :mod:`repro.bench.kernel` times small fixed workloads, this suite
+measures how the kernel holds up as the *pending-event population*
+grows: 1k/10k/100k simulated clients, each holding exactly one
+outstanding timer at all times, hammering per-group NIC serialisers.
+That is the regime the calendar-queue scheduler and batched event
+delivery exist for (ROADMAP open item 1: million-user scenarios).
+
+Three variants run per client point:
+
+* **heap** — per-visit pooled timeouts on the default binary-heap
+  scheduler: the first speed tier, and the baseline.
+* **calendar** — the *identical* workload on the calendar-queue
+  backend.  Same simulated trajectory event for event (the run asserts
+  the event counts match); only wall-clock differs.
+* **tier2** — the second speed tier: calendar backend **plus** batched
+  delivery (each client retires its op burst as one
+  :meth:`~repro.sim.station.FifoStation.run_batch` wakeup) **plus**
+  group-sharded execution via :mod:`repro.harness.sharding`.  Same
+  simulated work (identical visit count and per-burst completion
+  times), an order of magnitude fewer scheduler events.
+
+The metric is **ops/sec**: simulated station visits retired per
+wall-clock second.  All variants retire the same visit count, so the
+``speedup_vs_heap`` section compares like with like; scheduled-event
+counts are recorded per result as ``events_per_run``.
+
+Clients are desynchronised arithmetically (no RNG): service demand and
+start stagger derive from the global client id, so every variant,
+backend, and shard count sees the same per-client parameters.
+
+The workloads are frozen: any change to their shape invalidates the
+trajectory.  Tune the kernel, not the benchmark.
+"""
+
+from __future__ import annotations
+
+import datetime
+import time
+from typing import Optional
+
+from repro.bench.kernel import BenchResult, _git_sha, _machine_info, _median
+from repro.harness.sharding import plan_shards, run_sharded
+from repro.sim.core import SCHEDULERS, Simulator
+from repro.sim.station import FifoStation
+
+#: Canonical report location (repo root when run from a checkout).
+BENCH_SCALE_FILE = "BENCH_scale.json"
+
+#: Frozen workload shape.  Changing these invalidates the trajectory.
+CLIENT_POINTS = (1_000, 10_000, 100_000)
+QUICK_POINTS = (1_000,)
+#: Clients sharing one single-server NIC serialiser; groups never share
+#: state, so they are the independent unit the sharding layer splits on.
+GROUP_SIZE = 10
+OPS_PER_CLIENT = 20
+#: Visits retired per batched wakeup in the tier2 variant.
+BURST = 10
+
+DEFAULT_ROUNDS = 3
+QUICK_ROUNDS = 3
+
+
+def _label(clients: int) -> str:
+    return f"{clients // 1000}k"
+
+
+def _launch(sim: Simulator, station: FifoStation, gid: int, batched: bool) -> None:
+    """Install one timer-storm client as a callback chain.
+
+    No generator process: each completion callback books the client's
+    next visit directly, so per-event cost is almost pure scheduler —
+    exactly what this suite wants to measure.  Every client holds one
+    pending event at all times, keeping the pending population equal to
+    the client count.
+    """
+    service = 1e-6 + (gid % 23) * 1e-7
+    remaining = OPS_PER_CLIENT
+    if batched:
+
+        def fire(_ev) -> None:
+            nonlocal remaining
+            if remaining:
+                take = BURST if remaining >= BURST else remaining
+                remaining -= take
+                station.run_batch([service] * take).callbacks.append(fire)
+
+    else:
+
+        def fire(_ev) -> None:
+            nonlocal remaining
+            if remaining:
+                remaining -= 1
+                station.run(service).callbacks.append(fire)
+
+    kick = sim.timeout((gid % 101) * 1e-6)
+    kick.callbacks.append(fire)
+
+
+def _storm_shard(spec, backend: str, batched: bool) -> dict:
+    """One shard of the timer storm: simulate a contiguous range of
+    client *groups* (``spec`` ids are group ids — the independent unit)
+    to completion and return summable metrics.
+    """
+    sim = Simulator(scheduler=backend)
+    sim.track_station_waits = False
+    for g in range(spec.client_lo, spec.client_hi):
+        station = FifoStation(sim, name=f"nic{g}")
+        for c in range(GROUP_SIZE):
+            _launch(sim, station, g * GROUP_SIZE + c, batched)
+    if spec.window_stop is None:
+        sim.run()
+    else:
+        sim.run(until=spec.window_stop)
+    return {
+        "clients": spec.clients * GROUP_SIZE,
+        "ops": spec.clients * GROUP_SIZE * OPS_PER_CLIENT,
+        "events": sim._seq,
+    }
+
+
+def _storm_run(
+    clients: int, backend: str, batched: bool, shards: int
+) -> tuple[dict, float]:
+    """Run one client point once; returns (merged metrics, seconds)."""
+    specs = plan_shards(clients // GROUP_SIZE, shards)
+    t0 = time.perf_counter()
+    merged = run_sharded(_storm_shard, specs, backend, batched)
+    elapsed = time.perf_counter() - t0
+    if merged["ops"] != clients * OPS_PER_CLIENT:
+        raise RuntimeError(
+            f"scale bench dropped work: {merged['ops']} ops retired, "
+            f"expected {clients * OPS_PER_CLIENT}"
+        )
+    return merged, elapsed
+
+
+def _bench_point(
+    clients: int, variant: str, backend: str, batched: bool, shards: int, rounds: int
+) -> BenchResult:
+    runs = []
+    events = 0
+    for _ in range(rounds):
+        merged, elapsed = _storm_run(clients, backend, batched, shards)
+        events = merged["events"]
+        runs.append(merged["ops"] / elapsed)
+    name = f"scale_{_label(clients)}_{variant}"
+    return BenchResult(name, "ops_per_sec", _median(runs), runs, events)
+
+
+def run_scale_benchmarks(
+    quick: bool = False,
+    rounds: Optional[int] = None,
+    scheduler: Optional[str] = None,
+    shards: int = 1,
+) -> dict:
+    """Run the scale suite; report shape matches the kernel suite so the
+    same baseline/check plumbing applies.
+
+    ``scheduler`` restricts the A/B: ``"heap"`` runs only the baseline
+    variant, ``"calendar"`` only the calendar and tier2 variants,
+    ``None`` runs all three.  ``shards`` is the shard count for the
+    tier2 variant (wall-clock parallelism additionally needs an active
+    :func:`~repro.harness.parallel.job_pool`; without one the shards
+    run inline, which still exercises the deterministic merge).
+    """
+    if scheduler is not None and scheduler not in SCHEDULERS:
+        raise ValueError(f"unknown scheduler {scheduler!r}; have {SCHEDULERS}")
+    k = rounds if rounds is not None else (QUICK_ROUNDS if quick else DEFAULT_ROUNDS)
+    points = QUICK_POINTS if quick else CLIENT_POINTS
+    results: list[BenchResult] = []
+    for clients in points:
+        per_point: dict[str, BenchResult] = {}
+        if scheduler in (None, "heap"):
+            per_point["heap"] = _bench_point(clients, "heap", "heap", False, 1, k)
+        if scheduler in (None, "calendar"):
+            per_point["calendar"] = _bench_point(
+                clients, "calendar", "calendar", False, 1, k
+            )
+            per_point["tier2"] = _bench_point(
+                clients, "tier2", "calendar", True, shards, k
+            )
+        heap_r, cal_r = per_point.get("heap"), per_point.get("calendar")
+        if heap_r and cal_r and heap_r.events_per_run != cal_r.events_per_run:
+            # The backends must replay the identical trajectory; a count
+            # drift means the calendar queue mis-ordered something.
+            raise RuntimeError(
+                f"backend divergence at {clients} clients: heap scheduled "
+                f"{heap_r.events_per_run} events, calendar {cal_r.events_per_run}"
+            )
+        results.extend(per_point.values())
+
+    report = {
+        "schema": 1,
+        "git_sha": _git_sha(),
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "machine": _machine_info(),
+        "mode": "quick" if quick else "full",
+        "rounds": k,
+        "shards": shards,
+        "results": {r.name: r.to_dict() for r in results},
+    }
+    speedup: dict[str, dict[str, float]] = {}
+    for clients in points:
+        base = report["results"].get(f"scale_{_label(clients)}_heap")
+        if not base or not base["median"]:
+            continue
+        per = {}
+        for variant in ("calendar", "tier2"):
+            doc = report["results"].get(f"scale_{_label(clients)}_{variant}")
+            if doc:
+                per[variant] = doc["median"] / base["median"]
+        if per:
+            speedup[f"scale_{_label(clients)}"] = per
+    if speedup:
+        report["speedup_vs_heap"] = speedup
+    return report

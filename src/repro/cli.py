@@ -253,18 +253,33 @@ def cmd_bench(args) -> int:
     from repro.bench import (
         BENCH_E2E_FILE,
         BENCH_FILE,
+        BENCH_SCALE_FILE,
         attach_baseline,
         check_against_baseline,
         load_report,
         run_benchmarks,
         run_e2e_benchmarks,
+        run_scale_benchmarks,
         write_report,
     )
 
     if args.out is None:
-        args.out = BENCH_E2E_FILE if args.suite == "e2e" else BENCH_FILE
-    runner = run_e2e_benchmarks if args.suite == "e2e" else run_benchmarks
-    report = runner(quick=args.quick, rounds=args.rounds)
+        args.out = {
+            "kernel": BENCH_FILE,
+            "e2e": BENCH_E2E_FILE,
+            "scale": BENCH_SCALE_FILE,
+        }[args.suite]
+    if args.suite == "scale":
+        report = run_scale_benchmarks(
+            quick=args.quick,
+            rounds=args.rounds,
+            scheduler=args.scheduler,
+            shards=args.shards,
+        )
+    elif args.suite == "e2e":
+        report = run_e2e_benchmarks(quick=args.quick, rounds=args.rounds)
+    else:
+        report = run_benchmarks(quick=args.quick, rounds=args.rounds)
     committed = None
     try:
         committed = load_report(args.out)
@@ -275,9 +290,19 @@ def cmd_bench(args) -> int:
         if committed is None:
             print(f"error: no committed report at {args.out}", file=sys.stderr)
             return 2
-        failures = check_against_baseline(report, committed, tolerance=args.tolerance)
+        # Quick/restricted runs measure a subset of the committed suite
+        # (only the 1k point, only one backend): absent results are
+        # expected there, not regressions.
+        subset = args.quick or args.scheduler is not None
+        failures = check_against_baseline(
+            report,
+            committed,
+            tolerance=args.tolerance,
+            suite=args.suite,
+            missing_ok=subset,
+        )
         for name, doc in report["results"].items():
-            print(f"{name:<8} {doc['median']:.0f} {doc['metric']}")
+            print(f"{name:<20} {doc['median']:.0f} {doc['metric']}")
         if failures:
             for f in failures:
                 print(f"REGRESSION: {f}", file=sys.stderr)
@@ -298,7 +323,10 @@ def cmd_bench(args) -> int:
     for name, doc in report["results"].items():
         speed = report.get("speedup_vs_baseline", {}).get(name)
         extra = f"  ({speed:.2f}x vs baseline)" if speed else ""
-        print(f"{name:<8} {doc['median']:.0f} {doc['metric']}{extra}")
+        print(f"{name:<20} {doc['median']:.0f} {doc['metric']}{extra}")
+    for point, per in report.get("speedup_vs_heap", {}).items():
+        pairs = "  ".join(f"{v}={s:.2f}x" for v, s in per.items())
+        print(f"{point:<20} vs heap: {pairs}")
     print(f"wrote {args.out}")
     return 0
 
@@ -472,12 +500,26 @@ def build_parser() -> argparse.ArgumentParser:
     run_all.set_defaults(func=cmd_run_all)
 
     bench = sub.add_parser(
-        "bench", help="run wall-clock benchmarks (BENCH_kernel.json / BENCH_e2e.json)"
+        "bench",
+        help="run wall-clock benchmarks (BENCH_kernel/e2e/scale.json)",
     )
     bench.add_argument(
-        "--suite", choices=["kernel", "e2e"], default="kernel",
+        "--suite", choices=["kernel", "e2e", "scale"], default="kernel",
         help="'kernel' times the bare DES kernel (events/sec); 'e2e' "
-        "drives fixed fop sequences through a full testbed (ops/sec)",
+        "drives fixed fop sequences through a full testbed (ops/sec); "
+        "'scale' storms 1k/10k/100k timer clients per scheduler backend "
+        "(ops/sec)",
+    )
+    bench.add_argument(
+        "--scheduler", choices=["heap", "calendar"], default=None,
+        help="restrict the scale suite's A/B to one scheduler backend "
+        "(default: benchmark both plus the batched tier2 variant)",
+    )
+    bench.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="shard count for the scale suite's tier2 variant (shards "
+        "run inline unless a job pool is active; merge is deterministic "
+        "either way)",
     )
     bench.add_argument(
         "--quick", action="store_true",

@@ -64,7 +64,7 @@ class Sampler:
                 self.metrics.sample(name, now, float(probe()))
             self.ticks += 1
             yield self.sim.timeout(self.interval)
-            if not self.sim._heap:
+            if not self.sim.pending:
                 # Everything else has drained; a free-running sampler
                 # would keep the simulation alive forever.
                 break

@@ -1,10 +1,28 @@
-"""The discrete-event simulator core: clock, heap, and run loop."""
+"""The discrete-event simulator core: clock, scheduler, and run loop.
+
+Two scheduler backends sit behind the same :class:`Simulator` API:
+
+* ``"heap"`` (default) — one global binary heap of
+  ``(time, priority, seq, event)`` entries; fastest at small scale.
+* ``"calendar"`` — a bucketed calendar queue with a spill heap for
+  far-future events (:mod:`repro.sim.calendar`); O(1) inserts and
+  near-O(1) pops for the short-delay timeout traffic that dominates
+  large client populations.
+
+Both backends pop entries in the identical strict total order (``seq``
+is unique), so a run is byte-identical regardless of backend; choose by
+wall-clock profile, never by semantics.
+"""
 
 from __future__ import annotations
 
+import os
+from functools import partial
 from heapq import heappop, heappush
-from typing import Any, Iterable
+from itertools import repeat
+from typing import Any, Iterable, Optional, Union
 
+from repro.sim.calendar import CalendarQueue
 from repro.sim.errors import EmptySchedule, StopSimulation
 from repro.sim.events import (
     AllOf,
@@ -17,6 +35,24 @@ from repro.sim.events import (
     Timeout,
 )
 from repro.sim.process import Process, ProcessGenerator
+
+#: Recognised scheduler backend names.
+SCHEDULERS = ("heap", "calendar")
+
+#: Environment override consulted when ``Simulator(scheduler=None)``:
+#: lets a whole test/experiment run A/B the backends without threading
+#: a parameter through every call site (worker processes inherit it).
+SCHEDULER_ENV = "REPRO_SCHEDULER"
+
+
+def resolve_scheduler(name: Optional[str]) -> str:
+    """Normalise a scheduler choice: ``None`` falls back to the
+    ``REPRO_SCHEDULER`` environment variable, then to ``"heap"``."""
+    if name is None:
+        name = os.environ.get(SCHEDULER_ENV) or "heap"
+    if name not in SCHEDULERS:
+        raise ValueError(f"unknown scheduler {name!r}; have {SCHEDULERS}")
+    return name
 
 
 class Simulator:
@@ -38,9 +74,30 @@ class Simulator:
     1.0
     """
 
-    def __init__(self, initial_time: float = 0.0) -> None:
+    #: Cap on the recycled-timeout free list: a one-off burst of pooled
+    #: timeouts (a stampede, a fan-out) must not pin thousands of dead
+    #: event objects for the rest of the run.  Steady-state reuse needs
+    #: only about one pooled event per concurrently-waiting process.
+    TIMEOUT_POOL_MAX = 1024
+
+    def __init__(
+        self,
+        initial_time: float = 0.0,
+        scheduler: Union[str, CalendarQueue, None] = None,
+    ) -> None:
         self._now = float(initial_time)
         self._heap: list[tuple[float, int, int, Event]] = []
+        #: Calendar-queue backend, or ``None`` for the default heap.
+        #: Hot paths branch on this once and never consult ``scheduler``.
+        self._calendar: Optional[CalendarQueue]
+        if isinstance(scheduler, CalendarQueue):
+            self._calendar = scheduler
+            self.scheduler = "calendar"
+        else:
+            self.scheduler = resolve_scheduler(scheduler)
+            self._calendar = (
+                CalendarQueue() if self.scheduler == "calendar" else None
+            )
         self._seq = 0
         #: Monotone process counter; gives every Process a stable per-sim
         #: serial so observers (the span tracer) can key per-process
@@ -66,6 +123,12 @@ class Simulator:
     def active_process(self) -> Process | None:
         return self._active_process
 
+    @property
+    def pending(self) -> int:
+        """Number of scheduled-but-unprocessed events (either backend)."""
+        cal = self._calendar
+        return len(self._heap) if cal is None else len(cal)
+
     # -- event factories --------------------------------------------------
     def event(self) -> Event:
         return Event(self)
@@ -88,7 +151,12 @@ class Simulator:
             ev._value = None
             ev.delay = delay
             self._seq += 1
-            heappush(self._heap, (self._now + delay, NORMAL, self._seq, ev))
+            entry = (self._now + delay, NORMAL, self._seq, ev)
+            cal = self._calendar
+            if cal is None:
+                heappush(self._heap, entry)
+            else:
+                cal.push(entry)
             return ev
         return PooledTimeout(self, delay)
 
@@ -110,36 +178,77 @@ class Simulator:
         *,
         at: float | None = None,
     ) -> None:
-        """Schedule *event*; every heap entry's sequence number is minted
-        here.  ``at`` pins an exact absolute timestamp (``now + delay``
-        is not float-exact when ``delay`` was derived from ``at - now``).
+        """Schedule *event*; every schedule entry's sequence number is
+        minted here.  ``at`` pins an exact absolute timestamp
+        (``now + delay`` is not float-exact when ``delay`` was derived
+        from ``at - now``).
         """
         self._seq += 1
-        heappush(
-            self._heap,
-            (self._now + delay if at is None else at, priority, self._seq, event),
-        )
+        entry = (self._now + delay if at is None else at, priority, self._seq, event)
+        cal = self._calendar
+        if cal is None:
+            heappush(self._heap, entry)
+        else:
+            cal.push(entry)
 
     def peek(self) -> float:
         """Time of the next scheduled event (``inf`` if none)."""
-        return self._heap[0][0] if self._heap else float("inf")
+        cal = self._calendar
+        if cal is None:
+            return self._heap[0][0] if self._heap else float("inf")
+        return cal.peek_time()
+
+    def _run_loop(self, limit: int = -1) -> int:
+        """Pop and dispatch events until the schedule empties or *limit*
+        events have been processed (negative = unbounded).
+
+        This is the **only** event-processing path in the engine:
+        :meth:`run` calls it unbounded, :meth:`step` calls it with
+        ``limit=1``, so the two cannot drift as the scheduler backend
+        becomes pluggable.  Returns the number of events processed.
+
+        The loop is the kernel's hottest code; everything it touches is
+        bound to locals once.  Both backends surface exhaustion as
+        ``IndexError`` from *pop*, which is caught *around the pop
+        alone* — an ``IndexError`` escaping a user callback still
+        propagates.
+        """
+        cal = self._calendar
+        if cal is None:
+            # `partial` binds the heap at C level: per-pop cost is
+            # indistinguishable from an inline `heappop(self._heap)`.
+            pop = partial(heappop, self._heap)
+        else:
+            pop = cal.pop
+        pool = self._timeout_pool
+        pool_max = self.TIMEOUT_POOL_MAX
+        pooled_cls = PooledTimeout
+        processed = 0
+        # `repeat` is a C-level iterator: the bounded/unbounded budget
+        # costs nothing per iteration, unlike an int countdown.
+        for _ in repeat(None) if limit < 0 else repeat(None, limit):
+            try:
+                when, _, _, event = pop()
+            except IndexError:
+                break
+            processed += 1
+            self._now = when
+            callbacks, event.callbacks = event.callbacks, None
+            for callback in callbacks:
+                callback(event)
+            if event._ok:
+                if event.__class__ is pooled_cls:
+                    if len(pool) < pool_max:
+                        pool.append(event)
+            elif not event._defused:
+                # Nobody handled the failure: surface it.
+                raise event._value
+        return processed
 
     def step(self) -> None:
         """Process exactly one event (advance the clock to it)."""
-        try:
-            when, _, _, event = heappop(self._heap)
-        except IndexError:
-            raise EmptySchedule("no more events") from None
-        self._now = when
-        callbacks, event.callbacks = event.callbacks, None
-        for callback in callbacks:
-            callback(event)
-        if event._ok:
-            if event.__class__ is PooledTimeout:
-                self._timeout_pool.append(event)
-        elif not event._defused:
-            # Nobody handled the failure: surface it.
-            raise event._value
+        if not self._run_loop(1):
+            raise EmptySchedule("no more events")
 
     def run(self, until: float | Event | None = None) -> Any:
         """Run until the heap empties, *until* time passes, or *until*
@@ -165,26 +274,8 @@ class Simulator:
             self._schedule(stop_event, STOP, at=at)
             stop_event.callbacks.append(self._stop_on)
 
-        # Hot loop: step() inlined with the heap, pop and pool bound to
-        # locals.  `heap` and `pool` are never rebound elsewhere, so the
-        # local aliases stay valid while callbacks schedule new events.
-        heap = self._heap
-        pool = self._timeout_pool
-        pop = heappop
-        pooled_cls = PooledTimeout
         try:
-            while heap:
-                when, _, _, event = pop(heap)
-                self._now = when
-                callbacks, event.callbacks = event.callbacks, None
-                for callback in callbacks:
-                    callback(event)
-                if event._ok:
-                    if event.__class__ is pooled_cls:
-                        pool.append(event)
-                elif not event._defused:
-                    # Nobody handled the failure: surface it.
-                    raise event._value
+            self._run_loop()
         except StopSimulation as stop:
             return stop.value
 
@@ -199,4 +290,7 @@ class Simulator:
         raise StopSimulation(event._value)
 
     def __repr__(self) -> str:  # pragma: no cover
-        return f"<Simulator t={self._now:.9f} pending={len(self._heap)}>"
+        return (
+            f"<Simulator t={self._now:.9f} pending={self.pending} "
+            f"scheduler={self.scheduler}>"
+        )

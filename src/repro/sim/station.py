@@ -43,6 +43,7 @@ class FifoStation:
         "wait_stats",
         "_track_waits",
         "_created_at",
+        "_cal_push",
     )
 
     def __init__(self, sim: "Simulator", servers: int = 1, name: str = "") -> None:
@@ -51,6 +52,12 @@ class FifoStation:
         self.sim = sim
         self.name = name
         self.servers = servers
+        # Scheduler-backend insert for the fused fast path below: None
+        # means "push straight onto sim._heap"; otherwise the calendar
+        # queue's bound push.  The backend is fixed at Simulator
+        # construction, so caching here is safe.
+        cal = getattr(sim, "_calendar", None)
+        self._cal_push = None if cal is None else cal.push
         # Earliest-free-server heap; server assignment by earliest free
         # time is exact for FIFO multi-server queues.
         self._free = [0.0] * servers
@@ -139,7 +146,101 @@ class FifoStation:
             ev.callbacks = []
             ev.delay = delay
             sim._seq += 1
-            heappush(sim._heap, (arrival + delay, NORMAL, sim._seq, ev))
+            entry = (arrival + delay, NORMAL, sim._seq, ev)
+            push = self._cal_push
+            if push is None:
+                heappush(sim._heap, entry)
+            else:
+                push(entry)
+            return ev
+        return PooledTimeout(sim, delay)
+
+    def reserve_batch(
+        self, services, arrival: float | None = None
+    ) -> tuple[float, float]:
+        """Admit a burst of visits in one vectored reservation.
+
+        Returns ``(first_start, last_end)``.  The burst is served in
+        sequence order, back to back: on a single-server station the
+        whole batch collapses to **one** aggregate reservation of
+        ``sum(services)`` seconds (one float add per visit avoided); on
+        a multi-server station each visit still walks the earliest-free
+        heap so server assignment stays exact, but no per-visit event is
+        scheduled either way.
+
+        Per-visit wait statistics degenerate to "wait of the burst":
+        every visit is recorded as having waited from *arrival* to the
+        burst's first start.  Aggregate busy time and job counts are
+        exact.
+        """
+        if arrival is None:
+            arrival = self.sim._now
+        n = len(services)
+        if n == 0:
+            return arrival, arrival
+        if self.servers == 1:
+            if min(services) < 0:
+                raise ValueError(f"negative service time in batch: {services}")
+            total = sum(services)
+            free = self._free[0]
+            start = free if free > arrival else arrival
+            end = start + total
+            self._free[0] = end
+            first_start = start
+        else:
+            free_heap = self._free
+            first_start = None
+            total = 0.0
+            end = arrival
+            for service in services:
+                if service < 0:
+                    raise ValueError(f"negative service time in batch: {services}")
+                free = heappop(free_heap)
+                start = free if free > arrival else arrival
+                visit_end = start + service
+                heappush(free_heap, visit_end)
+                total += service
+                if first_start is None or start < first_start:
+                    first_start = start
+                if visit_end > end:
+                    end = visit_end
+        if end > self._latest_free:
+            self._latest_free = end
+        self.busy_time += total
+        self.jobs += n
+        if self._track_waits:
+            wait = first_start - arrival
+            for _ in range(n):
+                self.wait_stats.add(wait)
+        return first_start, end
+
+    def run_batch(self, services) -> Timeout:
+        """Reserve a burst of visits and return **one** timeout that
+        fires when the last visit completes.
+
+        ``yield station.run_batch(costs)`` retires the whole burst with
+        a single schedule entry and a single process wakeup, instead of
+        the per-visit timeout of ``for c in costs: yield
+        station.run(c)``.  The returned timeout is drawn from the
+        simulator's recycling pool: yield it immediately and do not
+        retain it past its firing.
+        """
+        sim = self.sim
+        arrival = sim._now
+        _, end = self.reserve_batch(services, arrival)
+        delay = end - arrival
+        pool = sim._timeout_pool
+        if pool:
+            ev = pool.pop()
+            ev.callbacks = []
+            ev.delay = delay
+            sim._seq += 1
+            entry = (arrival + delay, NORMAL, sim._seq, ev)
+            push = self._cal_push
+            if push is None:
+                heappush(sim._heap, entry)
+            else:
+                push(entry)
             return ev
         return PooledTimeout(sim, delay)
 

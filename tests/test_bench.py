@@ -11,6 +11,7 @@ from repro.bench import (
     load_report,
     run_benchmarks,
     run_e2e_benchmarks,
+    run_scale_benchmarks,
     write_report,
 )
 
@@ -64,10 +65,27 @@ def test_check_against_baseline_flags_regressions(quick_report):
     near = json.loads(json.dumps(quick_report))
     near["results"]["kernel"]["median"] *= 0.8
     assert check_against_baseline(near, committed, tolerance=0.30) == []
-    # Missing benchmarks are reported.
+    # Missing benchmarks are reported (with suite and metric named).
     empty = {"results": {}}
     failures = check_against_baseline(empty, committed)
-    assert {f.split(":")[0] for f in failures} == {"kernel", "hop"}
+    assert len(failures) == 2
+    for f in failures:
+        assert "[suite=kernel]" in f and "(events_per_sec)" in f
+    # ... unless the fresh run is a declared subset (quick mode).
+    assert check_against_baseline(empty, committed, missing_ok=True) == []
+
+
+def test_check_failure_messages_name_suite_and_metric(quick_report):
+    """Satellite of issue 7: a CI log must say *which* suite/metric
+    regressed, not just that a threshold tripped."""
+    committed = json.loads(json.dumps(quick_report))
+    slow = json.loads(json.dumps(quick_report))
+    slow["results"]["hop"]["median"] *= 0.5
+    (failure,) = check_against_baseline(slow, committed, suite="scale")
+    assert "[suite=scale]" in failure
+    assert "hop" in failure
+    assert "(events_per_sec)" in failure
+    assert "floor" in failure
 
 
 @pytest.fixture(scope="module")
@@ -118,3 +136,57 @@ def test_committed_report_claims_the_required_speedup():
     report = load_report(path)
     assert report["baseline"]["results"]["kernel"]["median"] > 0
     assert report["speedup_vs_baseline"]["kernel"] >= 1.5
+
+
+@pytest.fixture(scope="module")
+def quick_scale_report():
+    # Quick mode: the 1k client point only, one round per variant.
+    return run_scale_benchmarks(quick=True, rounds=1)
+
+
+def test_scale_report_schema(quick_scale_report):
+    report = quick_scale_report
+    assert report["schema"] == 1
+    assert report["mode"] == "quick"
+    assert report["shards"] == 1
+    results = report["results"]
+    assert set(results) == {"scale_1k_heap", "scale_1k_calendar", "scale_1k_tier2"}
+    for doc in results.values():
+        assert doc["metric"] == "ops_per_sec"
+        assert doc["median"] > 0
+        assert doc["events_per_run"] > 0
+    # Heap and calendar replayed the identical trajectory.
+    assert (
+        results["scale_1k_heap"]["events_per_run"]
+        == results["scale_1k_calendar"]["events_per_run"]
+    )
+    # The batched tier schedules far fewer events for the same ops.
+    assert (
+        results["scale_1k_tier2"]["events_per_run"]
+        < results["scale_1k_heap"]["events_per_run"] / 2
+    )
+    assert set(report["speedup_vs_heap"]) == {"scale_1k"}
+    assert set(report["speedup_vs_heap"]["scale_1k"]) == {"calendar", "tier2"}
+
+
+def test_scale_scheduler_restriction():
+    heap_only = run_scale_benchmarks(quick=True, rounds=1, scheduler="heap")
+    assert set(heap_only["results"]) == {"scale_1k_heap"}
+    assert "speedup_vs_heap" not in heap_only
+    with pytest.raises(ValueError):
+        run_scale_benchmarks(quick=True, rounds=1, scheduler="splay")
+
+
+def test_committed_scale_report_claims_the_required_speedup():
+    """The repo's committed BENCH_scale.json must document the second
+    speed tier: >= 3x ops/sec over the heap backend at 100k clients."""
+    import os
+
+    path = os.path.join(os.path.dirname(__file__), "..", "BENCH_scale.json")
+    report = load_report(path)
+    assert set(report["results"]) == {
+        f"scale_{point}_{variant}"
+        for point in ("1k", "10k", "100k")
+        for variant in ("heap", "calendar", "tier2")
+    }
+    assert report["speedup_vs_heap"]["scale_100k"]["tier2"] >= 3.0

@@ -141,3 +141,17 @@ def test_mcclient_stats_surface_replica_counters():
     assert stats.get("replica_reads", 0) > 0
     snap = tb.snapshot_metrics().snapshot()
     assert snap["mcclient"]["counters"]["replica_writes"] > 0
+
+
+def test_scheduler_threads_through_every_builder(monkeypatch):
+    from repro.sim.core import SCHEDULER_ENV
+
+    monkeypatch.delenv(SCHEDULER_ENV, raising=False)
+    for build in (build_gluster_testbed, build_lustre_testbed, build_nfs_testbed):
+        cfg = TestbedConfig(num_clients=1, scheduler="calendar")
+        assert build(cfg).sim.scheduler == "calendar"
+        # Default defers to the environment, which defaults to heap.
+        assert build(TestbedConfig(num_clients=1)).sim.scheduler == "heap"
+    monkeypatch.setenv(SCHEDULER_ENV, "calendar")
+    tb = build_gluster_testbed(TestbedConfig(num_clients=1))
+    assert tb.sim.scheduler == "calendar"
