@@ -175,6 +175,12 @@ def cmd_run(args) -> int:
     except KeyError as e:
         print(e, file=sys.stderr)
         return 2
+    if getattr(args, "selector", None):
+        # Only fig-style runners take a selector; merged lazily so the
+        # sugar subcommands (chaos, elastic, ...) keep their own kwargs.
+        kwargs = dict(getattr(args, "run_kwargs", {}))
+        kwargs["selector"] = args.selector
+        args.run_kwargs = kwargs
     try:
         jobs = resolve_jobs(args.jobs)
     except ValueError as e:
@@ -192,6 +198,13 @@ def cmd_run(args) -> int:
         # e.g. `chaos --replicas R` outside 1..num_mcds for the scale.
         print(f"error: {e}", file=sys.stderr)
         return 2
+    except TypeError as e:
+        if "selector" in str(e):
+            print(
+                f"error: {args.experiment} does not take --selector", file=sys.stderr
+            )
+            return 2
+        raise
     _export_artifacts(capture, args)
     if args.json:
         print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
@@ -216,6 +229,12 @@ def cmd_hotspot(args) -> int:
 def cmd_readpath(args) -> int:
     """`repro readpath` — sugar for `repro run readpath`."""
     args.experiment = "readpath"
+    return cmd_run(args)
+
+
+def cmd_elastic(args) -> int:
+    """`repro elastic` — sugar for `repro run elastic`."""
+    args.experiment = "elastic"
     return cmd_run(args)
 
 
@@ -449,6 +468,12 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="run one experiment")
     run.add_argument("experiment", help="experiment id (see `list`)")
     _add_run_flags(run)
+    run.add_argument(
+        "--selector", choices=["crc32", "modulo", "ketama"], default=None,
+        help="key->MCD selector for fig-style runners (default: the "
+        "experiment's own; `ketama` with static membership must "
+        "reproduce the committed FINGERPRINTS.json entries)",
+    )
     run.set_defaults(func=cmd_run)
 
     chaos = sub.add_parser(
@@ -486,6 +511,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_run_flags(readpath)
     readpath.set_defaults(func=cmd_readpath)
+
+    elastic = sub.add_parser(
+        "elastic",
+        help="run the elastic-membership resize experiment",
+        description="Grow/shrink the MCD tier mid-run (ketama vs naive "
+        "mod-hash vs cold restart, demand backfill vs background "
+        "migration, planned drain vs unplanned remove, plus a chaos "
+        "schedule during the resize window); equivalent to `repro run "
+        "elastic` with the same flags.",
+    )
+    _add_run_flags(elastic)
+    elastic.set_defaults(func=cmd_elastic)
 
     run_all = sub.add_parser("run-all", help="run every experiment")
     run_all.add_argument("--scale", choices=SCALES, default="smoke")

@@ -30,6 +30,7 @@ from repro.lustre.striping import StripeLayout
 from repro.memcached.client import HealthPolicy, MemcacheClient
 from repro.memcached.daemon import MemcachedDaemon
 from repro.memcached.hashing import selector as make_selector
+from repro.memcached.membership import ElasticController, McdMembership
 from repro.net.fabric import Network, Node
 from repro.net.profiles import profile
 from repro.net.rpc import Endpoint, RetryPolicy
@@ -121,6 +122,12 @@ class TestbedConfig:
     #: Failure handling (timeouts/retries/health tracking); ``None``
     #: keeps the historical fail-fast behaviour byte-identically.
     resilience: Optional[ResilienceConfig] = None
+    #: Live MCD membership: clients consult a mutable member set, and an
+    #: :class:`~repro.memcached.membership.ElasticController` can
+    #: add/drain/remove daemons mid-run (``mcd-add``/``mcd-drain``/
+    #: ``mcd-remove`` fault events).  ``False`` freezes the array as a
+    #: plain list, byte-identically to the historical paths.
+    elastic: bool = False
 
     # -- Lustre ------------------------------------------------------------------
     #: Data servers (1DS / 4DS in §5).
@@ -145,6 +152,14 @@ class TestbedConfig:
             raise ValueError(
                 f"imca.replicas={self.imca.replicas} exceeds num_mcds={self.num_mcds}"
             )
+        if self.elastic:
+            if self.num_mcds < 1:
+                raise ValueError("elastic membership needs num_mcds >= 1")
+            # Replication fixes R owners per key; elastic remapping would
+            # have to re-derive all R sets per window, which is not
+            # supported — one owner per key under elasticity.
+            if self.imca.replicas > 1:
+                raise ValueError("elastic membership requires imca.replicas == 1")
 
 
 def _make_fs(
@@ -178,10 +193,20 @@ class GlusterTestbed:
     obs: Observability = field(default_factory=Observability)
     #: Named random streams (only when ``config.resilience`` is set).
     streams: Optional[RandomStreams] = None
+    #: Live membership + resize controller (``config.elastic`` only).
+    membership: Optional["McdMembership"] = None
+    elastic: Optional["ElasticController"] = None
 
     @property
     def server(self) -> GlusterServer:
         return self.servers[0]
+
+    def all_mcds(self) -> list[MemcachedDaemon]:
+        """Every attached daemon — including ones added or detached
+        mid-run — in stable node-id order."""
+        if self.membership is not None:
+            return [m.daemon for _, m in sorted(self.membership.members.items())]
+        return self.mcds
 
     def arm_faults(self, schedule):
         """Arm a :class:`~repro.faults.schedule.FaultSchedule` against
@@ -199,13 +224,14 @@ class GlusterTestbed:
             disks=disks,
             metrics=self.obs.registry.component("faults"),
             oplog=self.obs.oplog,
+            elastic=self.elastic,
         )
         return injector.arm(schedule)
 
     def mcd_stats(self) -> dict[str, int]:
         """Aggregated engine statistics across the MCD array (untimed)."""
         return merged_counters(
-            Counter(dict(mcd.engine.stat_dict())) for mcd in self.mcds
+            Counter(dict(mcd.engine.stat_dict())) for mcd in self.all_mcds()
         )
 
     def cm_stats(self) -> dict[str, int]:
@@ -330,6 +356,27 @@ def build_gluster_testbed(
     ]
     use_imca = bool(mcds)
 
+    # Live membership + resize controller (opt-in; clients built with
+    # membership=None keep the frozen-list legacy paths byte-identically).
+    membership: Optional[McdMembership] = None
+    elastic: Optional[ElasticController] = None
+    if cfg.elastic and use_imca:
+        membership = McdMembership(mcds)
+
+        def _spawn_mcd(node_id: int) -> MemcachedDaemon:
+            return MemcachedDaemon(
+                sim, cache_net, Node(sim, f"mcd{node_id}", cores=cfg.cores),
+                cfg.mcd_memory, tracer=tracer,
+            )
+
+        elastic = ElasticController(
+            sim, membership, cache_net,
+            node_factory=_spawn_mcd,
+            selector_name=cfg.imca.selector,
+            metrics=reg.component("elastic"),
+            tracer=tracer,
+        )
+
     # Brick servers (one in the paper's configuration).
     servers: list[GlusterServer] = []
     smcaches: list[Optional[SMCacheXlator]] = []
@@ -345,6 +392,7 @@ def build_gluster_testbed(
                 Endpoint(cache_net, snode, tracer=tracer), mcds,
                 make_selector(cfg.imca.selector), health=mcd_health,
                 replicas=cfg.imca.replicas, rr_seed=b,
+                membership=membership,
             )
             smcache = SMCacheXlator(
                 sim, mc, cfg.imca, metrics=reg.component(f"smcache.{snode.name}")
@@ -373,6 +421,7 @@ def build_gluster_testbed(
             mc = MemcacheClient(
                 mc_ep, mcds, make_selector(cfg.imca.selector), health=mcd_health,
                 replicas=cfg.imca.replicas, rr_seed=cfg.num_bricks + i,
+                membership=membership,
             )
             cmcache = CMCacheXlator(
                 mc, cfg.imca, metrics=reg.component(f"cmcache.{cnode.name}"),
@@ -385,7 +434,7 @@ def build_gluster_testbed(
 
     tb = GlusterTestbed(
         sim, net, cfg, servers, mcds, clients, cmcaches, smcaches, obs,
-        streams=streams,
+        streams=streams, membership=membership, elastic=elastic,
     )
     if obs.sample_interval:
         obs.samplers.append(

@@ -16,7 +16,11 @@ failures.  This package provides it, driven entirely by the DES clock:
 from repro.faults.schedule import (
     FAULT_KINDS,
     LINK_DEGRADE,
+    MCD_ADD,
     MCD_CRASH,
+    MCD_DRAIN,
+    MCD_REMOVE,
+    MEMBERSHIP_KINDS,
     SERVER_FLAP,
     SLOW_DISK,
     FaultEvent,
@@ -27,7 +31,11 @@ from repro.faults.injector import FaultInjector
 
 __all__ = [
     "FAULT_KINDS",
+    "MEMBERSHIP_KINDS",
     "MCD_CRASH",
+    "MCD_ADD",
+    "MCD_DRAIN",
+    "MCD_REMOVE",
     "SERVER_FLAP",
     "LINK_DEGRADE",
     "SLOW_DISK",

@@ -17,6 +17,15 @@ Recovery semantics per kind:
   around one node: added wire latency and/or message loss.
 * ``slow-disk``    — a service-time multiplier on one spindle (an
   array member rebuilding or retrying sectors), then back to 1.0.
+
+Membership events (need an :class:`ElasticController` handle):
+
+* ``mcd-add``      — grow the tier at ``at``; "recover" marks the
+  forwarding window's scheduled close (the new node is warm/live).
+* ``mcd-drain``    — planned removal: out of the ring at ``at``,
+  detached when the window closes.
+* ``mcd-remove``   — unplanned removal: instant detach, no recovery —
+  the log records a single ``inject`` transition.
 """
 
 from __future__ import annotations
@@ -27,13 +36,17 @@ from repro.faults.schedule import (
     FaultEvent,
     FaultSchedule,
     LINK_DEGRADE,
+    MCD_ADD,
     MCD_CRASH,
+    MCD_DRAIN,
+    MCD_REMOVE,
     SERVER_FLAP,
     SLOW_DISK,
 )
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.memcached.daemon import MemcachedDaemon
+    from repro.memcached.membership import ElasticController
     from repro.net.fabric import Network, Node
     from repro.obs.oplog import OpLog
     from repro.obs.registry import ComponentMetrics
@@ -61,12 +74,14 @@ class FaultInjector:
         disks: Sequence["Disk"] = (),
         metrics: Optional["ComponentMetrics"] = None,
         oplog: Optional["OpLog"] = None,
+        elastic: Optional["ElasticController"] = None,
     ) -> None:
         self.sim = sim
         self.mcds = list(mcds)
         self.server_nodes = list(server_nodes)
         self.net = net
         self.disks = list(disks)
+        self.elastic = elastic
         self.metrics = metrics
         #: Op-lifecycle log whose ``degraded_mcds`` set we maintain, so
         #: records capture the injector's ground truth at op start.
@@ -99,6 +114,17 @@ class FaultInjector:
         elif ev.kind == LINK_DEGRADE:
             if self.net is None:
                 raise ValueError("link-degrade needs a network handle")
+        elif ev.kind in (MCD_ADD, MCD_DRAIN, MCD_REMOVE):
+            if self.elastic is None:
+                raise ValueError(
+                    f"{ev.kind} needs an elastic membership controller "
+                    "(build the testbed with elastic=True)"
+                )
+            if ev.kind in (MCD_DRAIN, MCD_REMOVE):
+                if not self.elastic.membership.reachable(int(ev.target)):
+                    raise ValueError(
+                        f"no attached MCD {ev.target} to {ev.kind.split('-')[1]}"
+                    )
 
     # -- the episode process ----------------------------------------------
     def _episode(self, ev: FaultEvent):
@@ -106,14 +132,30 @@ class FaultInjector:
         delay = ev.at - sim.now
         if delay > 0:
             yield sim.timeout(delay)
+        if ev.kind == MCD_ADD:
+            # Handled inline: both transitions log the *allocated* node
+            # id, not the -1 placeholder the schedule carries.
+            nid = self.elastic.add(window=ev.duration, migrate=ev.migrate)
+            self.active += 1
+            self._record_raw("inject", ev.kind, nid)
+            yield sim.timeout(ev.duration)
+            self.active -= 1
+            self._record_raw("recover", ev.kind, nid)
+            return
         self._apply(ev)
+        if ev.kind == MCD_REMOVE:
+            # Nothing recovers: the node is gone.  One log transition.
+            return
         yield sim.timeout(ev.duration)
         self._recover(ev)
 
     def _record(self, action: str, ev: FaultEvent) -> None:
-        self.log.append((self.sim.now, action, ev.kind, ev.target))
+        self._record_raw(action, ev.kind, ev.target)
+
+    def _record_raw(self, action: str, kind: str, target: object) -> None:
+        self.log.append((self.sim.now, action, kind, target))
         if self.metrics is not None:
-            self.metrics.inc(f"{ev.kind}.{action}")
+            self.metrics.inc(f"{kind}.{action}")
             self.metrics.sample("active_faults", self.sim.now, float(self.active))
 
     def _apply(self, ev: FaultEvent) -> None:
@@ -131,6 +173,14 @@ class FaultInjector:
             )
         elif ev.kind == SLOW_DISK:
             self.disks[int(ev.target)].set_slowdown(ev.slowdown)
+        elif ev.kind == MCD_DRAIN:
+            self.elastic.drain(int(ev.target), window=ev.duration, migrate=ev.migrate)
+        elif ev.kind == MCD_REMOVE:
+            self.elastic.remove(int(ev.target))
+            # Permanent: record the one transition without bumping the
+            # active count — there is no episode to recover from.
+            self._record("inject", ev)
+            return
         self.active += 1
         self._record("inject", ev)
 
@@ -145,5 +195,7 @@ class FaultInjector:
             self.net.restore(str(ev.target))
         elif ev.kind == SLOW_DISK:
             self.disks[int(ev.target)].set_slowdown(1.0)
+        # MCD_ADD / MCD_DRAIN: the controller settles the window itself;
+        # "recover" here just marks the scheduled close in the log.
         self.active -= 1
         self._record("recover", ev)

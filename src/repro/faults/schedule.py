@@ -21,8 +21,22 @@ MCD_CRASH = "mcd-crash"
 SERVER_FLAP = "server-flap"
 LINK_DEGRADE = "link-degrade"
 SLOW_DISK = "slow-disk"
+#: Elastic membership changes (need an injector armed with an
+#: ElasticController).  ``mcd-add`` grows the tier (target is always -1
+#: — the controller allocates the new node id); ``mcd-drain`` retires a
+#: node gracefully over a ``duration``-long forwarding window;
+#: ``mcd-remove`` detaches it instantly, crash-style.
+MCD_ADD = "mcd-add"
+MCD_REMOVE = "mcd-remove"
+MCD_DRAIN = "mcd-drain"
 
-FAULT_KINDS = (MCD_CRASH, SERVER_FLAP, LINK_DEGRADE, SLOW_DISK)
+FAULT_KINDS = (MCD_CRASH, SERVER_FLAP, LINK_DEGRADE, SLOW_DISK, MCD_ADD, MCD_REMOVE, MCD_DRAIN)
+MEMBERSHIP_KINDS = (MCD_ADD, MCD_REMOVE, MCD_DRAIN)
+#: Kinds after which the target MCD no longer exists.
+_TERMINAL_KINDS = (MCD_REMOVE, MCD_DRAIN)
+#: Kinds that act on one MCD and therefore conflict-check against each
+#: other on a shared target (an id is one id across crash and removal).
+_MCD_KINDS = (MCD_CRASH, MCD_REMOVE, MCD_DRAIN)
 
 
 @dataclass(frozen=True, order=True)
@@ -43,14 +57,29 @@ class FaultEvent:
     loss_prob: float = 0.0
     #: slow-disk: service-time multiplier during the episode.
     slowdown: float = 1.0
+    #: mcd-add/mcd-drain: background-migrate the remapped keys during
+    #: the forwarding window instead of relying on demand backfill only.
+    migrate: bool = False
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
             raise ValueError(f"unknown fault kind {self.kind!r}; have {FAULT_KINDS}")
         if self.at < 0:
             raise ValueError(f"fault time must be >= 0: {self.at}")
-        if self.duration <= 0:
+        if self.kind == MCD_REMOVE:
+            # An unplanned removal is instantaneous: no recovery window.
+            if self.duration != 0.0:
+                raise ValueError(f"mcd-remove duration must be 0: {self.duration}")
+        elif self.duration <= 0:
             raise ValueError(f"fault duration must be > 0: {self.duration}")
+        if self.kind == MCD_ADD:
+            if self.target != -1:
+                raise ValueError(
+                    "mcd-add allocates its own node id; use target=-1"
+                )
+        elif self.migrate:
+            if self.kind != MCD_DRAIN:
+                raise ValueError(f"migrate only applies to mcd-add/mcd-drain, not {self.kind!r}")
         if self.extra_latency < 0:
             raise ValueError(f"extra_latency must be >= 0: {self.extra_latency}")
         if not 0.0 <= self.loss_prob <= 1.0:
@@ -85,10 +114,59 @@ class FaultSchedule:
     def __iter__(self):
         return iter(self.events)
 
-    def add(self, event: FaultEvent) -> "FaultSchedule":
+    def add(self, event: FaultEvent, *, validate: bool = True) -> "FaultSchedule":
+        """Append *event*, rejecting combinations the injector could not
+        replay unambiguously (see :meth:`_conflict`).  ``validate=False``
+        restores raw-append semantics — :func:`random_schedule` uses it
+        for its documented ``no_overlap=False`` mode.
+        """
+        if validate:
+            for other in self.events:
+                problem = self._conflict(other, event)
+                if problem:
+                    raise ValueError(f"conflicting fault events: {problem}")
         self.events.append(event)
         self.events.sort()
         return self
+
+    @staticmethod
+    def _conflict(a: FaultEvent, b: FaultEvent) -> Optional[str]:
+        """Why *a* and *b* cannot coexist, or None.
+
+        Overlapping same-kind windows on one target would make the
+        transition log ambiguous (the injector would recover a target
+        that another episode still holds down); any MCD-scoped event on
+        an already drained/removed id targets a node that no longer
+        exists.  ``mcd-add`` is exempt from same-target checks: its -1
+        target is a placeholder, every add creates a distinct node.
+        """
+        if a.target != b.target:
+            return None
+        if a.kind == MCD_ADD or b.kind == MCD_ADD:
+            return None
+        first, second = (a, b) if (a.at, a.until) <= (b.at, b.until) else (b, a)
+        if a.kind in _MCD_KINDS and b.kind in _MCD_KINDS:
+            if first.kind in _TERMINAL_KINDS and second.kind in _TERMINAL_KINDS:
+                return (
+                    f"{second.kind}@{second.at} targets MCD {second.target}, "
+                    f"already gone after {first.kind}@{first.at}"
+                )
+            if first.kind in _TERMINAL_KINDS and second.at >= first.at:
+                return (
+                    f"{second.kind}@{second.at} targets MCD {second.target}, "
+                    f"already gone after {first.kind}@{first.at}"
+                )
+            if second.kind in _TERMINAL_KINDS and first.kind == MCD_CRASH and second.at < first.until:
+                return (
+                    f"{second.kind}@{second.at} of MCD {second.target} inside "
+                    f"{first.kind}@{first.at}'s down window (until {first.until})"
+                )
+        if a.kind == b.kind and first.until > second.at:
+            return (
+                f"overlapping {a.kind} windows on target {a.target!r}: "
+                f"[{first.at}, {first.until}) and [{second.at}, {second.until})"
+            )
+        return None
 
     # -- builders (chainable) ---------------------------------------------
     def mcd_crash(self, at: float, mcd: int = 0, down_for: float = 0.01) -> "FaultSchedule":
@@ -120,6 +198,28 @@ class FaultSchedule:
     ) -> "FaultSchedule":
         """Multiply disk *disk*'s service times during the episode."""
         return self.add(FaultEvent(at, SLOW_DISK, disk, for_, slowdown=slowdown))
+
+    def mcd_add(
+        self, at: float, warm_for: float = 0.005, migrate: bool = False
+    ) -> "FaultSchedule":
+        """Grow the MCD tier by one node at *at*; the forwarding window
+        (demand backfill, write fan-out to both owners) stays open for
+        *warm_for* seconds.  ``migrate`` also background-copies the
+        remapped keys off their old owners."""
+        return self.add(FaultEvent(at, MCD_ADD, -1, warm_for, migrate=migrate))
+
+    def mcd_drain(
+        self, at: float, mcd: int = 0, drain_for: float = 0.005, migrate: bool = False
+    ) -> "FaultSchedule":
+        """Gracefully retire MCD *mcd*: out of the key ring immediately,
+        forwarding/migration source for *drain_for* seconds, then
+        detached."""
+        return self.add(FaultEvent(at, MCD_DRAIN, mcd, drain_for, migrate=migrate))
+
+    def mcd_remove(self, at: float, mcd: int = 0) -> "FaultSchedule":
+        """Unplanned removal of MCD *mcd*: instant detach, contents
+        lost — degrades like a crash that never restarts."""
+        return self.add(FaultEvent(at, MCD_REMOVE, mcd, 0.0))
 
     # -- transforms --------------------------------------------------------
     def shifted(self, dt: float) -> "FaultSchedule":
@@ -200,15 +300,18 @@ def random_schedule(
         if no_overlap and busy_until.get((kind, target), -1.0) > t:
             continue
         busy_until[(kind, target)] = t + duration
+        # validate=False: with no_overlap the draws can't conflict, and
+        # without it overlap is the caller's documented choice.
         if kind == LINK_DEGRADE:
             schedule.add(
                 FaultEvent(
                     t, kind, target, duration,
                     extra_latency=extra_latency, loss_prob=loss_prob,
-                )
+                ),
+                validate=False,
             )
         elif kind == SLOW_DISK:
-            schedule.add(FaultEvent(t, kind, target, duration, slowdown=slowdown))
+            schedule.add(FaultEvent(t, kind, target, duration, slowdown=slowdown), validate=False)
         else:
-            schedule.add(FaultEvent(t, kind, target, duration))
+            schedule.add(FaultEvent(t, kind, target, duration), validate=False)
     return schedule

@@ -85,6 +85,15 @@ PAPER_CLAIMS: dict[str, list[str]] = {
         "server path; performance degrades with the number of failed "
         "daemons and recovers when they return (cold).",
     ],
+    "elastic": [
+        "§7 names 'dynamically reconfiguring the number of MCDs "
+        "depending on the load on the file system' as future work; the "
+        "static CRC32+mod map makes any resize remap nearly every key.",
+        "§4.4's fault argument (MCDs hold no dirty state, so losing one "
+        "only costs hits) extends to planned resizes: with a consistent "
+        "ring, adding or draining one of n+1 daemons should disturb "
+        "about 1/(n+1) of the key space and nothing else.",
+    ],
     "readpath": [
         "§4.3/§5.4: the latency win assumes full hits; a partial hit used "
         "to degrade to a full server read.  Filling only the missing "

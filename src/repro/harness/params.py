@@ -404,6 +404,77 @@ PARAMS: dict[str, dict[str, dict]] = {
             ),
         ),
     },
+    # ---- elastic: online membership changes (ROADMAP item 5) -----------------
+    # rounds are fixed work (stats + block-0 reads + a scratch rewrite per
+    # client); the membership event fires at round 0 and the forwarding
+    # window spans window_rounds of the measured steady-state round time —
+    # deliberately < 1, so demand backfill alone cannot cover every
+    # remapped key and background migration has something to win.
+    "elastic": {
+        "smoke": dict(
+            num_clients=2,
+            num_mcds=3,
+            files_per_client=6,
+            file_size=8 * KiB,
+            record_size=2 * KiB,
+            mcd_memory=16 * MiB,
+            warm_rounds=2,
+            rounds_before=2,
+            rounds_after=6,
+            window_rounds=0.6,
+            migrate_batch=32,
+            migrate_interval=1e-5,
+            mcd_timeout=2e-3,
+            cooldown=2e-3,
+            chaos_rate=400.0,
+            mean_downtime=1.5e-3,
+            naive_dip_min=0.4,
+            cold_dip_min=0.6,
+            seed=0xE1A5,
+        ),
+        "default": dict(
+            num_clients=4,
+            num_mcds=4,
+            files_per_client=10,
+            file_size=16 * KiB,
+            record_size=2 * KiB,
+            mcd_memory=32 * MiB,
+            warm_rounds=2,
+            rounds_before=3,
+            rounds_after=8,
+            window_rounds=0.6,
+            migrate_batch=32,
+            migrate_interval=1e-5,
+            mcd_timeout=2e-3,
+            cooldown=3e-3,
+            chaos_rate=300.0,
+            mean_downtime=2e-3,
+            naive_dip_min=0.45,
+            cold_dip_min=0.65,
+            seed=0xE1A5,
+        ),
+        "paper": dict(
+            num_clients=8,
+            num_mcds=6,
+            files_per_client=12,
+            file_size=32 * KiB,
+            record_size=2 * KiB,
+            mcd_memory=64 * MiB,
+            warm_rounds=2,
+            rounds_before=4,
+            rounds_after=10,
+            window_rounds=0.6,
+            migrate_batch=64,
+            migrate_interval=1e-5,
+            mcd_timeout=2e-3,
+            cooldown=3e-3,
+            chaos_rate=300.0,
+            mean_downtime=2e-3,
+            naive_dip_min=0.5,
+            cold_dip_min=0.7,
+            seed=0xE1A5,
+        ),
+    },
 }
 
 

@@ -196,8 +196,8 @@ def run_fig1(scale: str = "default") -> ExperimentResult:
 # --------------------------------------------------------------------------- #
 # Fig 5 — stat latency with multiple clients and MCDs
 # --------------------------------------------------------------------------- #
-def _fig5_gluster_job(n: int, num_mcds: int, files: int) -> float:
-    tb = _gluster(n, num_mcds)
+def _fig5_gluster_job(n: int, num_mcds: int, files: int, selector: str = "crc32") -> float:
+    tb = _gluster(n, num_mcds, selector=selector)
     res = run_stat_bench(tb.sim, tb.clients, num_files=files)
     return res.max_node_time
 
@@ -215,7 +215,7 @@ def _fig5_lustre_job(n: int, num_ds: int, files: int) -> float:
     "Max-over-nodes total stat time; IMCa reduces it by up to 82% vs "
     "NoCache and 86% vs Lustre at 64 clients.",
 )
-def run_fig5(scale: str = "default") -> ExperimentResult:
+def run_fig5(scale: str = "default", selector: str = "crc32") -> ExperimentResult:
     p = params_for("fig5", scale)
     clients_axis = list(p["clients"])
     result = ExperimentResult("fig5", scale, x_name="clients", x_values=clients_axis)
@@ -223,7 +223,7 @@ def run_fig5(scale: str = "default") -> ExperimentResult:
     mcd_configs = [0] + list(p["mcd_counts"])
     gluster_times = pmap(
         _fig5_gluster_job,
-        [(n, m, p["files"]) for m in mcd_configs for n in clients_axis],
+        [(n, m, p["files"], selector) for m in mcd_configs for n in clients_axis],
     )
     stride = len(clients_axis)
     for i, m in enumerate(mcd_configs):
@@ -264,7 +264,7 @@ def run_fig5(scale: str = "default") -> ExperimentResult:
     # Instrumented pass: re-run the IMCa config at max clients with
     # tracing to decompose where stat time goes (and feed --trace-out).
     obs = make_observability("fig5", trace=True)
-    tb = _gluster(clients_axis[-1], p["mcd_counts"][0], obs=obs)
+    tb = _gluster(clients_axis[-1], p["mcd_counts"][0], selector=selector, obs=obs)
     run_stat_bench(tb.sim, tb.clients, num_files=p["files"])
     _tier_extras(result, tb)
     if len(p["mcd_counts"]) >= 3:
@@ -284,9 +284,10 @@ def run_fig5(scale: str = "default") -> ExperimentResult:
 # Fig 6(a)/(b) — single-client read latency; Fig 6(c) — write latency
 # --------------------------------------------------------------------------- #
 def _fig6_gluster_read_job(
-    num_mcds: int, block_size: int, sizes: list[int], records: int
+    num_mcds: int, block_size: int, sizes: list[int], records: int,
+    selector: str = "crc32",
 ) -> list[float]:
-    tb = _gluster(1, num_mcds, block_size=block_size)
+    tb = _gluster(1, num_mcds, block_size=block_size, selector=selector)
     res = run_latency_bench(tb.sim, tb.clients, sizes, records_per_size=records)
     return [res.mean_read(r) for r in sizes]
 
@@ -309,8 +310,8 @@ def _fig6_lustre_read_job(
     "Read latency vs record size (1B..4K): IMCa block sizes 256/2K/8K vs "
     "NoCache vs Lustre 1DS/4DS warm and cold.",
 )
-def run_fig6a(scale: str = "default") -> ExperimentResult:
-    return _run_fig6_reads("fig6a", scale, small=True)
+def run_fig6a(scale: str = "default", selector: str = "crc32") -> ExperimentResult:
+    return _run_fig6_reads("fig6a", scale, small=True, selector=selector)
 
 
 @register(
@@ -324,7 +325,9 @@ def run_fig6b(scale: str = "default") -> ExperimentResult:
     return _run_fig6_reads("fig6b", scale, small=False)
 
 
-def _run_fig6_reads(exp_id: str, scale: str, small: bool) -> ExperimentResult:
+def _run_fig6_reads(
+    exp_id: str, scale: str, small: bool, selector: str = "crc32"
+) -> ExperimentResult:
     p = params_for("fig6", scale)
     sizes = list(p["sizes_small"] if small else p["sizes_large"])
     records = p["records"]
@@ -333,7 +336,7 @@ def _run_fig6_reads(exp_id: str, scale: str, small: bool) -> ExperimentResult:
     gluster_configs = [(0, 2 * KiB)] + [(1, bs) for bs in p["block_sizes"]]
     gluster_series = pmap(
         _fig6_gluster_read_job,
-        [(m, bs, sizes, records) for m, bs in gluster_configs],
+        [(m, bs, sizes, records, selector) for m, bs in gluster_configs],
     )
     result.series["NoCache"] = gluster_series[0]
     for (_, bs), series in zip(gluster_configs[1:], gluster_series[1:]):

@@ -19,6 +19,15 @@ over the live replicas with a seeded round-robin; stores, concats,
 touches and deletes fan out to **all** replicas, because a purge that
 skips a replica leaves stale stat data serveable.  ``replicas == 1``
 takes the exact legacy code paths, byte for byte.
+
+With a :class:`~repro.memcached.membership.McdMembership` the server
+set is *live*: every selection consults the membership's current key
+ring (stable node ids, so "server index" everywhere below means "node
+id"), a miss on a remapped key inside a forwarding window consults the
+old owner and backfills the new one (demand backfill), and mutations
+during a window fan out to both owners so the old copy can never go
+stale while it is a legitimate read source.  ``membership is None``
+keeps the frozen-list legacy paths, byte for byte.
 """
 
 from __future__ import annotations
@@ -27,12 +36,18 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Generator, Optional
 
 from repro.memcached.daemon import McValue, MemcachedDaemon, SERVICE, request_size
-from repro.memcached.hashing import Crc32Selector, ReplicatedSelector, ServerSelector
+from repro.memcached.hashing import (
+    Crc32Selector,
+    KetamaSelector,
+    ReplicatedSelector,
+    ServerSelector,
+)
 from repro.net.fabric import Node
 from repro.net.rpc import Endpoint, RetryPolicy, RpcError, RpcUnavailable
 from repro.util.stats import Counter
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.memcached.membership import McdMembership
     from repro.sim.core import Simulator
 
 
@@ -87,16 +102,28 @@ class MemcacheClient:
         health: Optional[HealthPolicy] = None,
         replicas: int = 1,
         rr_seed: int = 0,
+        membership: Optional["McdMembership"] = None,
     ) -> None:
         if not servers:
             raise ValueError("need at least one memcached server")
         if replicas < 1:
             raise ValueError(f"replicas must be >= 1: {replicas}")
+        if membership is not None and replicas > 1:
+            raise ValueError("elastic membership requires replicas == 1")
         self.endpoint = endpoint
         self.servers = list(servers)
         self.selector = selector or Crc32Selector()
         self.health = health
         self.replicas = replicas
+        #: Live membership view; None freezes the server list (legacy).
+        self.membership = membership
+        #: Set when the primary selector is the consistent ring — the
+        #: only selector that can compute a key's *old* owner, which is
+        #: what forwarding windows and write fan-out need.
+        self._ketama: Optional[KetamaSelector] = (
+            self.selector if membership is not None and isinstance(self.selector, KetamaSelector) else None
+        )
+        self._health_by_id: dict[int, _ServerHealth] = {}
         #: None when replication is off: every path below checks this
         #: and falls through to the exact legacy code.
         self._replication: Optional[ReplicatedSelector] = (
@@ -122,10 +149,58 @@ class MemcacheClient:
         self._health.append(_ServerHealth())
 
     def server_for(self, key: str, hint: Optional[int] = None) -> MemcachedDaemon:
-        return self.servers[self._idx_for(key, hint)]
+        return self._server_at(self._idx_for(key, hint))
 
     def _idx_for(self, key: str, hint: Optional[int] = None) -> int:
+        if self.membership is not None:
+            ring = self.membership.ring_ids
+            if self._ketama is not None:
+                return self._ketama.owner(key, ring)
+            # Positional selector over the live list: the naive-resize
+            # comparison case — a membership change renumbers the map.
+            return ring[self.selector.select(key, len(ring), hint)]
         return self.selector.select(key, len(self.servers), hint)
+
+    def _server_at(self, idx: int) -> MemcachedDaemon:
+        if self.membership is not None:
+            return self.membership.daemon(idx)
+        return self.servers[idx]
+
+    def _health_at(self, idx: int) -> _ServerHealth:
+        if self.membership is not None:
+            h = self._health_by_id.get(idx)
+            if h is None:
+                h = self._health_by_id[idx] = _ServerHealth()
+            return h
+        return self._health[idx]
+
+    def _all_idxs(self) -> list[int]:
+        if self.membership is not None:
+            return list(self.membership.reachable_ids())
+        return list(range(len(self.servers)))
+
+    def _window_targets(self, key: str, hint: Optional[int] = None) -> Optional[list[int]]:
+        """``[owner, *old owners]`` while *key* sits in an active
+        forwarding window, else None (take the single-owner path).
+
+        Mutations must reach the old copy too — the purge fan-out
+        invariant extended across a resize: until the window closes the
+        old owner is a legitimate read source (:meth:`_forward_get`),
+        so a store or delete that skips it leaves stale data serveable.
+        """
+        if self.membership is None or self._ketama is None or not self.membership.windows:
+            return None
+        owner = self._idx_for(key, hint)
+        peers = self.membership.window_peers(
+            key, owner, self._ketama, self.endpoint.net.sim.now
+        )
+        if not peers:
+            return None
+        self.stats.inc("window_writes", len(peers))
+        if self.tracer.oplog is not None:
+            self.tracer.op_count("window_writes", len(peers))
+            self.tracer.op_tag("resize-window-write")
+        return [owner] + peers
 
     def _replicas_for(self, key: str, hint: Optional[int] = None) -> list[int]:
         """All owners of *key* (primary first); ``[primary]`` when off."""
@@ -165,21 +240,21 @@ class MemcacheClient:
         """True while *idx* is ejected and not yet probeable."""
         if self.health is None:
             return False
-        h = self._health[idx]
+        h = self._health_at(idx)
         return h.ejected_until >= 0.0 and (
             self.endpoint.net.sim.now < h.ejected_until or h.probing
         )
 
     def ejected(self, idx: int) -> bool:
         """Whether server *idx* is currently ejected (for observers)."""
-        return self._health[idx].ejected_until >= 0.0
+        return self._health_at(idx).ejected_until >= 0.0
 
     def _call(self, idx: int, op: str, payload: Any) -> Generator:
-        server = self.servers[idx]
+        server = self._server_at(idx)
         policy = self.health
         h: Optional[_ServerHealth] = None
         if policy is not None:
-            h = self._health[idx]
+            h = self._health_at(idx)
             if h.ejected_until >= 0.0:
                 if self.endpoint.net.sim.now < h.ejected_until or h.probing:
                     # Fast degraded path: no RPC, no simulated time —
@@ -228,8 +303,8 @@ class MemcacheClient:
         re-ejects for another cooldown.
         """
         policy = self.health
-        server = self.servers[idx]
-        h = self._health[idx]
+        server = self._server_at(idx)
+        h = self._health_at(idx)
         h.probing = True
         try:
             if policy.purge_on_rejoin and op != "flush_all":
@@ -266,10 +341,57 @@ class MemcacheClient:
                 reply = yield from self._call(idx, "get_multi", [key])
         except RpcError:
             self.stats.inc("errors")
-            self.stats.inc("misses")
+            if self.membership is None:
+                self.stats.inc("misses")
+                return None
+            reply = {}
+        value = reply.get(key)
+        if value is None and self.membership is not None:
+            value = yield from self._forward_get(key, idx)
+        self.stats.inc("hits" if value is not None else "misses")
+        return value
+
+    def _forward_get(self, key: str, owner: int) -> Generator:
+        """Demand backfill: a miss on a remapped key during a forwarding
+        window consults the old owner before falling through to the
+        server, and copies any hit onto the current owner.
+
+        The copy uses ``add`` (store-if-absent): a window write may
+        already have placed a fresher value on the new owner, and the
+        stale forwarded copy must never clobber it.  Returns the value
+        or None; the caller books the hit/miss.
+        """
+        if self._ketama is None or not self.membership.windows:
+            return None
+        src = self.membership.forward_source(
+            key, owner, self._ketama, self.endpoint.net.sim.now
+        )
+        if src is None:
+            return None
+        self.stats.inc("forward_probes")
+        if self.tracer.oplog is not None:
+            self.tracer.op_count("forward_probes")
+            self.tracer.op_tag("resize-forward")
+        try:
+            reply = yield from self._call(src, "get_multi", [key])
+        except RpcError:
+            self.stats.inc("errors")
             return None
         value = reply.get(key)
-        self.stats.inc("hits" if value is not None else "misses")
+        if value is None:
+            return None
+        self.stats.inc("backfill_hits")
+        if self.tracer.oplog is not None:
+            self.tracer.op_count("backfill_hits")
+            self.tracer.op_tag("resize-backfill")
+        try:
+            ok = yield from self._call(
+                owner, "add", (key, value.value, value.nbytes, value.flags, 0)
+            )
+            if ok:
+                self.stats.inc("backfill_copies")
+        except RpcError:
+            self.stats.inc("errors")
         return value
 
     def get_multi(
@@ -312,6 +434,19 @@ class MemcacheClient:
             results = yield sim.all_of(pending)
         for partial in results.values():
             out.update(partial)
+        if (
+            self.membership is not None
+            and self._ketama is not None
+            and self.membership.windows
+            and len(out) < len(seen)
+        ):
+            for idx, batch in by_server.items():
+                for key in batch:
+                    if key in out:
+                        continue
+                    value = yield from self._forward_get(key, idx)
+                    if value is not None:
+                        out[key] = value
         hits = len(out)
         self.stats.inc("hits", hits)
         self.stats.inc("misses", len(seen) - hits)
@@ -330,7 +465,9 @@ class MemcacheClient:
         return reply
 
     # -- replica fan-out -------------------------------------------------------
-    def _fanout(self, idxs: list[int], op: str, payload: Any) -> Generator:
+    def _fanout(
+        self, idxs: list[int], op: str, payload: Any, count_replicas: bool = True
+    ) -> Generator:
         """Issue *op* to every server in *idxs* concurrently; returns the
         per-server results in *idxs* order (None where the RPC failed).
 
@@ -353,7 +490,8 @@ class MemcacheClient:
             return [result]
         procs = [sim.process(one(i), name="mc-fanout") for i in idxs]
         results = yield sim.all_of(procs)
-        self.stats.inc("replica_writes", len(idxs) - 1)
+        if count_replicas:
+            self.stats.inc("replica_writes", len(idxs) - 1)
         return [results[p] for p in procs]
 
     # -- storage ---------------------------------------------------------------
@@ -377,6 +515,19 @@ class MemcacheClient:
                     results = yield from self._fanout(idxs, "set", (key, value, nbytes, flags, ttl))
             else:
                 results = yield from self._fanout(idxs, "set", (key, value, nbytes, flags, ttl))
+            self.stats.inc("sets")
+            return any(bool(r) for r in results)
+        widxs = self._window_targets(key, hint)
+        if widxs is not None:
+            if self.tracer.enabled:
+                with self.tracer.span("mcd", "mc.set"):
+                    results = yield from self._fanout(
+                        widxs, "set", (key, value, nbytes, flags, ttl), count_replicas=False
+                    )
+            else:
+                results = yield from self._fanout(
+                    widxs, "set", (key, value, nbytes, flags, ttl), count_replicas=False
+                )
             self.stats.inc("sets")
             return any(bool(r) for r in results)
         idx = self._idx_for(key, hint)
@@ -412,6 +563,24 @@ class MemcacheClient:
             )
             self.stats.inc("sets")
             return any(bool(r) for r in results)
+        widxs = self._window_targets(key, hint)
+        if widxs is not None:
+            # add/replace resolve against the *current* owner; a
+            # successful store is then mirrored onto the old copy with a
+            # plain set — fanning the conditional op out verbatim could
+            # leave the two owners holding different values (e.g. add
+            # succeeding on the empty new node but not on the old one).
+            try:
+                ok = yield from self._call(widxs[0], op, (key, value, nbytes, flags, ttl))
+            except RpcError:
+                self.stats.inc("errors")
+                return False
+            self.stats.inc("sets")
+            if ok:
+                yield from self._fanout(
+                    widxs[1:], "set", (key, value, nbytes, flags, ttl), count_replicas=False
+                )
+            return ok
         idx = self._idx_for(key, hint)
         try:
             ok = yield from self._call(idx, op, (key, value, nbytes, flags, ttl))
@@ -437,7 +606,23 @@ class MemcacheClient:
         except RpcError:
             self.stats.inc("errors")
             return "NOT_FOUND"
+        if verdict == "STORED":
+            yield from self._invalidate_window_peers(key, hint)
         return verdict
+
+    def _invalidate_window_peers(self, key: str, hint: Optional[int]) -> Generator:
+        """cas/incr/decr mutate the primary copy only (their tokens and
+        counters are per-engine), so during a forwarding window the old
+        owner's copy is invalidated rather than updated — a forward
+        probe must never serve the pre-mutation value."""
+        targets = self._window_targets(key, hint)
+        if targets is None:
+            return
+        for peer in targets[1:]:
+            try:
+                yield from self._call(peer, "delete", key)
+            except RpcError:
+                self.stats.inc("errors")
 
     def append(self, key: str, value: Any, nbytes: int, hint: Optional[int] = None) -> Generator:
         ok = yield from self._concat("append", key, value, nbytes, hint)
@@ -452,6 +637,14 @@ class MemcacheClient:
         if self._replication is not None:
             results = yield from self._fanout(
                 self._replicas_for(key, hint), op, (key, value, nbytes)
+            )
+            return any(bool(r) for r in results)
+        widxs = self._window_targets(key, hint)
+        if widxs is not None:
+            # Concats commute with the coherence invariant: whichever
+            # copies exist get the same bytes appended.
+            results = yield from self._fanout(
+                widxs, op, (key, value, nbytes), count_replicas=False
             )
             return any(bool(r) for r in results)
         idx = self._idx_for(key, hint)
@@ -474,6 +667,8 @@ class MemcacheClient:
         except RpcError:
             self.stats.inc("errors")
             return None
+        if value is not None:
+            yield from self._invalidate_window_peers(key, hint)
         return value
 
     def decr(self, key: str, delta: int = 1, hint: Optional[int] = None) -> Generator:
@@ -483,12 +678,20 @@ class MemcacheClient:
         except RpcError:
             self.stats.inc("errors")
             return None
+        if value is not None:
+            yield from self._invalidate_window_peers(key, hint)
         return value
 
     def touch(self, key: str, ttl: float, hint: Optional[int] = None) -> Generator:
         if self._replication is not None:
             results = yield from self._fanout(
                 self._replicas_for(key, hint), "touch", (key, ttl)
+            )
+            return any(bool(r) for r in results)
+        widxs = self._window_targets(key, hint)
+        if widxs is not None:
+            results = yield from self._fanout(
+                widxs, "touch", (key, ttl), count_replicas=False
             )
             return any(bool(r) for r in results)
         idx = self._idx_for(key, hint)
@@ -506,6 +709,16 @@ class MemcacheClient:
             with self.tracer.span("mcd", "mc.delete"):
                 results = yield from self._fanout(
                     self._replicas_for(key, hint), "delete", key
+                )
+            ok = any(bool(r) for r in results)
+            if ok:
+                self.stats.inc("deletes")
+            return ok
+        widxs = self._window_targets(key, hint)
+        if widxs is not None:
+            with self.tracer.span("mcd", "mc.delete"):
+                results = yield from self._fanout(
+                    widxs, "delete", key, count_replicas=False
                 )
             ok = any(bool(r) for r in results)
             if ok:
@@ -540,7 +753,9 @@ class MemcacheClient:
         primary: dict[int, list[str]] = {}
         extras: dict[int, list[str]] = {}
         for key, hint in zip(keys, hints):
-            idxs = self._replicas_for(key, hint)
+            # During a forwarding window a key's delete must also reach
+            # its old owner — same invariant as the replica fan-out.
+            idxs = self._window_targets(key, hint) or self._replicas_for(key, hint)
             primary.setdefault(idxs[0], []).append(key)
             for i in idxs[1:]:
                 extras.setdefault(i, []).append(key)
@@ -561,7 +776,7 @@ class MemcacheClient:
         return deleted
 
     def flush_all(self) -> Generator:
-        for idx in range(len(self.servers)):
+        for idx in self._all_idxs():
             try:
                 yield from self._call(idx, "flush_all", None)
             except RpcError:
@@ -570,7 +785,7 @@ class MemcacheClient:
     def stats_all(self) -> Generator:
         """Collect engine stats from every live server."""
         out = []
-        for idx in range(len(self.servers)):
+        for idx in self._all_idxs():
             try:
                 d = yield from self._call(idx, "stats", None)
             except RpcError:

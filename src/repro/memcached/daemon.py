@@ -156,6 +156,18 @@ class MemcachedDaemon:
             yield cpu.run(OP_CPU)
             eng.flush_all()
             return True, 8
+        if op == "scan":
+            cursor, limit, with_values = payload
+            yield cpu.run(OP_CPU * max(1, limit))
+            next_cursor, entries = eng.scan(cursor, limit)
+            if not with_values:
+                entries = [(k, None, nbytes, flags, ttl) for k, _v, nbytes, flags, ttl in entries]
+                resp_bytes = sum(len(e[0]) + KEY_WIRE_OVERHEAD for e in entries)
+            else:
+                resp_bytes = sum(e[2] + VALUE_WIRE_OVERHEAD + len(e[0]) for e in entries)
+            if resp_bytes:
+                yield cpu.run(COPY_PER_BYTE * resp_bytes)
+            return (next_cursor, entries), resp_bytes
         if op == "stats":
             yield cpu.run(OP_CPU)
             return eng.stat_dict(), 512

@@ -311,6 +311,31 @@ class MemcachedEngine:
             self._unlink(self._items[key])
         self.stats.inc("cmd_flush")
 
+    def scan(self, cursor: int = 0, limit: int = 64) -> tuple[int, list[tuple[str, Any, int, int, float]]]:
+        """Cursor walk over live items in insertion order.
+
+        The enumeration primitive behind elastic migration and
+        window-close cleanup.  Returns ``(next_cursor, entries)`` where
+        ``next_cursor`` is 0 once the walk is exhausted and each entry
+        is ``(key, value, nbytes, flags, ttl)`` with ttl the *remaining*
+        lifetime (0 = never).  Expired items are skipped but not
+        unlinked — the read path lazily expires them.
+        """
+        if limit < 1:
+            raise ValueError(f"scan limit must be >= 1: {limit}")
+        keys = list(self._items)
+        out: list[tuple[str, Any, int, int, float]] = []
+        for key in keys[cursor : cursor + limit]:
+            item = self._items[key]
+            if self._expired(item):
+                continue
+            ttl = 0.0 if item.exptime == 0 else item.exptime - self.clock()
+            out.append((key, item.value, item.nbytes, item.flags, ttl))
+        next_cursor = cursor + limit
+        if next_cursor >= len(keys):
+            next_cursor = 0
+        return next_cursor, out
+
     # -- introspection ---------------------------------------------------------------
     @property
     def curr_items(self) -> int:

@@ -9,7 +9,7 @@ so the selector is pluggable.
 
 from __future__ import annotations
 
-from typing import Optional, Protocol
+from typing import Optional, Protocol, Sequence
 
 from repro.util.crc32 import crc32, memcache_hash
 
@@ -64,9 +64,19 @@ class KetamaSelector:
             raise ValueError("vnodes must be >= 1")
         self.vnodes = vnodes
         self._rings: dict[int, tuple[list[int], list[int]]] = {}
+        self._id_rings: dict[tuple[int, ...], tuple[list[int], list[int]]] = {}
 
-    def _ring(self, nservers: int) -> tuple[list[int], list[int]]:
-        ring = self._rings.get(nservers)
+    def _ring_ids(self, ids: tuple[int, ...]) -> tuple[list[int], list[int]]:
+        """The ring over an explicit set of *node ids*.
+
+        Ring points are hashed from the node id — not the node's
+        position in a membership list — so removing a node only removes
+        its own points: every surviving node's points (and therefore
+        every surviving assignment) stay exactly where they were.  The
+        static case ``ids == (0..n-1)`` hashes the same strings as the
+        historical positional ring, byte for byte.
+        """
+        ring = self._id_rings.get(ids)
         if ring is None:
             import hashlib
 
@@ -74,7 +84,7 @@ class KetamaSelector:
             # As in the original ketama: each (server, replica) MD5
             # digest yields four 32-bit ring points — CRC32 alone
             # disperses too poorly for an even ring.
-            for server in range(nservers):
+            for server in ids:
                 for v in range((self.vnodes + 3) // 4):
                     digest = hashlib.md5(f"server-{server}:vnode-{v}".encode()).digest()
                     for part in range(4):
@@ -82,8 +92,36 @@ class KetamaSelector:
                         points.append((int.from_bytes(chunk, "little"), server))
             points.sort()
             ring = ([h for h, _ in points], [s for _, s in points])
+            self._id_rings[ids] = ring
+        return ring
+
+    def _ring(self, nservers: int) -> tuple[list[int], list[int]]:
+        ring = self._rings.get(nservers)
+        if ring is None:
+            ring = self._ring_ids(tuple(range(nservers)))
             self._rings[nservers] = ring
         return ring
+
+    def owner(self, key: str, ids: Sequence[int]) -> int:
+        """The *node id* owning *key* among the live id set ``ids``.
+
+        This is the elastic-membership entry point: callers pass the
+        current members' stable ids and get back an id, so adds and
+        removes never renumber the survivors.
+        """
+        ids = tuple(ids)
+        if not ids:
+            raise ValueError("owner() needs at least one live node id")
+        if len(ids) == 1:
+            return ids[0]
+        hashes, owners = self._ring_ids(ids)
+        h = crc32(key)
+        from bisect import bisect_right
+
+        idx = bisect_right(hashes, h)
+        if idx == len(hashes):
+            idx = 0
+        return owners[idx]
 
     def select(self, key: str, nservers: int, hint: Optional[int] = None) -> int:
         if nservers == 1:

@@ -116,3 +116,77 @@ def test_shifted_schedule_arms_relative_to_now():
     sim.run()
     assert inj.log[0][0] == pytest.approx(0.006)
     assert inj.log[1][0] == pytest.approx(0.007)
+
+
+# --------------------------------------------------------------------------- #
+# Membership events (elastic testbeds)
+# --------------------------------------------------------------------------- #
+def make_elastic_tb(num_mcds=3):
+    return build_gluster_testbed(TestbedConfig(num_mcds=num_mcds, elastic=True))
+
+
+def test_membership_events_require_elastic_controller():
+    tb = make_tb(num_mcds=2)  # elastic=False
+    with pytest.raises(ValueError):
+        tb.arm_faults(FaultSchedule().mcd_add(0.0, warm_for=0.01))
+    with pytest.raises(ValueError):
+        tb.arm_faults(FaultSchedule().mcd_remove(0.0, mcd=0))
+
+
+def test_membership_targets_validated_against_membership():
+    tb = make_elastic_tb(num_mcds=2)
+    with pytest.raises(ValueError):
+        tb.arm_faults(FaultSchedule().mcd_drain(0.0, mcd=9, drain_for=0.01))
+    with pytest.raises(ValueError):
+        tb.arm_faults(FaultSchedule().mcd_remove(0.0, mcd=9))
+
+
+def test_mcd_add_logs_allocated_node_id():
+    tb = make_elastic_tb(num_mcds=2)
+    inj = tb.arm_faults(FaultSchedule().mcd_add(0.001, warm_for=0.002))
+    tb.sim.run()
+    transitions = [(a, k, t) for _, a, k, t in inj.log]
+    assert transitions == [
+        ("inject", "mcd-add", 2),
+        ("recover", "mcd-add", 2),
+    ]
+    assert tb.membership.members[2].state == "live"
+    assert inj.active == 0
+
+
+def test_mcd_remove_logs_single_transition():
+    tb = make_elastic_tb(num_mcds=3)
+    inj = tb.arm_faults(FaultSchedule().mcd_remove(0.001, mcd=2))
+    tb.sim.run()
+    assert [(a, k, t) for _, a, k, t in inj.log] == [("inject", "mcd-remove", 2)]
+    assert inj.active == 0  # permanent faults never pin the active count
+    assert tb.membership.members[2].state == "detached"
+
+
+def test_mcd_drain_injects_and_marks_window_close():
+    tb = make_elastic_tb(num_mcds=3)
+    inj = tb.arm_faults(FaultSchedule().mcd_drain(0.001, mcd=1, drain_for=0.002))
+    sim = tb.sim
+    sim.run(until=0.002)
+    assert tb.membership.members[1].state == "draining"
+    assert 1 not in tb.membership.ring_ids
+    sim.run()
+    assert [(a, k) for _, a, k, _ in inj.log] == [
+        ("inject", "mcd-drain"),
+        ("recover", "mcd-drain"),
+    ]
+    assert tb.membership.members[1].state == "detached"
+
+
+def test_membership_composes_with_crashes_on_one_timeline():
+    tb = make_elastic_tb(num_mcds=3)
+    sched = (
+        FaultSchedule()
+        .mcd_crash(0.001, mcd=0, down_for=0.002)
+        .mcd_add(0.002, warm_for=0.002)
+    )
+    inj = tb.arm_faults(sched)
+    tb.sim.run()
+    kinds = [k for _, _, k, _ in inj.log]
+    assert kinds.count("mcd-crash") == 2 and kinds.count("mcd-add") == 2
+    assert tb.membership.members[3].state == "live"

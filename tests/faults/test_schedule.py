@@ -105,3 +105,77 @@ def test_random_schedule_link_kind_needs_nodes():
         kinds=(LINK_DEGRADE,), link_nodes=["a", "b"],
     )
     assert all(e.target in ("a", "b") for e in s)
+
+
+# --------------------------------------------------------------------------- #
+# Membership events + conflict validation (elastic membership)
+# --------------------------------------------------------------------------- #
+def test_membership_builders_and_round_trip():
+    from repro.faults import MCD_ADD, MCD_DRAIN, MCD_REMOVE
+
+    s = (
+        FaultSchedule()
+        .mcd_add(0.001, warm_for=0.01, migrate=True)
+        .mcd_drain(0.05, mcd=2, drain_for=0.02)
+        .mcd_remove(0.1, mcd=1)
+    )
+    kinds = [e.kind for e in s]
+    assert kinds == [MCD_ADD, MCD_DRAIN, MCD_REMOVE]
+    evs = list(s)
+    assert evs[0].target == -1 and evs[0].migrate
+    assert evs[2].duration == 0.0  # remove has no recovery window
+    clone = FaultSchedule.from_json(s.to_json())
+    assert [e.migrate for e in clone] == [True, False, False]
+    assert clone.fingerprint() == s.fingerprint()
+
+
+def test_membership_event_validation():
+    from repro.faults import MCD_ADD, MCD_DRAIN, MCD_REMOVE
+
+    with pytest.raises(ValueError):
+        FaultEvent(0.0, MCD_ADD, 3, 0.01)  # add allocates its own id
+    with pytest.raises(ValueError):
+        FaultEvent(0.0, MCD_CRASH, 0, 1.0, migrate=True)  # migrate is membership-only
+    with pytest.raises(ValueError):
+        FaultEvent(0.0, MCD_REMOVE, 0, 1.0)  # remove has duration 0
+    FaultEvent(0.0, MCD_DRAIN, 0, 0.01, migrate=True)  # fine
+
+
+def test_add_rejects_overlapping_same_target_events():
+    s = FaultSchedule().mcd_crash(0.0, mcd=1, down_for=0.01)
+    with pytest.raises(ValueError):
+        s.mcd_crash(0.005, mcd=1, down_for=0.01)  # inside the first window
+    s.mcd_crash(0.02, mcd=1, down_for=0.01)  # disjoint: fine
+    s.mcd_crash(0.005, mcd=2, down_for=0.01)  # other target: fine
+
+
+def test_add_rejects_events_touching_removed_mcds():
+    s = FaultSchedule().mcd_remove(0.01, mcd=1)
+    with pytest.raises(ValueError):
+        s.mcd_crash(0.02, mcd=1, down_for=0.01)  # crash after removal
+    with pytest.raises(ValueError):
+        s.mcd_drain(0.02, mcd=1, drain_for=0.01)  # drain of a removed node
+    with pytest.raises(ValueError):
+        s.mcd_remove(0.02, mcd=1)  # double removal
+    s.mcd_crash(0.001, mcd=1, down_for=0.005)  # strictly before: fine
+
+
+def test_add_rejects_terminal_inside_crash_window():
+    s = FaultSchedule().mcd_crash(0.0, mcd=1, down_for=0.02)
+    with pytest.raises(ValueError):
+        s.mcd_remove(0.01, mcd=1)  # mid-crash: ambiguous transitions
+    s.mcd_remove(0.05, mcd=1)  # after recovery: fine
+
+
+def test_validation_can_be_bypassed_for_generators():
+    s = FaultSchedule()
+    s.add(FaultEvent(0.0, MCD_CRASH, 1, 0.02), validate=False)
+    s.add(FaultEvent(0.01, MCD_CRASH, 1, 0.02), validate=False)
+    assert len(s) == 2
+
+
+def test_membership_kinds_in_fault_kinds():
+    from repro.faults import MCD_ADD, MCD_DRAIN, MCD_REMOVE, MEMBERSHIP_KINDS
+
+    assert set(MEMBERSHIP_KINDS) == {MCD_ADD, MCD_DRAIN, MCD_REMOVE}
+    assert set(MEMBERSHIP_KINDS) <= set(FAULT_KINDS)

@@ -201,3 +201,31 @@ def test_client_requires_servers():
     ep = Endpoint(net, Node(sim, "c"))
     with pytest.raises(ValueError):
         MemcacheClient(ep, [])
+
+
+def test_scan_op_over_rpc():
+    from repro.memcached.daemon import SERVICE, request_size
+    from repro.net import Endpoint, Node as _Node
+
+    sim, client, daemons = make_cluster(n_mcds=1)
+
+    def proc():
+        for i in range(5):
+            yield from client.set(f"k{i}", bytes([i]), 1)
+        ep = client.endpoint
+        next_cursor, entries = yield from ep.call(
+            daemons[0].node, SERVICE, ("scan", (0, 3, True)),
+            req_size=request_size("scan", (0, 3, True)),
+        )
+        assert next_cursor == 3
+        assert [k for k, *_ in entries] == ["k0", "k1", "k2"]
+        assert all(v is not None for _, v, *_ in entries)
+        # keys-only mode nulls the values (cheap cleanup walks)
+        _, lean = yield from ep.call(
+            daemons[0].node, SERVICE, ("scan", (0, 5, False)),
+            req_size=request_size("scan", (0, 5, False)),
+        )
+        assert all(v is None for _, v, *_ in lean)
+        return True
+
+    assert drive(sim, proc()) is True

@@ -298,3 +298,49 @@ def test_memory_never_exceeds_limit(sizes):
         e.set(f"k{i}", None, size)
         assert e.slabs.bytes_allocated <= 4 * MiB
     e.check_invariants()
+
+
+# -- scan (migration/cleanup walks) ------------------------------------------
+def test_scan_pages_through_all_items_in_insertion_order():
+    e, _ = make_engine()
+    for i in range(10):
+        e.set(f"k{i}", i, 4)
+    seen = []
+    cursor = 0
+    while True:
+        cursor, entries = e.scan(cursor, limit=3)
+        seen.extend(k for k, *_ in entries)
+        if cursor == 0:
+            break
+    assert seen == [f"k{i}" for i in range(10)]
+
+
+def test_scan_entry_shape_and_ttl():
+    e, clock = make_engine()
+    e.set("eternal", b"v", 1)
+    e.set("mortal", b"w", 1, ttl=5.0)
+    clock.t = 2.0
+    _, entries = e.scan(0, limit=10)
+    by_key = {k: (value, nbytes, flags, ttl) for k, value, nbytes, flags, ttl in entries}
+    assert by_key["eternal"][3] == 0.0  # no expiry
+    assert by_key["mortal"][3] == pytest.approx(3.0)  # remaining life
+
+
+def test_scan_skips_expired_without_unlinking():
+    e, clock = make_engine()
+    e.set("gone", b"v", 1, ttl=1.0)
+    e.set("here", b"w", 1)
+    clock.t = 5.0
+    _, entries = e.scan(0, limit=10)
+    assert [k for k, *_ in entries] == ["here"]
+
+
+def test_scan_validates_limit():
+    e, _ = make_engine()
+    with pytest.raises(ValueError):
+        e.scan(0, limit=0)
+
+
+def test_scan_empty_engine():
+    e, _ = make_engine()
+    assert e.scan(0, limit=8) == (0, [])

@@ -94,3 +94,81 @@ def test_ketama_all_servers_reachable(n):
     sel = KetamaSelector(vnodes=64)
     seen = {sel.select(k, n) for k in keys(500)}
     assert seen == set(range(n))
+
+
+# --------------------------------------------------------------------------- #
+# Stable node identities (elastic membership)
+# --------------------------------------------------------------------------- #
+def test_owner_matches_select_for_static_membership():
+    """``owner`` over ids [0..n) is the positional ring: the static case
+    stays byte-identical after the stable-identity fix."""
+    sel = KetamaSelector()
+    for n in (1, 2, 3, 5, 8):
+        ids = tuple(range(n))
+        for k in keys(300):
+            assert sel.owner(k, ids) == sel.select(k, n)
+
+
+def test_owner_single_id_short_circuit():
+    sel = KetamaSelector()
+    assert sel.owner("anything", (7,)) == 7
+
+
+def test_owner_empty_membership_rejected():
+    sel = KetamaSelector()
+    with pytest.raises(ValueError):
+        sel.owner("k", ())
+
+
+def test_removal_does_not_renumber_survivors():
+    """The stable-identity property: dropping id 1 from {0,1,2,3} leaves
+    every key owned by 0, 2 or 3 exactly where it was (positional
+    selectors would renumber everything above the hole)."""
+    sel = KetamaSelector()
+    before = {k: sel.owner(k, (0, 1, 2, 3)) for k in keys(1000)}
+    after = {k: sel.owner(k, (0, 2, 3)) for k in keys(1000)}
+    for k, owner in before.items():
+        if owner != 1:
+            assert after[k] == owner
+        else:
+            assert after[k] in (0, 2, 3)
+
+
+def test_non_contiguous_ids_are_first_class():
+    sel = KetamaSelector()
+    ids = (2, 5, 11)
+    owners = {sel.owner(k, ids) for k in keys(500)}
+    assert owners == set(ids)
+
+
+@given(st.integers(2, 16))
+def test_remap_fraction_bounded_on_add(n):
+    """Growing n -> n+1 remaps between 0.5/(n+1) and 2/(n+1) of the key
+    space, and every remapped key lands on the new node (survivors keep
+    every key they do not lose to the newcomer)."""
+    sel = KetamaSelector()
+    ks = keys(1200)
+    ids = tuple(range(n))
+    grown = tuple(range(n + 1))
+    before = {k: sel.owner(k, ids) for k in ks}
+    after = {k: sel.owner(k, grown) for k in ks}
+    moved = [k for k in ks if before[k] != after[k]]
+    frac = len(moved) / len(ks)
+    assert 0.5 / (n + 1) <= frac <= 2.0 / (n + 1), frac
+    assert all(after[k] == n for k in moved)
+
+
+@given(st.integers(2, 16))
+def test_remap_fraction_bounded_on_remove(n):
+    """Removing one of n+1 nodes remaps between 0.5/(n+1) and 2/(n+1):
+    exactly the departed node's share, spread over the survivors."""
+    sel = KetamaSelector()
+    ks = keys(1200)
+    full = tuple(range(n + 1))
+    shrunk = tuple(i for i in full if i != n // 2)
+    before = {k: sel.owner(k, full) for k in ks}
+    after = {k: sel.owner(k, shrunk) for k in ks}
+    moved = [k for k in ks if before[k] != after[k]]
+    frac = len(moved) / len(ks)
+    assert 0.5 / (n + 1) <= frac <= 2.0 / (n + 1), frac
+    assert all(before[k] == n // 2 for k in moved)

@@ -155,3 +155,31 @@ def test_scheduler_threads_through_every_builder(monkeypatch):
     monkeypatch.setenv(SCHEDULER_ENV, "calendar")
     tb = build_gluster_testbed(TestbedConfig(num_clients=1))
     assert tb.sim.scheduler == "calendar"
+
+
+def test_elastic_config_validation():
+    with pytest.raises(ValueError):
+        TestbedConfig(num_mcds=0, elastic=True)  # nothing to resize
+    with pytest.raises(ValueError):
+        TestbedConfig(
+            num_mcds=3, elastic=True, imca=IMCaConfig(replicas=2)
+        )  # membership replaces replication, not composes with it
+
+
+def test_elastic_testbed_wiring():
+    tb = build_gluster_testbed(TestbedConfig(num_mcds=2, elastic=True))
+    assert tb.membership is not None and tb.elastic is not None
+    assert tb.membership.ring_ids == (0, 1)
+    assert all(cm.mc.membership is tb.membership for cm in tb.cmcaches)
+    # all_mcds follows membership growth; the frozen list does not
+    nid = tb.elastic.add(window=0.001)
+    tb.sim.run()
+    assert len(tb.all_mcds()) == 3
+    assert len(tb.mcds) == 2
+    assert tb.all_mcds()[nid] is tb.membership.members[nid].daemon
+
+
+def test_non_elastic_testbed_has_no_membership():
+    tb = build_gluster_testbed(TestbedConfig(num_mcds=2))
+    assert tb.membership is None and tb.elastic is None
+    assert all(cm.mc.membership is None for cm in tb.cmcaches)
