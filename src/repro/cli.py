@@ -238,6 +238,12 @@ def cmd_elastic(args) -> int:
     return cmd_run(args)
 
 
+def cmd_tenants(args) -> int:
+    """`repro tenants` — sugar for `repro run tenants`."""
+    args.experiment = "tenants"
+    return cmd_run(args)
+
+
 def cmd_run_all(args) -> int:
     from repro.harness.parallel import job_pool, resolve_jobs
 
@@ -523,6 +529,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_run_flags(elastic)
     elastic.set_defaults(func=cmd_elastic)
+
+    tenants = sub.add_parser(
+        "tenants",
+        help="run the multi-tenant arbitration experiment",
+        description="Blend several tenant populations (namespaces, "
+        "footprints, Zipf skews) into one op stream: a tenant-mix sweep "
+        "(per-tenant and aggregate hit rate, arbitrated vs vanilla slab "
+        "LRU) plus an SLA scenario proving reserved floors hold under "
+        "an aggressive neighbour; equivalent to `repro run tenants` "
+        "with the same flags.",
+    )
+    _add_run_flags(tenants)
+    tenants.set_defaults(func=cmd_tenants)
 
     run_all = sub.add_parser("run-all", help="run every experiment")
     run_all.add_argument("--scale", choices=SCALES, default="smoke")

@@ -31,6 +31,7 @@ from repro.memcached.client import HealthPolicy, MemcacheClient
 from repro.memcached.daemon import MemcachedDaemon
 from repro.memcached.hashing import selector as make_selector
 from repro.memcached.membership import ElasticController, McdMembership
+from repro.memcached.tenancy import TenantArbiter
 from repro.net.fabric import Network, Node
 from repro.net.profiles import profile
 from repro.net.rpc import Endpoint, RetryPolicy
@@ -234,6 +235,19 @@ class GlusterTestbed:
             Counter(dict(mcd.engine.stat_dict())) for mcd in self.all_mcds()
         )
 
+    def tenant_stats(self) -> dict[str, dict[str, int]]:
+        """Per-tenant accounting merged across the MCD array (untimed).
+
+        ``{tenant: {hits, misses, evictions, reclaimed, ghost_hits,
+        bytes, items, target_bytes, reserved_bytes}}`` plus an
+        ``~arbiter`` meta entry; empty when tenancy is off.
+        """
+        merged: dict[str, Counter] = {}
+        for mcd in self.all_mcds():
+            for name, stats in mcd.engine.tenant_stats().items():
+                merged.setdefault(name, Counter()).merge(Counter(dict(stats)))
+        return {name: c.as_dict() for name, c in merged.items()}
+
     def cm_stats(self) -> dict[str, int]:
         """Aggregated CMCache translator counters across all clients."""
         return merged_counters(cm.metrics if cm else None for cm in self.cmcaches)
@@ -264,6 +278,10 @@ class GlusterTestbed:
             mcc = reg.component("mcclient")
             for k, v in self.mcclient_stats().items():
                 mcc.counters.values[k] = int(v)
+            for name, stats in self.tenant_stats().items():
+                tc = reg.component(f"tenant:{name}")
+                for k, v in stats.items():
+                    tc.counters.values[k] = int(v)
         net = reg.component("net")
         for k, v in self.net.stats.as_dict().items():
             net.counters.values[k] = v
@@ -346,11 +364,27 @@ def build_gluster_testbed(
         if cache_net is not net:
             cache_net.loss_rng = streams.stream("cachenet.loss")
 
+    # Multi-tenant MCD tier (DESIGN §14): one arbiter per daemon, built
+    # fresh on restart too, so arbitration state dies with the process.
+    tenancy_factory = None
+    if cfg.imca.tenants is not None:
+        imca = cfg.imca
+
+        def tenancy_factory(mem_limit: int) -> TenantArbiter:
+            return TenantArbiter(
+                imca.tenants,
+                mem_limit,
+                arbitrate=imca.tenant_arbitrate,
+                quantum=imca.tenant_quantum,
+                rebalance_ops=imca.tenant_rebalance_ops,
+                ghost_entries=imca.tenant_ghost_entries,
+            )
+
     # MCD array.
     mcds = [
         MemcachedDaemon(
             sim, cache_net, Node(sim, f"mcd{i}", cores=cfg.cores), cfg.mcd_memory,
-            tracer=tracer,
+            tracer=tracer, tenancy_factory=tenancy_factory,
         )
         for i in range(cfg.num_mcds)
     ]
@@ -366,7 +400,7 @@ def build_gluster_testbed(
         def _spawn_mcd(node_id: int) -> MemcachedDaemon:
             return MemcachedDaemon(
                 sim, cache_net, Node(sim, f"mcd{node_id}", cores=cfg.cores),
-                cfg.mcd_memory, tracer=tracer,
+                cfg.mcd_memory, tracer=tracer, tenancy_factory=tenancy_factory,
             )
 
         elastic = ElasticController(

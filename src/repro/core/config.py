@@ -9,8 +9,10 @@ optimisation), purge-on-open and discard-on-close (§4.3.2).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.memcached.slabs import PAGE_SIZE
+from repro.memcached.tenancy import TenantSpec, validate_specs
 from repro.util.units import KiB
 
 
@@ -93,6 +95,29 @@ class IMCaConfig:
     #: open/write/close/truncate/unlink).  0 disables the hot tier.
     hot_cache_bytes: int = 0
 
+    # -- multi-tenant MCD tier (Memshare; DESIGN §14) ----------------------
+    #: Tenant declarations: each carves a key-namespace prefix (an IMCa
+    #: path subtree like ``/t/alpha/``) into its own accounted tenant
+    #: with an optional reserved memory floor.  ``None`` (default) keeps
+    #: the single-tenant engine byte-identically.
+    tenants: Optional[tuple[TenantSpec, ...]] = None
+
+    #: Arbitrate memory between tenants (floors + greedy shared-pool
+    #: reassignment + per-tenant eviction preference).  ``False`` keeps
+    #: vanilla global slab-LRU eviction but still accounts per tenant —
+    #: the comparison baseline in ``repro tenants``.
+    tenant_arbitrate: bool = True
+
+    #: Target bytes moved per shared-pool reassignment (one slab page).
+    tenant_quantum: int = PAGE_SIZE
+
+    #: Recorded gets between reassignment decisions (per daemon).
+    tenant_rebalance_ops: int = 256
+
+    #: Shadow-LRU capacity per tenant (recently evicted keys tracked as
+    #: the marginal-gain estimator).
+    tenant_ghost_entries: int = 4096
+
     def __post_init__(self) -> None:
         if self.block_size < 1:
             raise ValueError("block_size must be positive")
@@ -118,3 +143,15 @@ class IMCaConfig:
             # short (EOF) blocks; without it every mixed hit would have
             # to conservatively miss anyway.
             raise ValueError("partial_fills requires cache_stat")
+        if self.tenants is not None:
+            validate_specs(self.tenants)
+        if self.tenant_quantum < 1:
+            raise ValueError(f"tenant_quantum must be >= 1: {self.tenant_quantum}")
+        if self.tenant_rebalance_ops < 1:
+            raise ValueError(
+                f"tenant_rebalance_ops must be >= 1: {self.tenant_rebalance_ops}"
+            )
+        if self.tenant_ghost_entries < 1:
+            raise ValueError(
+                f"tenant_ghost_entries must be >= 1: {self.tenant_ghost_entries}"
+            )

@@ -123,3 +123,4 @@ def _ensure_loaded() -> None:
     import repro.harness.hotspot  # noqa: F401
     import repro.harness.readpath  # noqa: F401
     import repro.harness.elasticity  # noqa: F401
+    import repro.harness.tenants  # noqa: F401

@@ -404,6 +404,109 @@ PARAMS: dict[str, dict[str, dict]] = {
             ),
         ),
     },
+    # ---- tenants: multi-tenant arbitration (ROADMAP item 2) ------------------
+    # Tenant dicts are TenantLoad kwargs.  Sizing logic: per-daemon data
+    # capacity is mcd_memory minus ~1 page of stat items, in ~2 KiB-class
+    # chunks; the mix's live demand (sum of num_files x blocks-per-file)
+    # deliberately exceeds it several-fold while the skewed "hot" tenant's
+    # working set stays under its equal-split share, so vanilla LRU loses
+    # exactly what arbitration can save.  The SLA scenario pins one daemon:
+    # "sla" reserves a floor its own demand can fill, "noisy" outweighs it
+    # 2:1 in traffic with a footprint far beyond the cache plus write
+    # churn.  quantum/rebalance_ops are sized so the arbiter gets several
+    # dozen moves within one warm pass.
+    "tenants": {
+        "smoke": dict(
+            num_clients=2,
+            quantum=256 * KiB,
+            rebalance_ops=200,
+            ghost_entries=48,
+            mix=dict(
+                num_mcds=2,
+                mcd_memory=2 * MiB,
+                operations=1600,
+                seed=0x7E4A,
+                tenants=[
+                    dict(name="hot", num_files=48, zipf_s=1.0, weight=2.0,
+                         stat_ratio=0.2),
+                    dict(name="warm", num_files=256, zipf_s=0.8, weight=2.0),
+                    dict(name="scan", num_files=1200, zipf_s=0.0, weight=4.0),
+                ],
+            ),
+            sla=dict(
+                num_mcds=1,
+                mcd_memory=2 * MiB,
+                operations=1200,
+                seed=0x51A0,
+                tenants=[
+                    dict(name="sla", num_files=120, file_size=16 * KiB,
+                         zipf_s=0.8, weight=2.0, reserved_frac=0.25),
+                    dict(name="noisy", num_files=1000, zipf_s=0.0,
+                         weight=4.0, read_ratio=0.6),
+                ],
+            ),
+        ),
+        "default": dict(
+            num_clients=3,
+            quantum=256 * KiB,
+            rebalance_ops=200,
+            ghost_entries=48,
+            mix=dict(
+                num_mcds=2,
+                mcd_memory=4 * MiB,
+                operations=4000,
+                seed=0x7E4A,
+                tenants=[
+                    dict(name="hot", num_files=96, zipf_s=1.0, weight=2.0,
+                         stat_ratio=0.2),
+                    dict(name="warm", num_files=512, zipf_s=0.8, weight=2.0),
+                    dict(name="scan", num_files=2400, zipf_s=0.0, weight=4.0),
+                ],
+            ),
+            sla=dict(
+                num_mcds=1,
+                mcd_memory=4 * MiB,
+                operations=3000,
+                seed=0x51A0,
+                tenants=[
+                    dict(name="sla", num_files=240, file_size=16 * KiB,
+                         zipf_s=0.8, weight=2.0, reserved_frac=0.25),
+                    dict(name="noisy", num_files=2000, zipf_s=0.0,
+                         weight=4.0, read_ratio=0.6),
+                ],
+            ),
+        ),
+        "paper": dict(
+            num_clients=4,
+            quantum=256 * KiB,
+            rebalance_ops=200,
+            ghost_entries=64,
+            mix=dict(
+                num_mcds=4,
+                mcd_memory=8 * MiB,
+                operations=12000,
+                seed=0x7E4A,
+                tenants=[
+                    dict(name="hot", num_files=192, zipf_s=1.0, weight=2.0,
+                         stat_ratio=0.2),
+                    dict(name="warm", num_files=1024, zipf_s=0.8, weight=2.0),
+                    dict(name="scan", num_files=9600, zipf_s=0.0, weight=4.0),
+                ],
+            ),
+            sla=dict(
+                num_mcds=1,
+                mcd_memory=8 * MiB,
+                operations=8000,
+                seed=0x51A0,
+                tenants=[
+                    dict(name="sla", num_files=480, file_size=16 * KiB,
+                         zipf_s=0.8, weight=2.0, reserved_frac=0.25),
+                    dict(name="noisy", num_files=4000, zipf_s=0.0,
+                         weight=4.0, read_ratio=0.6),
+                ],
+            ),
+        ),
+    },
     # ---- elastic: online membership changes (ROADMAP item 5) -----------------
     # rounds are fixed work (stats + block-0 reads + a scratch rewrite per
     # client); the membership event fires at round 0 and the forwarding

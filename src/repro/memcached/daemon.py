@@ -11,9 +11,10 @@ which is precisely why a bank of MCDs scales past the GlusterFS server
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Optional
+from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from repro.memcached.engine import MemcachedEngine, McError
+from repro.memcached.tenancy import TenantArbiter
 from repro.net.fabric import Network, Node
 from repro.net.rpc import Endpoint, RpcCall
 from repro.obs.trace import NULL_TRACER
@@ -54,11 +55,19 @@ class MemcachedDaemon:
         node: Node,
         mem_limit: int,
         tracer=NULL_TRACER,
+        tenancy_factory: Optional[Callable[[int], TenantArbiter]] = None,
     ) -> None:
         self.sim = sim
         self.node = node
         self.mem_limit = mem_limit
-        self.engine = MemcachedEngine(mem_limit, clock=lambda: sim.now)
+        #: Builds a *fresh* arbiter per engine (mem_limit -> arbiter):
+        #: arbitration state is process state and must die with it.
+        self.tenancy_factory = tenancy_factory
+        self.engine = MemcachedEngine(
+            mem_limit,
+            clock=lambda: sim.now,
+            tenancy=tenancy_factory(mem_limit) if tenancy_factory else None,
+        )
         self.endpoint = Endpoint(net, node, tracer=tracer)
         self.tracer = tracer
         self.endpoint.register(SERVICE, self._handle)
@@ -89,7 +98,11 @@ class MemcachedDaemon:
         assignment, or CAS value survives.
         """
         sim = self.sim
-        self.engine = MemcachedEngine(self.mem_limit, clock=lambda: sim.now)
+        self.engine = MemcachedEngine(
+            self.mem_limit,
+            clock=lambda: sim.now,
+            tenancy=self.tenancy_factory(self.mem_limit) if self.tenancy_factory else None,
+        )
         self.restarts += 1
         self.node.recover()
 

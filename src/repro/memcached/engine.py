@@ -15,10 +15,11 @@ accounting behaves as if the literal bytes were stored.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 from repro.memcached.slabs import SlabAllocator, SlabClass
+from repro.memcached.tenancy import TenantAccount, TenantArbiter
 from repro.util.stats import Counter
 
 #: Real memcached's limits: 250-byte keys, 1 MiB values (§2.2 rounds the
@@ -44,6 +45,12 @@ class Item:
     exptime: float  # absolute expiry time; 0 = never
     cas: int
     slab: SlabClass
+    #: Monotone insertion sequence number; anchors :meth:`MemcachedEngine.scan`
+    #: cursors (``_items`` insertion order == seq order, so a cursor names a
+    #: position that survives concurrent unlinks).
+    seq: int = 0
+    #: Owning tenant account when the engine runs with a TenantArbiter.
+    tenant: Optional[TenantAccount] = field(default=None, repr=False)
 
 
 class MemcachedEngine:
@@ -54,13 +61,20 @@ class MemcachedEngine:
         mem_limit: int,
         clock: Callable[[], float],
         growth_factor: float = 1.25,
+        tenancy: Optional[TenantArbiter] = None,
     ) -> None:
         self.slabs = SlabAllocator(mem_limit, growth_factor=growth_factor)
         self.clock = clock
+        self.tenancy = tenancy
         self._items: dict[str, Item] = {}
         #: Per-slab-class LRU: OrderedDict key -> Item, MRU at the end.
         self._lru: dict[int, OrderedDict[str, Item]] = {}
+        #: Per-class count of items carrying a TTL — gates the expired-
+        #: first reclaim walk so TTL-free workloads (every default
+        #: figure) never pay for it.
+        self._ttl_items: dict[int, int] = {}
         self._cas = 0
+        self._seq = 0
         self.stats = Counter()
 
     # -- helpers -----------------------------------------------------------
@@ -73,9 +87,13 @@ class MemcachedEngine:
     def _total_size(self, key: str, nbytes: int) -> int:
         return ITEM_OVERHEAD + len(key) + nbytes
 
-    def _unlink(self, item: Item) -> None:
+    def _unlink(self, item: Item, cause: str = "drop") -> None:
         del self._items[item.key]
         del self._lru[item.slab.index][item.key]
+        if item.exptime != 0:
+            self._ttl_items[item.slab.index] -= 1
+        if item.tenant is not None:
+            self.tenancy.on_unlink(item, item.tenant, cause)
         self.slabs.free(item.slab)
         self.stats.inc("curr_items", -1)
         self.stats.inc("bytes", -item.nbytes)
@@ -83,13 +101,33 @@ class MemcachedEngine:
     def _expired(self, item: Item) -> bool:
         return item.exptime != 0 and self.clock() >= item.exptime
 
-    def _evict_one(self, cls: SlabClass) -> bool:
-        """Drop the LRU item of *cls*; False if the class is empty."""
+    def _evict_one(self, cls: SlabClass, requester: Optional[TenantAccount] = None) -> bool:
+        """Free one chunk of *cls* for an OOM; False if the class is empty.
+
+        Expired items are reclaimed before any live item is evicted —
+        real memcached's behaviour, and the accounting the tenant
+        arbiter depends on: an expired-but-unreclaimed item is free
+        memory, not cache pressure, so charging it as an ``eviction``
+        would make the arbiter chase phantom demand.  ``reclaimed`` and
+        ``evictions`` are disjoint counters (and both disjoint from the
+        read path's lazy ``expired``).  The walk only runs when the
+        class holds TTL'd items at all (``_ttl_items`` gate).
+        """
         lru = self._lru.get(cls.index)
         if not lru:
             return False
-        _, victim = next(iter(lru.items()))
-        self._unlink(victim)
+        if self._ttl_items.get(cls.index, 0) > 0:
+            for victim in lru.values():
+                if self._expired(victim):
+                    self._unlink(victim, "reclaim")
+                    self.stats.inc("reclaimed")
+                    return True
+        victim = None
+        if self.tenancy is not None and requester is not None:
+            victim = self.tenancy.pick_victim(cls.index, requester)
+        if victim is None:
+            victim = next(iter(lru.values()))
+        self._unlink(victim, "evict")
         self.stats.inc("evictions")
         return True
 
@@ -98,6 +136,7 @@ class MemcachedEngine:
         cls = self.slabs.class_for(size)
         if cls is None:
             raise McError(f"object too large for cache ({nbytes} bytes)")
+        requester = self.tenancy.tenant_of(key) if self.tenancy is not None else None
         while True:
             got = self.slabs.alloc(size)
             if got is not None:
@@ -105,7 +144,7 @@ class MemcachedEngine:
             # Out of memory: lazily evict from this size class.  When the
             # class owns no items (all pages belong to other classes),
             # memcached answers SERVER_ERROR; we report a failed store.
-            if not self._evict_one(cls):
+            if not self._evict_one(cls, requester):
                 self.stats.inc("out_of_memory")
                 return None
 
@@ -119,10 +158,15 @@ class MemcachedEngine:
                 flags: int, ttl: float) -> Item:
         """Link a new item into an already-allocated chunk of *cls*."""
         self._cas += 1
+        self._seq += 1
         exptime = self.clock() + ttl if ttl > 0 else 0.0
-        item = Item(key, value, nbytes, flags, exptime, self._cas, cls)
+        item = Item(key, value, nbytes, flags, exptime, self._cas, cls, self._seq)
         self._items[key] = item
         self._lru.setdefault(cls.index, OrderedDict())[key] = item
+        if exptime != 0:
+            self._ttl_items[cls.index] = self._ttl_items.get(cls.index, 0) + 1
+        if self.tenancy is not None:
+            item.tenant = self.tenancy.on_insert(item)
         self.stats.inc("curr_items")
         self.stats.inc("total_items")
         self.stats.inc("bytes", nbytes)
@@ -133,13 +177,15 @@ class MemcachedEngine:
         if item is None:
             return None
         if self._expired(item):
-            self._unlink(item)
+            self._unlink(item, "expire")
             self.stats.inc("expired")
             return None
         return item
 
     def _touch_lru(self, item: Item) -> None:
         self._lru[item.slab.index].move_to_end(item.key)
+        if item.tenant is not None:
+            self.tenancy.on_touch(item, item.tenant)
 
     # -- storage commands ----------------------------------------------------
     def _store(self, key: str, value: Any, nbytes: int, flags: int, ttl: float) -> bool:
@@ -160,7 +206,7 @@ class MemcachedEngine:
             raise McError(f"object too large for cache ({nbytes} bytes)")
         old = self._items.get(key)
         if old is not None and old.slab.index == cls.index:
-            self._unlink(old)
+            self._unlink(old, "overwrite")
             return self._link(key, value, nbytes, flags, ttl) is not None
         got = self._allocate(key, nbytes)
         if got is None:
@@ -170,7 +216,7 @@ class MemcachedEngine:
         # a future cross-class eviction policy cannot double-unlink.
         old = self._items.get(key)
         if old is not None:
-            self._unlink(old)
+            self._unlink(old, "overwrite")
         self._insert(got, key, value, nbytes, flags, ttl)
         return True
 
@@ -254,9 +300,13 @@ class MemcachedEngine:
         item = self._live_item(key)
         if item is None:
             self.stats.inc("get_misses")
+            if self.tenancy is not None:
+                self.tenancy.record_miss(key)
             return None
         self._touch_lru(item)
         self.stats.inc("get_hits")
+        if item.tenant is not None:
+            self.tenancy.record_hit(item.tenant)
         return item
 
     def get_multi(self, keys: list[str]) -> dict[str, Item]:
@@ -275,40 +325,79 @@ class MemcachedEngine:
         item = self._live_item(key)
         if item is None:
             return False
-        self._unlink(item)
+        self._unlink(item, "delete")
         return True
 
     def touch(self, key: str, ttl: float) -> bool:
+        """Update an item's TTL without fetching it (``touch_hits``/
+        ``touch_misses``, like every other command pair)."""
+        self._check_key(key)
+        self.stats.inc("cmd_touch")
         item = self._live_item(key)
         if item is None:
+            self.stats.inc("touch_misses")
             return False
+        old_ttld = item.exptime != 0
         item.exptime = self.clock() + ttl if ttl > 0 else 0.0
+        new_ttld = item.exptime != 0
+        if old_ttld != new_ttld:
+            idx = item.slab.index
+            self._ttl_items[idx] = self._ttl_items.get(idx, 0) + (1 if new_ttld else -1)
         self._touch_lru(item)
+        self.stats.inc("touch_hits")
         return True
 
-    def incr(self, key: str, delta: int = 1) -> Optional[int]:
-        """Numeric increment; None if missing, McError if non-numeric."""
+    def _delta(self, key: str, delta: int, op: str) -> Optional[int]:
+        """Shared incr/decr: validate, count, mutate, recompute nbytes.
+
+        The stored value becomes the new integer and ``nbytes`` is
+        recomputed as its decimal width — real memcached stores the
+        ASCII representation, so ``incr`` can grow an item past its
+        chunk (9 -> 10 -> ... -> 1000000000), at which point memcached
+        reallocates into the next class; we do the same via the normal
+        store path (preserving TTL and flags).  In-place width changes
+        adjust the ``bytes`` stat but not slab accounting — the chunk
+        is unchanged.
+        """
+        self._check_key(key)
         item = self._live_item(key)
         if item is None:
+            self.stats.inc(f"{op}_misses")
             return None
         try:
             current = int(item.value)
         except (TypeError, ValueError):
-            raise McError("cannot increment non-numeric value") from None
+            raise McError(f"cannot {op}ement non-numeric value") from None
         new = max(0, current + delta)
+        new_nbytes = len(str(new))
+        self.stats.inc(f"{op}_hits")
+        if self._total_size(key, new_nbytes) > item.slab.chunk_size:
+            # Numeric width outgrew the chunk: reallocate like a store.
+            ttl = 0.0 if item.exptime == 0 else item.exptime - self.clock()
+            if not self._store(key, new, new_nbytes, item.flags, ttl):
+                return None
+            return new
+        if new_nbytes != item.nbytes:
+            self.stats.inc("bytes", new_nbytes - item.nbytes)
+            item.nbytes = new_nbytes
         item.value = new
         self._cas += 1
         item.cas = self._cas
         self._touch_lru(item)
         return new
 
+    def incr(self, key: str, delta: int = 1) -> Optional[int]:
+        """Numeric increment; None if missing, McError if non-numeric."""
+        return self._delta(key, delta, "incr")
+
     def decr(self, key: str, delta: int = 1) -> Optional[int]:
-        return self.incr(key, -delta)
+        """Numeric decrement (floors at 0, like the protocol)."""
+        return self._delta(key, -delta, "decr")
 
     def flush_all(self) -> None:
         """Drop everything."""
         for key in list(self._items):
-            self._unlink(self._items[key])
+            self._unlink(self._items[key], "flush")
         self.stats.inc("cmd_flush")
 
     def scan(self, cursor: int = 0, limit: int = 64) -> tuple[int, list[tuple[str, Any, int, int, float]]]:
@@ -320,20 +409,36 @@ class MemcachedEngine:
         is ``(key, value, nbytes, flags, ttl)`` with ttl the *remaining*
         lifetime (0 = never).  Expired items are skipped but not
         unlinked — the read path lazily expires them.
+
+        The cursor is anchored to item sequence numbers, not list
+        positions: it names the first *seq* not yet visited, so items
+        unlinked between pages (migration deletes, window-close
+        cleanup, concurrent expiry) can never make the walk skip or
+        repeat a survivor — a positional ``keys[cursor:cursor+limit]``
+        cursor silently skipped one live key per earlier unlink.
+        Items inserted mid-walk get higher seqs and are picked up by
+        later pages.  ``cursor=0`` starts; ``next_cursor=0`` means
+        exhausted (live seqs start at 1).
         """
         if limit < 1:
             raise ValueError(f"scan limit must be >= 1: {limit}")
-        keys = list(self._items)
         out: list[tuple[str, Any, int, int, float]] = []
-        for key in keys[cursor : cursor + limit]:
-            item = self._items[key]
+        next_cursor = 0
+        taken = 0
+        # _items insertion order is strictly increasing in seq (any
+        # overwrite unlinks and reinserts), so one forward pass finds
+        # the resume point and the page after it.
+        for item in self._items.values():
+            if item.seq < cursor:
+                continue
+            if taken >= limit:
+                next_cursor = item.seq
+                break
+            taken += 1
             if self._expired(item):
                 continue
             ttl = 0.0 if item.exptime == 0 else item.exptime - self.clock()
-            out.append((key, item.value, item.nbytes, item.flags, ttl))
-        next_cursor = cursor + limit
-        if next_cursor >= len(keys):
-            next_cursor = 0
+            out.append((item.key, item.value, item.nbytes, item.flags, ttl))
         return next_cursor, out
 
     # -- introspection ---------------------------------------------------------------
@@ -350,16 +455,37 @@ class MemcachedEngine:
         d["limit_maxbytes"] = self.slabs.mem_limit
         return d
 
+    def tenant_stats(self) -> dict[str, dict[str, int]]:
+        """Per-tenant accounting (empty when tenancy is off)."""
+        if self.tenancy is None:
+            return {}
+        return self.tenancy.stat_dict()
+
     def check_invariants(self) -> None:
         """Engine-wide consistency (used by property tests)."""
         per_class_counts: dict[int, int] = {}
+        per_class_ttld: dict[int, int] = {}
         for key, item in self._items.items():
             assert item.key == key
             per_class_counts[item.slab.index] = per_class_counts.get(item.slab.index, 0) + 1
+            if item.exptime != 0:
+                per_class_ttld[item.slab.index] = per_class_ttld.get(item.slab.index, 0) + 1
             assert key in self._lru[item.slab.index]
         for cls in self.slabs.classes:
             n = per_class_counts.get(cls.index, 0)
             assert cls.used_chunks == n, f"class {cls.index}: {cls.used_chunks} != {n}"
             assert cls.used_chunks + cls.free_chunks == cls.pages * cls.chunks_per_page
+        for idx, count in self._ttl_items.items():
+            assert count == per_class_ttld.get(idx, 0), (
+                f"class {idx}: ttl_items {count} != {per_class_ttld.get(idx, 0)}"
+            )
         assert self.slabs.bytes_allocated <= self.slabs.mem_limit
         assert self.curr_items == len(self._items)
+        if self.tenancy is not None:
+            self.tenancy.check_invariants()
+            total = sum(a.items for a in self.tenancy.accounts)
+            assert total == len(self._items), f"tenant items {total} != {len(self._items)}"
+            chunk_bytes = sum(a.bytes_used for a in self.tenancy.accounts)
+            assert chunk_bytes == sum(
+                it.slab.chunk_size for it in self._items.values()
+            )

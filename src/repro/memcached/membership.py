@@ -393,9 +393,9 @@ class ElasticController:
                     self._inc("migrated_keys", len(moved))
                 if next_cursor == 0:
                     break
-                # Deleted keys sat below the cursor: everything unseen
-                # shifted down by len(moved).
-                cursor = max(0, next_cursor - len(moved))
+                # The seq-anchored cursor is stable under the deletes we
+                # just issued — resume exactly where the page ended.
+                cursor = next_cursor
                 yield self.sim.timeout(self.migrate_interval)
 
     def _migrate_out(self, node_id: int, deadline: float):
@@ -430,7 +430,7 @@ class ElasticController:
                 self._inc("migrated_keys", len(moved))
             if next_cursor == 0:
                 return
-            cursor = max(0, next_cursor - len(moved))
+            cursor = next_cursor
             yield self.sim.timeout(self.migrate_interval)
 
     def _cleanup_sources(self, sources: tuple[int, ...]):

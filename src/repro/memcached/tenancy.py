@@ -1,0 +1,349 @@
+"""Per-tenant memory arbitration for the memcached engine (Memshare).
+
+PAPERS.md's **Memshare** observation: a slab-partitioned memcached
+shared by several applications wastes hit rate under multi-tenant skew,
+because the global LRU lets one tenant's churn (a scanner, a flood)
+evict another tenant's hot working set.  Recovering that hit rate needs
+*memory arbitration*: give each tenant a guaranteed floor, pool the
+rest, and steer the pooled bytes to whoever shows the highest marginal
+hit-rate gain.
+
+This module is that arbiter, engine-side and deterministic:
+
+* **Tenants** are key namespaces (path prefixes under IMCa's
+  ``/abs/path:stat`` / ``/abs/path:<offset>`` schema).  Keys outside
+  every namespace fall into a default ``~other`` account, so the
+  arbiter always has a total view of memory.
+* **Reserved floors** (``TenantSpec.reserved_frac`` of the engine's
+  memory) are hard: cross-tenant eviction never pushes a tenant below
+  its floor.  A tenant may evict *itself* below its floor — that is its
+  own churn, not a neighbour's.
+* **Shared pool** = everything above the floors, split evenly at start
+  and then re-assigned greedily: every ``rebalance_ops`` recorded gets,
+  one ``quantum`` of target bytes moves to the tenant with the most
+  shadow-LRU ghost hits in the window, taken from the lower-gain tenant
+  with the most *slack* (target above usage — free to give) and only
+  then from resident bytes.  Ghost hits (a miss whose key was recently
+  evicted) are exactly the accesses more memory would have converted
+  into hits, i.e. the marginal-gain estimator Memshare arbitrates on.
+* **Eviction preference** enforces the targets: on OOM the victim is
+  the most-over-target tenant holding items in the needed slab class,
+  then the most-over-floor one, then the requester itself.  Only when
+  every candidate sits at/below its floor and the requester has nothing
+  to self-evict does the arbiter breach a floor — counted in
+  ``floor_breaches`` so experiments can assert it never happened.
+
+With ``arbitrate=False`` the arbiter only *accounts* (per-tenant
+hits/misses/evictions/bytes and ghost hits): victim selection and
+target reassignment are disabled, so the engine behaves byte-for-byte
+like the vanilla global slab LRU while still exposing per-tenant
+visibility — the harness's "vanilla" comparison arm.
+
+Everything is driven by the engine's deterministic op stream; there is
+no randomness and no wall clock, so identical op sequences produce
+identical arbitration decisions (the ``--jobs`` byte-equality story).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.util.stats import Counter
+from repro.util.units import MiB
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.memcached.engine import Item
+
+#: Name of the catch-all account for keys outside every namespace.
+OTHER_TENANT = "~other"
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's cache-side contract.
+
+    ``namespace`` is a key prefix (IMCa keys start with the absolute
+    path, so ``/t/alpha/`` captures every stat and data block under
+    that subtree).  ``reserved_frac`` is the guaranteed memory floor as
+    a fraction of the engine's ``mem_limit``.
+    """
+
+    name: str
+    namespace: str
+    reserved_frac: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name or self.name == OTHER_TENANT:
+            raise ValueError(f"bad tenant name {self.name!r}")
+        if not self.namespace:
+            raise ValueError(f"tenant {self.name!r} needs a key namespace")
+        if not 0.0 <= self.reserved_frac < 1.0:
+            raise ValueError(
+                f"tenant {self.name!r}: reserved_frac must be in [0, 1): "
+                f"{self.reserved_frac}"
+            )
+
+
+def validate_specs(specs: tuple[TenantSpec, ...]) -> None:
+    """Reject spec sets no arbiter could serve (shared by IMCaConfig)."""
+    if not specs:
+        raise ValueError("need at least one TenantSpec")
+    names = [s.name for s in specs]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate tenant names: {names}")
+    spaces = [s.namespace for s in specs]
+    if len(set(spaces)) != len(spaces):
+        raise ValueError(f"duplicate tenant namespaces: {spaces}")
+    reserved_total = sum(s.reserved_frac for s in specs)
+    if reserved_total >= 1.0:
+        raise ValueError(
+            f"reserved floors sum to {reserved_total:.2f}; must leave a "
+            "shared pool (< 1.0)"
+        )
+
+
+class TenantAccount:
+    """One tenant's live accounting: usage, LRUs, shadow LRU, counters."""
+
+    __slots__ = (
+        "spec", "index", "floor", "target", "bytes_used", "items",
+        "lru", "ghost", "window_ghost_hits", "counters",
+    )
+
+    def __init__(self, spec: TenantSpec, index: int, floor: int, target: int) -> None:
+        self.spec = spec
+        self.index = index
+        #: Guaranteed bytes (never breached by cross-tenant eviction).
+        self.floor = floor
+        #: Current arbitration target (floor + shared-pool share).
+        self.target = target
+        #: Chunk bytes currently held (slab truth, not payload bytes).
+        self.bytes_used = 0
+        self.items = 0
+        #: Per-slab-class LRU of this tenant's items (MRU at the end).
+        self.lru: dict[int, OrderedDict[str, "Item"]] = {}
+        #: Shadow LRU of recently evicted keys -> payload nbytes.
+        self.ghost: OrderedDict[str, int] = OrderedDict()
+        #: Ghost hits since the last rebalance (the gain signal).
+        self.window_ghost_hits = 0
+        self.counters = Counter()
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def stat_dict(self) -> dict[str, int]:
+        d = self.counters.as_dict()
+        for k in ("hits", "misses", "evictions", "reclaimed", "ghost_hits"):
+            d.setdefault(k, 0)
+        d["bytes"] = self.bytes_used
+        d["items"] = self.items
+        d["target_bytes"] = self.target
+        d["reserved_bytes"] = self.floor
+        return d
+
+
+class TenantArbiter:
+    """Key->tenant attribution + floor/shared-pool memory arbitration.
+
+    One arbiter serves one :class:`MemcachedEngine` (arbitration is a
+    per-daemon decision, exactly like the slab allocator it steers).
+    """
+
+    def __init__(
+        self,
+        specs: tuple[TenantSpec, ...],
+        mem_limit: int,
+        *,
+        arbitrate: bool = True,
+        quantum: int = 1 * MiB,
+        rebalance_ops: int = 256,
+        ghost_entries: int = 4096,
+    ) -> None:
+        validate_specs(specs)
+        if quantum < 1 or rebalance_ops < 1 or ghost_entries < 1:
+            raise ValueError("quantum, rebalance_ops, ghost_entries must be >= 1")
+        self.arbitrate = arbitrate
+        self.quantum = quantum
+        self.rebalance_ops = rebalance_ops
+        self.ghost_entries = ghost_entries
+        self.mem_limit = mem_limit
+        self.stats = Counter()
+        floors = [int(s.reserved_frac * mem_limit) for s in specs]
+        shared = mem_limit - sum(floors)
+        accounts = [
+            TenantAccount(spec, i, floors[i], floors[i])
+            for i, spec in enumerate(specs)
+        ]
+        # The catch-all account participates in the shared pool so that
+        # non-tenant keys are arbitrated too, never invisible.  Its spec
+        # uses the reserved name and an unmatched namespace, built
+        # without validation (which forbids both on user-supplied specs).
+        other_spec = TenantSpec.__new__(TenantSpec)
+        object.__setattr__(other_spec, "name", OTHER_TENANT)
+        object.__setattr__(other_spec, "namespace", "")
+        object.__setattr__(other_spec, "reserved_frac", 0.0)
+        other = TenantAccount(other_spec, len(accounts), 0, 0)
+        accounts.append(other)
+        share, rem = divmod(shared, len(accounts))
+        for a in accounts:
+            a.target += share
+        accounts[0].target += rem  # deterministic: remainder to tenant 0
+        self.accounts: list[TenantAccount] = accounts
+        self.other = other
+        #: (namespace, account) in spec order for prefix matching.
+        self._prefixes = [(a.spec.namespace, a) for a in accounts[:-1]]
+        self._ops_since = 0
+
+    # -- attribution ---------------------------------------------------------
+    def tenant_of(self, key: str) -> TenantAccount:
+        for prefix, account in self._prefixes:
+            if key.startswith(prefix):
+                return account
+        return self.other
+
+    # -- engine hooks --------------------------------------------------------
+    def on_insert(self, item: "Item") -> TenantAccount:
+        acct = self.tenant_of(item.key)
+        acct.bytes_used += item.slab.chunk_size
+        acct.items += 1
+        acct.lru.setdefault(item.slab.index, OrderedDict())[item.key] = item
+        acct.ghost.pop(item.key, None)
+        return acct
+
+    def on_unlink(self, item: "Item", acct: TenantAccount, cause: str) -> None:
+        acct.bytes_used -= item.slab.chunk_size
+        acct.items -= 1
+        del acct.lru[item.slab.index][item.key]
+        if cause == "evict":
+            acct.counters.inc("evictions")
+            # Shadow LRU: an evicted key re-requested soon is a hit more
+            # memory would have kept.  Expired/deleted keys don't count
+            # — no amount of memory makes those hits.
+            acct.ghost[item.key] = item.nbytes
+            if len(acct.ghost) > self.ghost_entries:
+                acct.ghost.popitem(last=False)
+        elif cause == "reclaim":
+            acct.counters.inc("reclaimed")
+
+    def on_touch(self, item: "Item", acct: TenantAccount) -> None:
+        acct.lru[item.slab.index].move_to_end(item.key)
+
+    def record_hit(self, acct: TenantAccount) -> None:
+        acct.counters.inc("hits")
+        self._tick()
+
+    def record_miss(self, key: str) -> TenantAccount:
+        acct = self.tenant_of(key)
+        acct.counters.inc("misses")
+        if key in acct.ghost:
+            del acct.ghost[key]
+            acct.counters.inc("ghost_hits")
+            acct.window_ghost_hits += 1
+        self._tick()
+        return acct
+
+    # -- eviction preference -------------------------------------------------
+    def pick_victim(self, cls_index: int, requester: TenantAccount) -> Optional["Item"]:
+        """The item to evict for an OOM in slab class *cls_index*, or
+        ``None`` to fall back to the engine's global LRU choice.
+
+        Preference order: most-over-target, then most-over-floor, then
+        the requester's own LRU, then (counted ``floor_breaches``) the
+        least-bad floor violation.  Within the chosen tenant the victim
+        is its LRU item of the class.
+        """
+        if not self.arbitrate:
+            return None
+        cands = [a for a in self.accounts if a.lru.get(cls_index)]
+        if not cands:
+            return None
+        # Every victim in this class frees the same chunk size; a tenant
+        # is floor-safe only if losing one such chunk keeps it at or
+        # above its floor — the floor holds byte-for-byte, not just
+        # "was above it before the eviction".
+        chunk = next(iter(cands[0].lru[cls_index].values())).slab.chunk_size
+        safe = [a for a in cands if a.bytes_used - chunk >= a.floor]
+        over_target = [a for a in safe if a.bytes_used > a.target]
+        if over_target:
+            acct = max(over_target, key=lambda a: (a.bytes_used - a.target, -a.index))
+        elif safe:
+            acct = max(safe, key=lambda a: (a.bytes_used - a.floor, -a.index))
+        elif requester in cands:
+            # Self-eviction below one's own floor is the tenant's own
+            # churn, not a neighbour's — allowed and unbreached.
+            acct = requester
+        else:
+            acct = max(cands, key=lambda a: (a.bytes_used - a.floor, -a.index))
+            self.stats.inc("floor_breaches")
+        lru = acct.lru[cls_index]
+        return next(iter(lru.values()))
+
+    # -- greedy shared-pool reassignment -------------------------------------
+    def _tick(self) -> None:
+        self._ops_since += 1
+        if self._ops_since >= self.rebalance_ops:
+            self._rebalance()
+
+    def _rebalance(self) -> None:
+        self._ops_since = 0
+        if not self.arbitrate or len(self.accounts) < 2:
+            for a in self.accounts:
+                a.window_ghost_hits = 0
+            return
+        winner = max(self.accounts, key=lambda a: (a.window_ghost_hits, -a.index))
+        if winner.window_ghost_hits > 0:
+            donors = [
+                a for a in self.accounts
+                if a is not winner
+                and a.target - self.quantum >= a.floor
+                and a.window_ghost_hits < winner.window_ghost_hits
+            ]
+            if donors:
+                # Cheapest donor = target farthest from usage in either
+                # direction: unused target (slack) is free to give, and an
+                # already-over-target tenant is the preferred eviction
+                # victim regardless, so lowering its target costs nothing
+                # extra.  A protected tenant sitting at its target — the
+                # donor that would actually lose resident bytes — goes
+                # last (fewest ghost hits first, i.e. lowest marginal
+                # loss).
+                donor = max(
+                    donors,
+                    key=lambda a: (
+                        abs(a.target - a.bytes_used),
+                        -a.window_ghost_hits,
+                        a.index,
+                    ),
+                )
+                donor.target -= self.quantum
+                winner.target += self.quantum
+                self.stats.inc("rebalances")
+                self.stats.inc("bytes_reassigned", self.quantum)
+        for a in self.accounts:
+            a.window_ghost_hits = 0
+
+    # -- introspection -------------------------------------------------------
+    def stat_dict(self) -> dict[str, dict[str, int]]:
+        """``{tenant name: stats}`` plus an ``~arbiter`` meta entry."""
+        out = {a.name: a.stat_dict() for a in self.accounts}
+        meta = self.stats.as_dict()
+        meta.setdefault("rebalances", 0)
+        meta.setdefault("bytes_reassigned", 0)
+        meta.setdefault("floor_breaches", 0)
+        out["~arbiter"] = meta
+        return out
+
+    def check_invariants(self) -> None:
+        """Per-tenant accounting consistency (used by engine tests)."""
+        total_target = sum(a.target for a in self.accounts)
+        assert total_target == self.mem_limit, (
+            f"targets drifted: {total_target} != {self.mem_limit}"
+        )
+        for a in self.accounts:
+            n = sum(len(lru) for lru in a.lru.values())
+            assert a.items == n, f"{a.name}: items {a.items} != lru {n}"
+            assert a.bytes_used >= 0
+            assert a.target >= a.floor, f"{a.name}: target below floor"

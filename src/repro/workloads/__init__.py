@@ -16,6 +16,14 @@ from repro.workloads.latency import (
 )
 from repro.workloads.smallfiles import SmallFilesResult, run_small_files
 from repro.workloads.statbench import StatBenchResult, create_files, run_stat_bench
+from repro.workloads.tenants import (
+    TenantLoad,
+    TenantMixConfig,
+    TenantMixResult,
+    TenantOp,
+    generate_tenant_ops,
+    replay_tenant_mix,
+)
 from repro.workloads.trace import (
     TraceConfig,
     TraceOp,
@@ -45,4 +53,10 @@ __all__ = [
     "TraceResult",
     "generate_trace",
     "replay_trace",
+    "TenantLoad",
+    "TenantMixConfig",
+    "TenantMixResult",
+    "TenantOp",
+    "generate_tenant_ops",
+    "replay_tenant_mix",
 ]

@@ -217,9 +217,16 @@ def test_scan_op_over_rpc():
             daemons[0].node, SERVICE, ("scan", (0, 3, True)),
             req_size=request_size("scan", (0, 3, True)),
         )
-        assert next_cursor == 3
+        assert next_cursor > 0
         assert [k for k, *_ in entries] == ["k0", "k1", "k2"]
         assert all(v is not None for _, v, *_ in entries)
+        # resuming from next_cursor yields the rest exactly once
+        rest_cursor, rest = yield from ep.call(
+            daemons[0].node, SERVICE, ("scan", (next_cursor, 3, True)),
+            req_size=request_size("scan", (next_cursor, 3, True)),
+        )
+        assert rest_cursor == 0
+        assert [k for k, *_ in rest] == ["k3", "k4"]
         # keys-only mode nulls the values (cheap cleanup walks)
         _, lean = yield from ep.call(
             daemons[0].node, SERVICE, ("scan", (0, 5, False)),

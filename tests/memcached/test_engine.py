@@ -344,3 +344,131 @@ def test_scan_validates_limit():
 def test_scan_empty_engine():
     e, _ = make_engine()
     assert e.scan(0, limit=8) == (0, [])
+
+
+# -- expired-first reclaim vs eviction (disjoint counters) -------------------
+def test_oom_reclaims_expired_mid_lru_before_evicting_live():
+    """An expired item sitting mid-LRU is dead weight: the OOM path must
+    unlink it (counted ``reclaimed``) instead of evicting the live LRU
+    head (counted ``evictions``) — the counters stay disjoint."""
+    e, clock = make_engine(1 * MiB)  # one page
+    cls = e.slabs.class_for(e._total_size("k0000", 1000))
+    cap = cls.chunks_per_page
+    for i in range(cap):
+        ttl = 10.0 if i == cap // 2 else 0
+        e.set(f"k{i:04d}", None, 1000, ttl=ttl)
+    clock.t = 20.0  # the mid-LRU item is now expired
+    assert e.set("newbie", None, 1000) is True
+    assert e.stats.get("reclaimed") == 1
+    assert e.stats.get("evictions") == 0
+    assert e.get(f"k{cap // 2:04d}") is None  # the expired one went
+    assert e.get("k0000") is not None  # the live LRU head survived
+    e.check_invariants()
+
+
+def test_oom_evicts_live_when_nothing_expired():
+    e, _ = make_engine(1 * MiB)
+    cls = e.slabs.class_for(e._total_size("k0000", 1000))
+    for i in range(cls.chunks_per_page):
+        e.set(f"k{i:04d}", None, 1000)
+    e.set("newbie", None, 1000)
+    assert e.stats.get("evictions") == 1
+    assert e.stats.get("reclaimed") == 0
+
+
+# -- touch / incr / decr accounting and validation ---------------------------
+def test_touch_counters_and_key_validation():
+    e, _ = make_engine()
+    e.set("k", b"v", 1)
+    assert e.touch("k", 5.0) is True
+    assert e.touch("absent", 5.0) is False
+    assert e.stats.get("cmd_touch") == 2
+    assert e.stats.get("touch_hits") == 1
+    assert e.stats.get("touch_misses") == 1
+    with pytest.raises(McError):
+        e.touch("x" * (MAX_KEY_LEN + 1), 1.0)
+
+
+def test_incr_decr_counters_and_key_validation():
+    e, _ = make_engine()
+    e.set("n", 1, 1)
+    assert e.incr("n", 1) == 2
+    assert e.incr("absent") is None
+    assert e.decr("n", 1) == 1
+    assert e.decr("absent") is None
+    assert e.stats.get("incr_hits") == 1
+    assert e.stats.get("incr_misses") == 1
+    assert e.stats.get("decr_hits") == 1
+    assert e.stats.get("decr_misses") == 1
+    with pytest.raises(McError):
+        e.incr("x" * (MAX_KEY_LEN + 1))
+    with pytest.raises(McError):
+        e.decr("x" * (MAX_KEY_LEN + 1))
+
+
+def test_incr_recomputes_nbytes_on_width_change():
+    e, _ = make_engine()
+    e.set("n", 9, 1)
+    assert e.incr("n", 1) == 10
+    assert e.get("n").nbytes == 2  # len("10")
+    e.set("m", 100, 3)
+    assert e.decr("m", 1) == 99
+    assert e.get("m").nbytes == 2  # len("99")
+    e.check_invariants()  # the bytes counter followed both changes
+
+
+def test_incr_reallocates_when_numeric_width_crosses_class():
+    """A width change that overflows the current chunk re-stores the
+    item in the right class instead of lying about its size."""
+    e, _ = make_engine()
+    klen = next(
+        n for n in range(1, 512)
+        if e.slabs.class_for(e._total_size("k" * n, 1))
+        is not e.slabs.class_for(e._total_size("k" * n, 2))
+    )
+    key = "k" * klen
+    e.set(key, 9, 1)
+    old_chunk = e.get(key).slab.chunk_size
+    assert e.incr(key, 1) == 10
+    item = e.get(key)
+    assert item.value == 10 and item.nbytes == 2
+    assert item.slab.chunk_size > old_chunk
+    e.check_invariants()
+
+
+# -- scan cursor stability ----------------------------------------------------
+def test_scan_cursor_stable_under_concurrent_unlinks():
+    """Regression: the old positional cursor skipped survivors when
+    already-visited items were deleted between pages (every unlink
+    shifted the remainder left under a stale index)."""
+    e, _ = make_engine()
+    for i in range(8):
+        e.set(f"k{i}", i, 4)
+    cursor, entries = e.scan(0, limit=3)
+    assert [k for k, *_ in entries] == ["k0", "k1", "k2"]
+    for k in ("k0", "k1", "k2", "k3"):  # visited and unvisited unlinks
+        assert e.delete(k) is True
+    cursor, entries = e.scan(cursor, limit=3)
+    assert [k for k, *_ in entries] == ["k4", "k5", "k6"]  # no skip, no repeat
+    cursor, entries = e.scan(cursor, limit=3)
+    assert [k for k, *_ in entries] == ["k7"]
+    assert cursor == 0
+
+
+def test_scan_overwritten_item_reappears_with_new_seq():
+    """Overwrite re-links at the tail with a fresh seq: a mid-scan
+    overwrite re-surfaces the key later instead of corrupting the
+    cursor (same contract as real memcached's LRU crawler)."""
+    e, _ = make_engine()
+    for i in range(4):
+        e.set(f"k{i}", i, 4)
+    cursor, entries = e.scan(0, limit=2)
+    assert [k for k, *_ in entries] == ["k0", "k1"]
+    e.set("k0", 9, 4)
+    seen = []
+    while True:
+        cursor, entries = e.scan(cursor, limit=2)
+        seen.extend(k for k, *_ in entries)
+        if cursor == 0:
+            break
+    assert seen == ["k2", "k3", "k0"]

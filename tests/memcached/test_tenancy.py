@@ -1,0 +1,224 @@
+"""Tests for per-tenant memory arbitration (specs, accounting, floors,
+eviction preference, rebalancing, and cluster wiring)."""
+
+import pytest
+
+from repro.memcached import MemcachedEngine
+from repro.memcached.tenancy import (
+    OTHER_TENANT,
+    TenantArbiter,
+    TenantSpec,
+    validate_specs,
+)
+from repro.util import MiB
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+def make_engine(mem=2 * MiB, specs=None, arbitrate=True, **kw):
+    specs = specs or (TenantSpec("a", "/a/"), TenantSpec("b", "/b/"))
+    arb = TenantArbiter(specs, mem, arbitrate=arbitrate, **kw)
+    return MemcachedEngine(mem, FakeClock(), tenancy=arb), arb
+
+
+# -- specs --------------------------------------------------------------------
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        TenantSpec("", "/a/")
+    with pytest.raises(ValueError):
+        TenantSpec(OTHER_TENANT, "/a/")
+    with pytest.raises(ValueError):
+        TenantSpec("a", "")
+    with pytest.raises(ValueError):
+        TenantSpec("a", "/a/", reserved_frac=1.0)
+
+
+def test_validate_specs_rejects_bad_sets():
+    with pytest.raises(ValueError):
+        validate_specs(())
+    with pytest.raises(ValueError):
+        validate_specs((TenantSpec("a", "/a/"), TenantSpec("a", "/b/")))
+    with pytest.raises(ValueError):
+        validate_specs((TenantSpec("a", "/x/"), TenantSpec("b", "/x/")))
+    with pytest.raises(ValueError):
+        validate_specs((TenantSpec("a", "/a/", 0.6), TenantSpec("b", "/b/", 0.5)))
+
+
+def test_tenant_attribution_and_other_fallback():
+    _, arb = make_engine()
+    assert arb.tenant_of("/a/f1:stat").name == "a"
+    assert arb.tenant_of("/b/d/f2:0").name == "b"
+    assert arb.tenant_of("/elsewhere/f:stat").name == OTHER_TENANT
+
+
+def test_targets_partition_all_memory():
+    _, arb = make_engine(mem=4 * MiB,
+                         specs=(TenantSpec("a", "/a/", 0.25), TenantSpec("b", "/b/")))
+    assert sum(a.target for a in arb.accounts) == 4 * MiB
+    assert arb.accounts[0].floor == 1 * MiB
+    arb.check_invariants()
+
+
+# -- accounting ---------------------------------------------------------------
+def test_per_tenant_accounting_sums_to_engine_totals():
+    e, arb = make_engine()
+    for i in range(10):
+        e.set(f"/a/f{i}:0", None, 500)
+    for i in range(5):
+        e.set(f"/b/f{i}:0", None, 500)
+    e.set("/nobody/f:0", None, 500)
+    for i in range(10):
+        e.get(f"/a/f{i}:0")
+    e.get("/a/missing:0")
+    stats = e.tenant_stats()
+    assert stats["a"]["items"] == 10
+    assert stats["b"]["items"] == 5
+    assert stats[OTHER_TENANT]["items"] == 1
+    assert stats["a"]["hits"] == 10
+    assert stats["a"]["misses"] == 1
+    assert sum(s["items"] for n, s in stats.items() if n != "~arbiter") == e.curr_items
+    e.check_invariants()
+
+
+def test_delete_and_expiry_do_not_count_as_evictions():
+    e, arb = make_engine()
+    clock = e.clock
+    e.set("/a/f:0", None, 100, ttl=1.0)
+    e.set("/a/g:0", None, 100)
+    clock.t = 5.0
+    assert e.get("/a/f:0") is None  # expired
+    assert e.delete("/a/g:0") is True
+    stats = e.tenant_stats()
+    assert stats["a"]["evictions"] == 0
+    assert stats["a"]["items"] == 0
+    # neither lands in the ghost list: no memory makes those hits
+    assert arb.accounts[0].ghost == {}
+
+
+# -- floors -------------------------------------------------------------------
+def test_reserved_floor_never_violated_by_neighbour_churn():
+    e, arb = make_engine(
+        mem=2 * MiB,
+        specs=(TenantSpec("a", "/a/", 0.3), TenantSpec("b", "/b/")),
+    )
+    # Fill `a` past its floor, then let `b` churn several times the
+    # engine's capacity: cross-tenant eviction must stop at a's floor.
+    i = 0
+    while arb.accounts[0].bytes_used <= arb.accounts[0].floor:
+        e.set(f"/a/f{i}:0", None, 1000)
+        i += 1
+    for j in range(3000):
+        e.set(f"/b/f{j}:0", None, 1000)
+    stats = e.tenant_stats()
+    assert stats["a"]["bytes"] >= stats["a"]["reserved_bytes"]
+    assert stats["~arbiter"]["floor_breaches"] == 0
+    assert stats["b"]["evictions"] > 0  # b paid for its own churn
+    e.check_invariants()
+
+
+def test_tenant_may_evict_itself_below_its_floor():
+    e, arb = make_engine(
+        mem=2 * MiB,
+        specs=(TenantSpec("a", "/a/", 0.9),),
+    )
+    # Only `a` writes; once memory is exhausted its own churn evicts its
+    # own items — allowed, and not a floor breach.
+    for i in range(3000):
+        e.set(f"/a/f{i}:0", None, 1000)
+    stats = e.tenant_stats()
+    assert stats["a"]["evictions"] > 0
+    assert stats["~arbiter"]["floor_breaches"] == 0
+
+
+# -- vanilla equivalence ------------------------------------------------------
+def _drive(e):
+    for i in range(600):
+        e.set(f"/a/f{i % 80}:0", None, 900 + (i % 3) * 400)
+        e.get(f"/a/f{(i * 7) % 120}:0")
+        if i % 13 == 0:
+            e.delete(f"/a/f{(i * 5) % 80}:0")
+
+
+def test_accounting_only_arbiter_is_byte_identical_to_legacy_engine():
+    """arbitrate=False must not change a single engine decision: same
+    stats, same resident keys, same scan order as a tenancy-less engine."""
+    legacy = MemcachedEngine(2 * MiB, FakeClock())
+    tenanted, _ = make_engine(specs=(TenantSpec("a", "/a/"),), arbitrate=False)
+    _drive(legacy)
+    _drive(tenanted)
+    assert legacy.stat_dict() == tenanted.stat_dict()
+    assert legacy.scan(0, limit=10_000) == tenanted.scan(0, limit=10_000)
+
+
+def test_arbitration_decisions_are_deterministic():
+    a1, r1 = make_engine()
+    a2, r2 = make_engine()
+    for e in (a1, a2):
+        for i in range(2000):
+            e.set(f"/a/f{i % 300}:0", None, 1000)
+            e.set(f"/b/f{i % 900}:0", None, 1000)
+            e.get(f"/a/f{(i * 3) % 300}:0")
+            e.get(f"/b/f{(i * 11) % 900}:0")
+    assert a1.tenant_stats() == a2.tenant_stats()
+    assert a1.stat_dict() == a2.stat_dict()
+
+
+# -- rebalancing --------------------------------------------------------------
+def test_ghost_hits_move_target_toward_the_needy_tenant():
+    e, arb = make_engine(
+        mem=2 * MiB,
+        quantum=256 * 1024,
+        rebalance_ops=50,
+        ghost_entries=512,
+    )
+    start_a = arb.accounts[0].target
+    # `a` cycles a working set larger than the whole cache: every miss
+    # on a recently evicted key is a ghost hit, so `a` keeps showing
+    # marginal gain while `b` shows none.
+    for rounds in range(4):
+        for i in range(3000):
+            e.set(f"/a/f{i}:0", None, 1000)
+        for i in range(3000):
+            e.get(f"/a/f{i}:0")
+    assert arb.stats.get("rebalances") > 0
+    assert arb.accounts[0].target > start_a
+    arb.check_invariants()
+    e.check_invariants()
+
+
+# -- cluster wiring -----------------------------------------------------------
+def test_cluster_wires_arbiter_and_restart_rebuilds_it():
+    from repro.cluster import TestbedConfig, build_gluster_testbed
+    from repro.core.config import IMCaConfig
+
+    tb = build_gluster_testbed(
+        TestbedConfig(
+            num_clients=1,
+            num_mcds=2,
+            imca=IMCaConfig(tenants=(TenantSpec("a", "/a/", 0.25),)),
+        )
+    )
+    mcd = tb.mcds[0]
+    arb = mcd.engine.tenancy
+    assert arb is not None
+    assert arb.accounts[0].floor == mcd.mem_limit // 4
+    mcd.kill()
+    mcd.restart()
+    # Arbitration state is process state: a restart builds a fresh one.
+    assert mcd.engine.tenancy is not arb
+    assert mcd.engine.tenancy.accounts[0].bytes_used == 0
+
+
+def test_imca_config_validates_tenants():
+    from repro.core.config import IMCaConfig
+
+    with pytest.raises(ValueError):
+        IMCaConfig(tenants=(TenantSpec("a", "/x/"), TenantSpec("b", "/x/")))
+    with pytest.raises(ValueError):
+        IMCaConfig(tenants=(TenantSpec("a", "/a/"),), tenant_quantum=0)

@@ -1,0 +1,103 @@
+"""Tests for the multi-tenant workload model (generation, attribution,
+and a tiny end-to-end replay)."""
+
+import pytest
+
+from repro.core.keys import data_key, stat_key
+from repro.workloads import TenantLoad, TenantMixConfig, generate_tenant_ops, replay_tenant_mix
+from repro.util import KiB
+
+
+def _mix(**kw):
+    kw.setdefault("operations", 200)
+    return TenantMixConfig(
+        (
+            TenantLoad("alpha", num_files=6, zipf_s=1.0, weight=2.0, stat_ratio=0.3),
+            TenantLoad("beta", num_files=10, zipf_s=0.0, read_ratio=0.5),
+        ),
+        **kw,
+    )
+
+
+def test_load_validation():
+    with pytest.raises(ValueError):
+        TenantLoad("bad/name", num_files=1)
+    with pytest.raises(ValueError):
+        TenantLoad("t", num_files=0)
+    with pytest.raises(ValueError):
+        TenantLoad("t", num_files=1, weight=0)
+    with pytest.raises(ValueError):
+        TenantLoad("t", num_files=1, read_ratio=1.5)
+
+
+def test_mix_validation():
+    with pytest.raises(ValueError):
+        TenantMixConfig(())
+    dup = TenantLoad("same", num_files=1)
+    with pytest.raises(ValueError):
+        TenantMixConfig((dup, TenantLoad("same", num_files=2)))
+
+
+def test_namespace_agrees_with_imca_key_schema():
+    """The spec's namespace must prefix-match every cache key the
+    tenant's files produce — workload and arbiter attribution agree."""
+    t = TenantLoad("alpha", num_files=4)
+    spec = t.spec()
+    assert spec.namespace == "/t/alpha/"
+    for i in range(t.num_files):
+        path = t.file_path(i)
+        assert stat_key(path).startswith(spec.namespace)
+        assert data_key(path, 0).startswith(spec.namespace)
+
+
+def test_generation_is_deterministic_and_well_formed():
+    cfg = _mix()
+    a = generate_tenant_ops(cfg)
+    b = generate_tenant_ops(cfg)
+    assert [vars(x) for x in a] == [vars(x) for x in b]
+    assert len(a) == cfg.operations
+    seen = set()
+    for op in a:
+        t = cfg.tenants[op.tenant]
+        seen.add(t.name)
+        assert op.kind in ("read", "write", "stat")
+        assert 0 <= op.file_index < t.num_files
+        assert op.offset % t.record_size == 0
+        assert 0 < op.size <= t.record_size
+        assert op.offset + op.size <= t.file_size
+    assert seen == {"alpha", "beta"}
+    # zero-stat tenant really never stats
+    assert not any(o.kind == "stat" for o in a if cfg.tenants[o.tenant].name == "beta")
+
+
+def test_seed_changes_the_stream():
+    a = generate_tenant_ops(_mix(seed=1))
+    b = generate_tenant_ops(_mix(seed=2))
+    assert [vars(x) for x in a] != [vars(x) for x in b]
+
+
+def test_replay_records_per_tenant_phases():
+    from repro.cluster import TestbedConfig, build_gluster_testbed
+    from repro.core.config import IMCaConfig
+
+    cfg = TenantMixConfig(
+        (
+            TenantLoad("alpha", num_files=3, file_size=4 * KiB),
+            TenantLoad("beta", num_files=3, file_size=4 * KiB, read_ratio=0.5),
+        ),
+        operations=60,
+    )
+    tb = build_gluster_testbed(
+        TestbedConfig(num_clients=2, num_mcds=1, imca=IMCaConfig(tenants=cfg.specs()))
+    )
+    fired = []
+    res = replay_tenant_mix(tb.sim, tb.clients, cfg, on_timed_start=lambda: fired.append(1))
+    assert fired == [1]
+    assert res.ops == 60
+    assert sum(p.ops for p in res.per_tenant.values()) == 60
+    assert res.wall_time > 0
+    assert res.ops_per_second > 0
+    stats = tb.tenant_stats()
+    assert stats["alpha"]["hits"] + stats["alpha"]["misses"] > 0
+    for mcd in tb.all_mcds():
+        mcd.engine.check_invariants()
