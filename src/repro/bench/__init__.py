@@ -40,6 +40,12 @@ from repro.bench.kernel import (
     run_benchmarks,
     write_report,
 )
+from repro.bench.profiling import (
+    profile_artifact,
+    profile_suite,
+    render_profile,
+    top_functions,
+)
 from repro.bench.scale import BENCH_SCALE_FILE, run_scale_benchmarks
 
 __all__ = [
@@ -51,8 +57,12 @@ __all__ = [
     "baseline_from",
     "check_against_baseline",
     "load_report",
+    "profile_artifact",
+    "profile_suite",
+    "render_profile",
     "run_benchmarks",
     "run_e2e_benchmarks",
     "run_scale_benchmarks",
+    "top_functions",
     "write_report",
 ]

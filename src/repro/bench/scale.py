@@ -7,7 +7,7 @@ outstanding timer at all times, hammering per-group NIC serialisers.
 That is the regime the calendar-queue scheduler and batched event
 delivery exist for (ROADMAP open item 1: million-user scenarios).
 
-Three variants run per client point:
+Three timer-storm variants run per client point:
 
 * **heap** — per-visit pooled timeouts on the default binary-heap
   scheduler: the first speed tier, and the baseline.
@@ -30,6 +30,23 @@ Clients are desynchronised arithmetically (no RNG): service demand and
 start stagger derive from the global client id, so every variant,
 backend, and shard count sees the same per-client parameters.
 
+On top of the timer storm, the **end-to-end** points drive the real
+IMCa stack — FUSE client → CMCache → memcached client → RPC endpoint
+→ MCD/gluster server, every layer the production op path crosses —
+at 100k and 1M clients (1k in quick mode).  Clients are packed into
+independent *cells* of :data:`E2E_GROUP` concurrent processes sharing
+one client stack, so same-instant bursts actually reach the endpoint
+together; cells are the unit the sharding layer splits on.  Two
+variants per point: ``e2e_scalar`` (one scalar reservation chain per
+op) and ``e2e_fastpath`` (``IMCaConfig.fastpath``: RPC coalescing +
+stat/get singleflight + server batch admission).  Both retire the
+identical op count; the ``speedup_e2e`` section records the ratio.
+
+Every point runs one *discarded warmup round* before the measured
+rounds, so medians come from a warm process (allocator, bytecode, and
+branch caches hot) — a cold first run used to skew ``scale_1k_tier2``
+by ~2.4x.
+
 The workloads are frozen: any change to their shape invalidates the
 trajectory.  Tune the kernel, not the benchmark.
 """
@@ -44,6 +61,8 @@ from repro.bench.kernel import BenchResult, _git_sha, _machine_info, _median
 from repro.harness.sharding import plan_shards, run_sharded
 from repro.sim.core import SCHEDULERS, Simulator
 from repro.sim.station import FifoStation
+from repro.sim.sync import Barrier
+from repro.workloads.base import drive
 
 #: Canonical report location (repo root when run from a checkout).
 BENCH_SCALE_FILE = "BENCH_scale.json"
@@ -61,8 +80,25 @@ BURST = 10
 DEFAULT_ROUNDS = 3
 QUICK_ROUNDS = 3
 
+#: Frozen end-to-end workload shape (see module docstring).
+E2E_POINTS = (100_000, 1_000_000)
+E2E_QUICK_POINTS = (1_000,)
+#: Concurrent client processes per cell.  One cell = one single-client
+#: single-MCD testbed whose client stack all E2E_GROUP processes share,
+#: so their same-instant bursts coalesce at the endpoint; distinct cells
+#: share nothing and are the independent unit the sharding layer splits.
+E2E_GROUP = 1_000
+#: Each client performs one stat and one record read per run.
+E2E_OPS_PER_CLIENT = 2
+E2E_FILE_SIZE = 16 * 1024
+E2E_RECORD = 2 * 1024
+E2E_RECORDS = E2E_FILE_SIZE // E2E_RECORD
+E2E_MCD_MEMORY = 4 * 1024 * 1024
+
 
 def _label(clients: int) -> str:
+    if clients >= 1_000_000 and clients % 1_000_000 == 0:
+        return f"{clients // 1_000_000}m"
     return f"{clients // 1000}k"
 
 
@@ -136,16 +172,102 @@ def _storm_run(
     return merged, elapsed
 
 
-def _bench_point(
-    clients: int, variant: str, backend: str, batched: bool, shards: int, rounds: int
-) -> BenchResult:
+def _e2e_cell(fastpath: bool) -> tuple[int, int, int]:
+    """Build, warm, and drive one end-to-end cell to completion.
+
+    Returns ``(ops, events, rpc_coalesced)`` for the measured burst.
+    The warm pass (create + stat + full record sweep) keeps the
+    measured ops on the production hit path rather than timing cold
+    fills; its ops are not counted.
+    """
+    from repro.cluster import TestbedConfig, build_gluster_testbed
+    from repro.core.config import IMCaConfig
+
+    tb = build_gluster_testbed(
+        TestbedConfig(
+            num_clients=1,
+            num_mcds=1,
+            mcd_memory=E2E_MCD_MEMORY,
+            scheduler="calendar",
+            imca=IMCaConfig(fastpath=fastpath),
+        )
+    )
+    sim = tb.sim
+    client = tb.clients[0]
+    fds: dict[str, int] = {}
+
+    def warm():
+        fds["hot"] = yield from client.create("/e2e/hot")
+        yield from client.write(fds["hot"], 0, E2E_FILE_SIZE, None)
+        fds["data"] = yield from client.create("/e2e/data")
+        yield from client.write(fds["data"], 0, E2E_FILE_SIZE, None)
+        yield from client.stat("/e2e/hot")
+        for k in range(E2E_RECORDS):
+            yield from client.read(fds["data"], k * E2E_RECORD, E2E_RECORD)
+
+    drive(sim, warm())
+
+    barrier = Barrier(sim, E2E_GROUP)
+
+    def proc(g: int):
+        yield barrier.wait()
+        yield from client.stat("/e2e/hot")
+        yield from client.read(
+            fds["data"], (g % E2E_RECORDS) * E2E_RECORD, E2E_RECORD
+        )
+
+    procs = [sim.process(proc(g)) for g in range(E2E_GROUP)]
+    done = sim.all_of(procs)
+    sim.run(until=done)
+    coalesced = tb.fastpath_stats()["rpc_coalesced"] if fastpath else 0
+    return E2E_GROUP * E2E_OPS_PER_CLIENT, sim._seq, coalesced
+
+
+def _e2e_shard(spec, fastpath: bool) -> dict:
+    """One shard of the end-to-end run: ``spec`` ids are cell ids."""
+    ops = events = coalesced = 0
+    for _ in range(spec.client_lo, spec.client_hi):
+        o, e, c = _e2e_cell(fastpath)
+        ops += o
+        events += e
+        coalesced += c
+    return {
+        "clients": spec.clients * E2E_GROUP,
+        "ops": ops,
+        "events": events,
+        "rpc_coalesced": coalesced,
+    }
+
+
+def _e2e_run(clients: int, fastpath: bool, shards: int) -> tuple[dict, float]:
+    """Run one end-to-end client point once; (merged metrics, seconds)."""
+    if clients % E2E_GROUP:
+        raise ValueError(f"e2e points must be multiples of {E2E_GROUP}")
+    specs = plan_shards(clients // E2E_GROUP, shards)
+    t0 = time.perf_counter()
+    merged = run_sharded(_e2e_shard, specs, fastpath)
+    elapsed = time.perf_counter() - t0
+    if merged["ops"] != clients * E2E_OPS_PER_CLIENT:
+        raise RuntimeError(
+            f"e2e bench dropped work: {merged['ops']} ops retired, "
+            f"expected {clients * E2E_OPS_PER_CLIENT}"
+        )
+    if fastpath and not merged["rpc_coalesced"]:
+        raise RuntimeError("e2e fastpath run never coalesced an RPC burst")
+    return merged, elapsed
+
+
+def _bench_point(name: str, run_once, rounds: int) -> BenchResult:
+    # One discarded warmup round: the first run in a fresh process pays
+    # allocator growth and bytecode/branch warmup, skewing the median of
+    # small round counts (scale_1k_tier2 measured 945k vs ~2.3M warm).
+    run_once()
     runs = []
     events = 0
     for _ in range(rounds):
-        merged, elapsed = _storm_run(clients, backend, batched, shards)
+        merged, elapsed = run_once()
         events = merged["events"]
         runs.append(merged["ops"] / elapsed)
-    name = f"scale_{_label(clients)}_{variant}"
     return BenchResult(name, "ops_per_sec", _median(runs), runs, events)
 
 
@@ -173,13 +295,21 @@ def run_scale_benchmarks(
     for clients in points:
         per_point: dict[str, BenchResult] = {}
         if scheduler in (None, "heap"):
-            per_point["heap"] = _bench_point(clients, "heap", "heap", False, 1, k)
+            per_point["heap"] = _bench_point(
+                f"scale_{_label(clients)}_heap",
+                lambda c=clients: _storm_run(c, "heap", False, 1),
+                k,
+            )
         if scheduler in (None, "calendar"):
             per_point["calendar"] = _bench_point(
-                clients, "calendar", "calendar", False, 1, k
+                f"scale_{_label(clients)}_calendar",
+                lambda c=clients: _storm_run(c, "calendar", False, 1),
+                k,
             )
             per_point["tier2"] = _bench_point(
-                clients, "tier2", "calendar", True, shards, k
+                f"scale_{_label(clients)}_tier2",
+                lambda c=clients: _storm_run(c, "calendar", True, shards),
+                k,
             )
         heap_r, cal_r = per_point.get("heap"), per_point.get("calendar")
         if heap_r and cal_r and heap_r.events_per_run != cal_r.events_per_run:
@@ -190,6 +320,28 @@ def run_scale_benchmarks(
                 f"{heap_r.events_per_run} events, calendar {cal_r.events_per_run}"
             )
         results.extend(per_point.values())
+
+    # End-to-end points ride the calendar backend (the production speed
+    # tier), so a heap-restricted A/B skips them.
+    e2e_points = (E2E_QUICK_POINTS if quick else E2E_POINTS) if scheduler in (
+        None,
+        "calendar",
+    ) else ()
+    for clients in e2e_points:
+        results.append(
+            _bench_point(
+                f"scale_{_label(clients)}_e2e_scalar",
+                lambda c=clients: _e2e_run(c, False, shards),
+                k,
+            )
+        )
+        results.append(
+            _bench_point(
+                f"scale_{_label(clients)}_e2e_fastpath",
+                lambda c=clients: _e2e_run(c, True, shards),
+                k,
+            )
+        )
 
     report = {
         "schema": 1,
@@ -217,4 +369,14 @@ def run_scale_benchmarks(
             speedup[f"scale_{_label(clients)}"] = per
     if speedup:
         report["speedup_vs_heap"] = speedup
+    e2e_speedup: dict[str, dict[str, float]] = {}
+    for clients in e2e_points:
+        base = report["results"].get(f"scale_{_label(clients)}_e2e_scalar")
+        fast = report["results"].get(f"scale_{_label(clients)}_e2e_fastpath")
+        if base and fast and base["median"]:
+            e2e_speedup[f"scale_{_label(clients)}"] = {
+                "fastpath": fast["median"] / base["median"]
+            }
+    if e2e_speedup:
+        report["speedup_e2e"] = e2e_speedup
     return report

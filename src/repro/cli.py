@@ -244,6 +244,12 @@ def cmd_tenants(args) -> int:
     return cmd_run(args)
 
 
+def cmd_fastpath(args) -> int:
+    """`repro fastpath` — sugar for `repro run fastpath`."""
+    args.experiment = "fastpath"
+    return cmd_run(args)
+
+
 def cmd_run_all(args) -> int:
     from repro.harness.parallel import job_pool, resolve_jobs
 
@@ -294,17 +300,42 @@ def cmd_bench(args) -> int:
             "e2e": BENCH_E2E_FILE,
             "scale": BENCH_SCALE_FILE,
         }[args.suite]
-    if args.suite == "scale":
-        report = run_scale_benchmarks(
-            quick=args.quick,
-            rounds=args.rounds,
-            scheduler=args.scheduler,
-            shards=args.shards,
+
+    def run_suite():
+        if args.suite == "scale":
+            return run_scale_benchmarks(
+                quick=args.quick,
+                rounds=args.rounds,
+                scheduler=args.scheduler,
+                shards=args.shards,
+            )
+        if args.suite == "e2e":
+            return run_e2e_benchmarks(quick=args.quick, rounds=args.rounds)
+        return run_benchmarks(quick=args.quick, rounds=args.rounds)
+
+    if args.profile is not None:
+        from repro.bench import (
+            profile_artifact,
+            profile_suite,
+            render_profile,
+            top_functions,
         )
-    elif args.suite == "e2e":
-        report = run_e2e_benchmarks(quick=args.quick, rounds=args.rounds)
-    else:
-        report = run_benchmarks(quick=args.quick, rounds=args.rounds)
+
+        report, profiler = profile_suite(run_suite)
+        rows = top_functions(profiler, args.profile)
+        print(render_profile(rows))
+        artifact_path = f"{args.out}.profile.json"
+        with open(artifact_path, "w") as f:
+            json.dump(profile_artifact(args.suite, args.profile, rows), f, indent=2)
+            f.write("\n")
+        print(f"wrote {artifact_path}")
+        # Profiled numbers carry interpreter overhead: never write the
+        # report or gate against the committed baseline from this run.
+        for name, doc in report["results"].items():
+            print(f"{name:<20} {doc['median']:.0f} {doc['metric']} (profiled)")
+        return 0
+
+    report = run_suite()
     committed = None
     try:
         committed = load_report(args.out)
@@ -543,6 +574,19 @@ def build_parser() -> argparse.ArgumentParser:
     _add_run_flags(tenants)
     tenants.set_defaults(func=cmd_tenants)
 
+    fastpath = sub.add_parser(
+        "fastpath",
+        help="run the fast-path equality experiment (batched == scalar)",
+        description="Run the identical fixed-work burst workload with "
+        "IMCaConfig.fastpath off and on, across steady/chaos/elastic/"
+        "tenants scenarios: content digests (plus, fault-free, the "
+        "logical metrics fingerprint) must be equal while the "
+        "fastpath_* counters show each coalescing tier engaged; "
+        "equivalent to `repro run fastpath` with the same flags.",
+    )
+    _add_run_flags(fastpath)
+    fastpath.set_defaults(func=cmd_fastpath)
+
     run_all = sub.add_parser("run-all", help="run every experiment")
     run_all.add_argument("--scale", choices=SCALES, default="smoke")
     run_all.add_argument(
@@ -604,6 +648,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--rebaseline", action="store_true",
         help="record this run as the new baseline instead of carrying the "
         "committed one forward",
+    )
+    bench.add_argument(
+        "--profile", nargs="?", const=25, default=None, type=int, metavar="N",
+        help="wrap the suite in cProfile and print the top-N functions by "
+        "cumulative time (default N=25), writing <out>.profile.json; "
+        "profiled runs never write the report or gate regressions",
     )
     bench.set_defaults(func=cmd_bench)
 

@@ -78,10 +78,11 @@ class GlusterClient:
         """pread(2); returns a :class:`ReadResult`."""
         path = self.path_of(fd)
         self.stats.inc("reads")
-        if self.tracer.enabled:
-            with self.tracer.span("client", "client.read"):
-                if self.tracer.oplog is not None:
-                    self.tracer.op_set(
+        tracer = self.tracer
+        if tracer.enabled:
+            with tracer.span("client", "client.read"):
+                if tracer.oplog is not None:
+                    tracer.op_set(
                         client=self.node.name, path=path, nbytes=size
                     )
                 yield from self._fuse()
@@ -95,10 +96,11 @@ class GlusterClient:
         """pwrite(2); returns the server-assigned version."""
         path = self.path_of(fd)
         self.stats.inc("writes")
-        if self.tracer.enabled:
-            with self.tracer.span("client", "client.write"):
-                if self.tracer.oplog is not None:
-                    self.tracer.op_set(
+        tracer = self.tracer
+        if tracer.enabled:
+            with tracer.span("client", "client.write"):
+                if tracer.oplog is not None:
+                    tracer.op_set(
                         client=self.node.name, path=path, nbytes=size
                     )
                 yield from self._fuse()
@@ -111,10 +113,11 @@ class GlusterClient:
     def stat(self, path: str) -> Generator:
         """stat(2) by path."""
         self.stats.inc("stats")
-        if self.tracer.enabled:
-            with self.tracer.span("client", "client.stat"):
-                if self.tracer.oplog is not None:
-                    self.tracer.op_set(client=self.node.name, path=path)
+        tracer = self.tracer
+        if tracer.enabled:
+            with tracer.span("client", "client.stat"):
+                if tracer.oplog is not None:
+                    tracer.op_set(client=self.node.name, path=path)
                 yield from self._fuse()
                 result: StatBuf = yield from self.stack.stat(path)
         else:

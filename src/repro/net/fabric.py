@@ -174,8 +174,12 @@ class Network:
         if not dst.alive:
             raise NetworkError(f"destination {dst.name} is down")
         p = self.transport
-        src_nic = self.nic(src)
-        dst_nic = self.nic(dst)
+        nics = self._nics
+        try:
+            src_nic = nics[src.name]
+            dst_nic = nics[dst.name]
+        except KeyError as e:
+            raise NetworkError(f"{e.args[0]} not attached to {self.name}") from None
 
         # Profile maths inlined (same expressions as TransportProfile's
         # host_cost/serialization, so timestamps stay float-identical).
@@ -199,8 +203,12 @@ class Network:
         _, t = dst.cpu.reserve(p.cpu_recv + copy_cost, arrival=t)
 
         values = self.stats.values
-        values["messages"] = values.get("messages", 0) + 1
-        values["bytes"] = values.get("bytes", 0) + size
+        if "messages" in values:
+            values["messages"] += 1
+            values["bytes"] += size
+        else:
+            values["messages"] = 1
+            values["bytes"] = size
         return t
 
     def _undeliverable(self, src: Node, dst: Node, size: int, reason: str) -> Event:
@@ -252,8 +260,12 @@ class Network:
         if n == 0:
             return self.sim._now
         p = self.transport
-        src_nic = self.nic(src)
-        dst_nic = self.nic(dst)
+        nics = self._nics
+        try:
+            src_nic = nics[src.name]
+            dst_nic = nics[dst.name]
+        except KeyError as e:
+            raise NetworkError(f"{e.args[0]} not attached to {self.name}") from None
 
         wire = p.wire_latency
         if self._impaired:

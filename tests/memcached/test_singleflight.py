@@ -1,0 +1,152 @@
+"""Tests for MemcacheClient get/get_multi singleflight (DESIGN §15).
+
+With ``singleflight=True`` concurrent identical keys park on the
+leader's in-flight fetch instead of re-issuing it; a failed leader
+re-disperses its followers and never publishes a poisoned miss.
+"""
+
+import pytest
+
+from repro.memcached import MemcacheClient, MemcachedDaemon
+from repro.net import Endpoint, IPOIB, Network, Node
+from repro.sim import Simulator
+from repro.util import MiB
+
+
+def make(singleflight, n_mcds=1):
+    sim = Simulator()
+    net = Network(sim, IPOIB)
+    cep = Endpoint(net, Node(sim, "client"))
+    daemons = [
+        MemcachedDaemon(sim, net, Node(sim, f"m{i}"), 16 * MiB)
+        for i in range(n_mcds)
+    ]
+    return sim, MemcacheClient(cep, daemons, singleflight=singleflight), daemons
+
+
+def _seed(sim, mc, items):
+    def w():
+        for k, v in items:
+            yield from mc.set(k, v, len(v))
+
+    p = sim.process(w())
+    sim.run(until=p)
+
+
+def test_concurrent_identical_gets_ride_one_fetch():
+    sim, mc, _ = make(singleflight=True)
+    _seed(sim, mc, [("k", b"v")])
+    mc.endpoint.stats.values.clear()
+    got = []
+
+    def proc():
+        v = yield from mc.get("k")
+        got.append(v.value)
+
+    for _ in range(6):
+        sim.process(proc())
+    sim.run()
+    assert got == [b"v"] * 6
+    assert mc.stats.values["sf_leads"] == 1
+    assert mc.stats.values["sf_follows"] == 5
+    # One RPC on the wire for six logical gets.
+    assert mc.endpoint.stats.values["calls"] == 1
+
+
+def test_scalar_client_issues_one_rpc_per_get():
+    sim, mc, _ = make(singleflight=False)
+    _seed(sim, mc, [("k", b"v")])
+    mc.endpoint.stats.values.clear()
+
+    def proc():
+        yield from mc.get("k")
+
+    for _ in range(6):
+        sim.process(proc())
+    sim.run()
+    assert "sf_leads" not in mc.stats.values
+    assert mc.endpoint.stats.values["calls"] == 6
+
+
+def test_distinct_keys_do_not_share_flights():
+    sim, mc, _ = make(singleflight=True)
+    _seed(sim, mc, [("a", b"1"), ("b", b"2")])
+    got = {}
+
+    def proc(k):
+        v = yield from mc.get(k)
+        got[k] = v.value
+
+    sim.process(proc("a"))
+    sim.process(proc("b"))
+    sim.run()
+    assert got == {"a": b"1", "b": b"2"}
+    assert mc.stats.values.get("sf_follows", 0) == 0
+
+
+def test_followers_see_the_leaders_miss_without_caching_it():
+    """A clean miss is a shared result too — but followers must book
+    their own misses, keeping hit/miss counters workload-invariant."""
+    sim, mc, _ = make(singleflight=True)
+    results = []
+
+    def proc():
+        v = yield from mc.get("ghost")
+        results.append(v)
+
+    for _ in range(4):
+        sim.process(proc())
+    sim.run()
+    assert results == [None] * 4
+    assert mc.stats.values["sf_follows"] == 3
+
+
+def test_leader_failure_redisperses_followers():
+    """A dead MCD fails the leader's fetch; followers retry on their
+    own instead of inheriting a poisoned result."""
+    sim, mc, daemons = make(singleflight=True)
+    _seed(sim, mc, [("k", b"v")])
+
+    def killer():
+        daemons[0].node.fail()
+        yield sim.timeout(0.0)
+
+    results = []
+
+    def proc():
+        try:
+            v = yield from mc.get("k")
+            results.append(v)
+        except Exception as e:  # pragma: no cover - diagnostic
+            results.append(e)
+
+    sim.process(killer())
+    for _ in range(3):
+        sim.process(proc())
+    sim.run()
+    # A dead MCD is a cache miss at this layer, for leader and
+    # followers alike; nobody hangs and nobody caches a phantom value.
+    assert results == [None, None, None]
+    assert mc.stats.values.get("sf_redispersed", 0) >= 1
+
+
+def test_get_multi_deduplicates_and_rides_inflight_fetches():
+    sim, mc, _ = make(singleflight=True)
+    _seed(sim, mc, [("a", b"1"), ("b", b"2")])
+    out = {}
+
+    def leader():
+        v = yield from mc.get("a")
+        out["leader"] = v.value
+
+    def multi():
+        got = yield from mc.get_multi(["a", "a", "b"])
+        out["multi"] = {k: v.value for k, v in got.items()}
+
+    sim.process(leader())
+    sim.process(multi())
+    sim.run()
+    assert out["leader"] == b"1"
+    assert out["multi"] == {"a": b"1", "b": b"2"}
+    # The multi's "a" rode the leader's in-flight fetch.
+    assert mc.stats.values["sf_follows"] >= 1

@@ -122,3 +122,31 @@ def test_transfer_batch_matches_across_scheduler_backends():
         return log, sim._seq, sim.now
 
     assert run("heap") == run("calendar")
+
+
+def test_zero_size_messages_in_batch_conserve_busy_time():
+    """Zero-byte messages are legal burst members: no serialisation or
+    copy cost, but protocol CPU and wire latency are still paid, and
+    aggregate busy time matches the scalar twin."""
+    sizes = [0, 4096, 0]
+    sim_b, net_b, (a_b, b_b) = make_net()
+    t_batch = net_b.delivery_time_batch(a_b, b_b, sizes)
+    sim_s, net_s, (a_s, b_s) = make_net()
+    for s in sizes:
+        net_s.delivery_time(a_s, b_s, s)
+    assert t_batch > 0.0  # wire latency + protocol CPU still charged
+    assert a_b.cpu.busy_time == pytest.approx(a_s.cpu.busy_time)
+    assert b_b.cpu.busy_time == pytest.approx(b_s.cpu.busy_time)
+    assert net_b.nic(a_b).tx.busy_time == pytest.approx(net_s.nic(a_s).tx.busy_time)
+    assert net_b.nic(b_b).rx.busy_time == pytest.approx(net_s.nic(b_s).rx.busy_time)
+    assert net_b.stats.values["messages"] == 3
+    assert net_b.stats.values["bytes"] == sum(sizes)
+
+
+def test_all_zero_batch_matches_scalar_zero_transfer():
+    """A single zero-byte batch is float-identical to the scalar
+    zero-byte delivery (the degenerate single-item equivalence)."""
+    sim_b, net_b, (a_b, b_b) = make_net()
+    t_batch = net_b.delivery_time_batch(a_b, b_b, [0])
+    sim_s, net_s, (a_s, b_s) = make_net()
+    assert t_batch == net_s.delivery_time(a_s, b_s, 0)

@@ -1,0 +1,106 @@
+"""Tests for same-instant batch admission (:class:`BatchGate`, DESIGN §15)."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.sim.station import BatchGate, FifoStation
+
+
+def _gated(servers=1):
+    sim = Simulator()
+    st = FifoStation(sim, servers=servers, name="io")
+    return sim, st, BatchGate(st)
+
+
+def test_same_instant_admits_retire_as_one_batch():
+    sim, st, gate = _gated()
+    done = []
+
+    def proc(k):
+        yield from gate.admit(1e-6)
+        done.append((k, sim.now))
+
+    for k in range(4):
+        sim.process(proc(k))
+    sim.run()
+    # One window: a leader plus three riders, all completing at the
+    # burst's end (run_batch timestamp semantics).
+    assert gate.batches == 1
+    assert gate.coalesced == 3
+    assert gate.solo == 0
+    assert st.jobs == 4
+    assert st.busy_time == pytest.approx(4e-6)
+    times = {t for _, t in done}
+    assert len(times) == 1
+    assert times.pop() == pytest.approx(4e-6)
+
+
+def test_solo_window_takes_the_scalar_path():
+    sim, st, gate = _gated()
+    done = []
+
+    def proc():
+        yield from gate.admit(3e-6)
+        done.append(sim.now)
+
+    sim.process(proc())
+    sim.run()
+    assert gate.batches == 0
+    assert gate.coalesced == 0
+    assert gate.solo == 1
+    # Identical completion time to an ungated scalar run.
+    twin = Simulator()
+    tst = FifoStation(twin, servers=1)
+    fired = []
+
+    def scalar():
+        yield tst.run(3e-6)
+        fired.append(twin.now)
+
+    twin.process(scalar())
+    twin.run()
+    assert done == fired
+
+
+def test_staggered_admits_do_not_coalesce():
+    sim, st, gate = _gated()
+
+    def proc(delay):
+        yield sim.timeout(delay)
+        yield from gate.admit(1e-6)
+
+    sim.process(proc(0.0))
+    sim.process(proc(1e-3))
+    sim.run()
+    assert gate.batches == 0
+    assert gate.solo == 2
+    assert st.jobs == 2
+
+
+def test_gate_conserves_station_accounting():
+    """Aggregate busy time and job count match an ungated twin retiring
+    the same costs scalar-wise."""
+    costs = [1e-6, 2e-6, 3e-6, 4e-6]
+    sim, st, gate = _gated(servers=2)
+
+    def proc(c):
+        yield from gate.admit(c)
+
+    for c in costs:
+        sim.process(proc(c))
+    sim.run()
+
+    twin = Simulator()
+    tst = FifoStation(twin, servers=2)
+
+    def scalar(c):
+        yield tst.run(c)
+
+    for c in costs:
+        twin.process(scalar(c))
+    twin.run()
+    assert st.jobs == tst.jobs == len(costs)
+    assert st.busy_time == pytest.approx(tst.busy_time)
+    # One multi-caller window, no solo fallbacks.
+    assert gate.batches == 1
+    assert gate.coalesced == len(costs) - 1

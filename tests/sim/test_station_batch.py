@@ -119,3 +119,66 @@ def test_run_batch_matches_across_scheduler_backends():
         return log, sim._seq, sim.now
 
     assert run("heap") == run("calendar")
+
+
+def test_single_item_batch_is_equivalent_to_scalar():
+    """A burst of one books exactly the scalar reservation: identical
+    slot, busy time, job count, and wait sample."""
+    sim, batch, scalar = _twin_stations(1)
+    batch.reserve(4e-6)
+    scalar.reserve(4e-6)
+    assert batch.reserve_batch([2e-6]) == scalar.reserve(2e-6)
+    assert batch.jobs == scalar.jobs == 2
+    assert batch.busy_time == scalar.busy_time
+    assert batch.wait_stats.n == scalar.wait_stats.n
+    assert batch.wait_stats.mean == scalar.wait_stats.mean
+
+
+def test_zero_cost_batch_services():
+    """Zero-cost services are legal batch members: they book zero busy
+    time and complete at the admission instant."""
+    sim = Simulator()
+    st = FifoStation(sim, servers=1)
+    assert st.reserve_batch([0.0, 0.0, 0.0]) == (0.0, 0.0)
+    assert st.jobs == 3
+    assert st.busy_time == 0.0
+    # Mixed zero/nonzero: the zeros add no busy time, the burst ends at
+    # the aggregate of the real work.
+    start, end = st.reserve_batch([0.0, 2e-6, 0.0])
+    assert end == pytest.approx(start + 2e-6)
+    fired = []
+
+    def proc():
+        yield st.run_batch([0.0, 0.0])
+        fired.append(sim.now)
+
+    sim.process(proc())
+    sim.run()
+    assert fired == [end]  # fires behind the existing backlog, no later
+
+
+def test_batch_wait_stats_sample_count_is_conserved():
+    """Under track_station_waits a burst records one wait sample per
+    visit, so sample and job counts match the scalar twin even though
+    the batch books the burst's shared admission wait."""
+    sim, batch, scalar = _twin_stations(1)
+    assert sim.track_station_waits  # the default
+    backlog = 5e-6
+    batch.reserve(backlog)
+    scalar.reserve(backlog)
+    batch.reserve_batch([1e-6, 2e-6, 3e-6])
+    for s in (1e-6, 2e-6, 3e-6):
+        scalar.reserve(s)
+    assert batch.wait_stats.n == scalar.wait_stats.n == 4
+    assert batch.jobs == scalar.jobs == 4
+    assert batch.busy_time == pytest.approx(scalar.busy_time)
+
+
+def test_untracked_batch_records_no_wait_stats():
+    sim = Simulator()
+    sim.track_station_waits = False
+    st = FifoStation(sim, servers=1)
+    st.reserve(5e-6)
+    st.reserve_batch([1e-6, 1e-6])
+    assert st.wait_stats.n == 0
+    assert st.jobs == 3  # accounting still happens, only sampling is off

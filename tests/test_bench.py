@@ -150,7 +150,13 @@ def test_scale_report_schema(quick_scale_report):
     assert report["mode"] == "quick"
     assert report["shards"] == 1
     results = report["results"]
-    assert set(results) == {"scale_1k_heap", "scale_1k_calendar", "scale_1k_tier2"}
+    assert set(results) == {
+        "scale_1k_heap",
+        "scale_1k_calendar",
+        "scale_1k_tier2",
+        "scale_1k_e2e_scalar",
+        "scale_1k_e2e_fastpath",
+    }
     for doc in results.values():
         assert doc["metric"] == "ops_per_sec"
         assert doc["median"] > 0
@@ -165,28 +171,71 @@ def test_scale_report_schema(quick_scale_report):
         results["scale_1k_tier2"]["events_per_run"]
         < results["scale_1k_heap"]["events_per_run"] / 2
     )
+    # The fastpath collapses the end-to-end event stream too: coalesced
+    # RPC chains + singleflight absorb most of the scalar arm's events.
+    assert (
+        results["scale_1k_e2e_fastpath"]["events_per_run"]
+        < results["scale_1k_e2e_scalar"]["events_per_run"]
+    )
     assert set(report["speedup_vs_heap"]) == {"scale_1k"}
     assert set(report["speedup_vs_heap"]["scale_1k"]) == {"calendar", "tier2"}
+    assert set(report["speedup_e2e"]) == {"scale_1k"}
+    assert report["speedup_e2e"]["scale_1k"]["fastpath"] > 0
 
 
 def test_scale_scheduler_restriction():
     heap_only = run_scale_benchmarks(quick=True, rounds=1, scheduler="heap")
     assert set(heap_only["results"]) == {"scale_1k_heap"}
     assert "speedup_vs_heap" not in heap_only
+    assert "speedup_e2e" not in heap_only  # e2e rides the calendar tier
     with pytest.raises(ValueError):
         run_scale_benchmarks(quick=True, rounds=1, scheduler="splay")
 
 
+def test_e2e_merged_metrics_are_shard_invariant():
+    """The end-to-end cells are independent, so the deterministic merged
+    metrics (ops, events, coalesced bursts) must not depend on how the
+    cell range is split across shards."""
+    import json
+
+    from repro.bench.scale import _e2e_run
+
+    m1, _ = _e2e_run(4_000, True, 1)
+    m4, _ = _e2e_run(4_000, True, 4)
+    strip = lambda m: {
+        k: v for k, v in m.items() if k not in ("shards", "per_shard")
+    }
+    assert json.dumps(strip(m1), sort_keys=True) == json.dumps(
+        strip(m4), sort_keys=True
+    )
+    assert m4["shards"] == 4
+    assert m1["rpc_coalesced"] > 0
+
+
 def test_committed_scale_report_claims_the_required_speedup():
     """The repo's committed BENCH_scale.json must document the second
-    speed tier: >= 3x ops/sec over the heap backend at 100k clients."""
+    speed tier (>= 3x ops/sec over the heap backend at 100k clients)
+    and the end-to-end fast path (>= 1.5x over the scalar op path at
+    100k and 1M clients)."""
     import os
 
     path = os.path.join(os.path.dirname(__file__), "..", "BENCH_scale.json")
     report = load_report(path)
-    assert set(report["results"]) == {
+    expected = {
         f"scale_{point}_{variant}"
         for point in ("1k", "10k", "100k")
         for variant in ("heap", "calendar", "tier2")
+    } | {
+        f"scale_{point}_e2e_{variant}"
+        for point in ("100k", "1m")
+        for variant in ("scalar", "fastpath")
     }
+    assert set(report["results"]) == expected
     assert report["speedup_vs_heap"]["scale_100k"]["tier2"] >= 3.0
+    # A true million-client end-to-end run, not bare timers: the
+    # committed report carries the op counts to prove it.
+    assert (
+        report["results"]["scale_1m_e2e_fastpath"]["events_per_run"] > 0
+    )
+    for point in ("100k", "1m"):
+        assert report["speedup_e2e"][f"scale_{point}"]["fastpath"] >= 1.5
